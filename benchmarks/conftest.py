@@ -1,0 +1,42 @@
+"""Benchmark support: collect paper-vs-measured tables and print them in
+the terminal summary (so ``pytest benchmarks/ --benchmark-only`` output is
+self-contained evidence), and persist them under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_TABLES: list[str] = []
+
+
+def record_experiment(result) -> None:
+    """Register an ExperimentResult for the end-of-run summary and
+    persist both human-readable and machine-readable artifacts."""
+    import json
+
+    from repro.eval.reporting import comparison_table
+
+    text = comparison_table(result)
+    _TABLES.append(text)
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")
+    (_RESULTS_DIR / f"{result.name}.json").write_text(
+        json.dumps(result.to_json_dict(), indent=2) + "\n")
+    if result.series:
+        from repro.eval.svg import save_chart
+
+        save_chart(result.series, _RESULTS_DIR / f"{result.name}.svg",
+                   title=result.name)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "paper-vs-measured experiment tables")
+    for text in _TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    _TABLES.clear()

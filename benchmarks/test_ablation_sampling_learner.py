@@ -1,0 +1,32 @@
+"""Ablations: sampling rate (Section 5.1) and one-class learner choice.
+
+* The paper samples every 5 frames; rates 3-8 sit on the same accuracy
+  plateau while very coarse rates miss events entirely.
+* The paper draws a *ball* (Figure 5) but cites Schoelkopf's hyperplane
+  machine; under the RBF kernel SVDD and the nu-OCSVM rank identically,
+  so the mismatch is immaterial — asserted exactly here.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_experiment
+from repro.eval.experiments import ablation_learner, ablation_sampling_rate
+
+
+def test_sampling_rate(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_sampling_rate(rates=(3, 5, 8, 12), seed=0),
+        rounds=1, iterations=1)
+    record_experiment(result)
+    finals = {label: accs[-1] for label, accs in result.series.items()}
+    # The paper's 5 frames/checkpoint sits on the plateau.
+    assert finals["rate=5"] >= max(finals.values()) - 0.05 - 1e-9
+    # A too-coarse rate (12 frames ~ the whole event) collapses.
+    assert finals["rate=12"] < finals["rate=5"]
+
+
+def test_learner_equivalence(benchmark):
+    result = benchmark.pedantic(lambda: ablation_learner(seed=0),
+                                rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.series["ocsvm"] == pytest.approx(result.series["svdd"])

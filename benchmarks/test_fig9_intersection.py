@@ -1,0 +1,39 @@
+"""Figure 9 reproduction: retrieval accuracy over RF rounds, clip 2.
+
+Paper: road-intersection clip (592 frames) where accidents "often involve
+two or more vehicles".  The MIL framework's gains are smaller than on
+clip 1 but it remains "far better" than Weighted_RF, whose performance
+degrades right after the initial iteration.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_experiment
+from repro.eval import figure9
+
+
+def test_figure9_intersection(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure9(seed=1, mode="vision"), rounds=1, iterations=1)
+    record_experiment(result)
+    mil = result.series["MIL_OCSVM"]
+    wrf = result.series["Weighted_RF"]
+
+    assert mil[0] == pytest.approx(wrf[0])  # shared Initial round
+    # MIL improves; the baseline shows no gain (the paper's degradation).
+    assert mil[-1] > mil[0]
+    assert wrf[-1] <= wrf[0] + 1e-9
+    assert mil[-1] > wrf[-1]
+
+
+def test_figure9_weighted_rf_degrades(benchmark):
+    """On the oracle-track variant the baseline visibly *drops* below its
+    initial accuracy (the paper's exact wording for clip 2)."""
+    result = benchmark.pedantic(
+        lambda: figure9(seed=3, mode="oracle"), rounds=1, iterations=1)
+    result.name = "figure9_intersection_oracle_degradation"
+    record_experiment(result)
+    wrf = result.series["Weighted_RF"]
+    mil = result.series["MIL_OCSVM"]
+    assert wrf[-1] < wrf[0]
+    assert mil[-1] > mil[0]

@@ -1,0 +1,39 @@
+"""Instance-level MIL diagnostics (beyond the paper's bag-level accuracy).
+
+The paper's Section 1 claim is that bag-level feedback lets the engine
+"find out" which Trajectory Sequences carry the event.  This bench
+measures that directly: within each truly relevant bag, is the engine's
+highest-scored instance a vehicle actually involved in the incident?
+
+Finding recorded in EXPERIMENTS.md: the attribution of the *heuristic*
+scores clearly beats chance, while the One-class SVM's decision values
+improve bag-level ranking but slightly blur within-bag attribution.
+"""
+
+import pytest
+
+from repro.core import MILRetrievalEngine, OracleUser, RetrievalSession
+from repro.eval import build_artifacts
+from repro.eval.diagnostics import evaluate_instance_discovery
+from repro.sim import tunnel
+
+
+def test_instance_attribution(benchmark):
+    def run():
+        sim = tunnel(seed=0)
+        artifacts = build_artifacts(sim, mode="oracle")
+        engine = MILRetrievalEngine(artifacts.dataset)
+        before = evaluate_instance_discovery(artifacts, engine)
+        session = RetrievalSession(engine,
+                                   OracleUser(artifacts.ground_truth),
+                                   top_k=20)
+        session.run(3)
+        after = evaluate_instance_discovery(artifacts, engine)
+        return before, after
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Attribution is far above the random-ordering floor...
+    assert before.top1_precision > before.random_top1 + 0.1
+    # ...and stays meaningfully above it after feedback.
+    assert after.top1_precision >= after.random_top1
+    assert after.mean_reciprocal_rank >= 0.6

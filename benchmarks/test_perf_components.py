@@ -1,0 +1,110 @@
+"""Component micro-benchmarks: throughput of every pipeline stage.
+
+Not a paper figure — engineering evidence that the substrate runs at a
+usable speed (frames/second, fits/second), reported via pytest-benchmark
+timings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MILRetrievalEngine
+from repro.eval import build_artifacts
+from repro.sim import Renderer, tunnel
+from repro.svm import OneClassSVM
+from repro.tracking import CentroidTracker
+from repro.trajectory import TrajectoryModel
+from repro.vision import BackgroundModel, SPCPE, SegmentationPipeline, VideoClip
+from repro.vision.blobs import extract_blobs
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return tunnel(n_frames=400, seed=9, spawn_interval=(50.0, 80.0),
+                  n_wall_crashes=2, n_sudden_stops=1)
+
+
+@pytest.fixture(scope="module")
+def renderer(sim):
+    return Renderer(sim, seed=0)
+
+
+@pytest.fixture(scope="module")
+def frame(renderer):
+    return renderer.render(200)
+
+
+@pytest.fixture(scope="module")
+def background(sim):
+    clip = VideoClip.from_simulation(sim)
+    return BackgroundModel().learn(clip)
+
+
+def test_render_frame(benchmark, renderer):
+    benchmark(renderer.render, 200)
+
+
+def test_background_subtract(benchmark, background, frame):
+    benchmark(background.subtract, frame)
+
+
+def test_blob_extraction(benchmark, background, frame):
+    mask = background.subtract(frame)
+    benchmark(extract_blobs, mask, frame)
+
+
+def test_spcpe_partition(benchmark, frame):
+    patch = np.asarray(frame[100:130, 140:180], dtype=float)
+    benchmark(SPCPE().partition, patch)
+
+
+def test_full_frame_detection(benchmark, sim, background):
+    clip = VideoClip.from_simulation(sim)
+    pipeline = SegmentationPipeline(background=background, use_spcpe=False)
+    benchmark(pipeline.detect, 200, clip.get(200))
+
+
+def test_tracking_clip(benchmark, sim):
+    clip = VideoClip.from_simulation(sim)
+    detections = SegmentationPipeline(use_spcpe=False).process(clip)
+
+    def run():
+        return CentroidTracker().track(detections)
+
+    tracks = benchmark(run)
+    assert tracks
+
+
+def test_polynomial_fit(benchmark):
+    frames = np.arange(120, dtype=float)
+    points = np.column_stack([3.0 * frames, 50 + 0.01 * frames**2])
+
+    benchmark(TrajectoryModel, frames, points)
+
+
+def test_ocsvm_fit(benchmark):
+    x = np.random.default_rng(0).normal(size=(150, 9))
+    benchmark(lambda: OneClassSVM(nu=0.3, gamma=0.11).fit(x))
+
+
+def test_ocsvm_decision(benchmark):
+    rng = np.random.default_rng(0)
+    model = OneClassSVM(nu=0.3, gamma=0.11).fit(rng.normal(size=(150, 9)))
+    probes = rng.normal(size=(500, 9))
+    benchmark(model.decision_function, probes)
+
+
+def test_engine_feedback_round(benchmark, sim):
+    artifacts = build_artifacts(sim, mode="oracle")
+    relevant = list(artifacts.relevant_bag_ids)[:6]
+    labels = {b: True for b in relevant}
+    labels.update({b.bag_id: False for b in artifacts.dataset.bags[:8]
+                   if b.bag_id not in labels})
+
+    def round_trip():
+        engine = MILRetrievalEngine(artifacts.dataset)
+        engine.feed(labels)
+        return engine.rank()
+
+    ranking = benchmark(round_trip)
+    assert len(ranking) == len(artifacts.dataset.bags)

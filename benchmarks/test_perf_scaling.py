@@ -1,0 +1,74 @@
+"""Scaling micro-benchmarks: how stage cost grows with problem size.
+
+pytest-benchmark timings parameterized over the natural scale knobs:
+training-set size for the SMO solver, corpus size for a ranking pass,
+and concurrent-target count for the tracker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.svm import OneClassSVM
+from repro.tracking import CentroidTracker
+from repro.vision.blobs import Blob
+from repro.vision.pipeline import Detection
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def test_ocsvm_fit_scaling(benchmark, n):
+    x = np.random.default_rng(0).normal(size=(n, 9))
+    benchmark(lambda: OneClassSVM(nu=0.3, gamma=0.11).fit(x))
+
+
+@pytest.mark.parametrize("n_probes", [100, 1000, 5000])
+def test_ocsvm_decision_scaling(benchmark, n_probes):
+    rng = np.random.default_rng(0)
+    model = OneClassSVM(nu=0.3, gamma=0.11).fit(rng.normal(size=(200, 9)))
+    probes = rng.normal(size=(n_probes, 9))
+    benchmark(model.decision_function, probes)
+
+
+def _stream(n_targets, n_frames=100, seed=0):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform([0, 0], [300, 200], size=(n_targets, 2))
+    vels = rng.uniform(-2, 2, size=(n_targets, 2))
+    frames = []
+    for f in range(n_frames):
+        dets = []
+        for t in range(n_targets):
+            x, y = starts[t] + vels[t] * f
+            blob = Blob(cx=float(x), cy=float(y), x0=int(x) - 4,
+                        y0=int(y) - 3, x1=int(x) + 4, y1=int(y) + 3,
+                        area=48, mean_intensity=150.0)
+            dets.append(Detection(frame=f, blob=blob))
+        frames.append(dets)
+    return frames
+
+
+@pytest.mark.parametrize("n_targets", [3, 10, 30])
+def test_tracker_scaling(benchmark, n_targets):
+    stream = _stream(n_targets)
+    benchmark(lambda: CentroidTracker().track(stream))
+
+
+@pytest.mark.parametrize("n_vehicles", [10, 30])
+def test_ranking_pass_scaling(benchmark, n_vehicles):
+    """Full feedback round (train + rank) as the corpus grows."""
+    from repro.core import MILRetrievalEngine
+    from repro.eval import build_artifacts
+    from repro.sim import tunnel
+
+    frames = 80 * n_vehicles
+    sim = tunnel(n_frames=frames, seed=5, spawn_interval=(60.0, 90.0),
+                 n_wall_crashes=max(1, n_vehicles // 8),
+                 n_sudden_stops=max(1, n_vehicles // 10))
+    artifacts = build_artifacts(sim, mode="oracle")
+    relevant = list(artifacts.relevant_bag_ids)[:8]
+    labels = {b: True for b in relevant}
+
+    def round_trip():
+        engine = MILRetrievalEngine(artifacts.dataset)
+        engine.feed(labels)
+        return engine.rank()
+
+    benchmark(round_trip)

@@ -1,0 +1,100 @@
+"""Robustness benches: graceful degradation under failure injection.
+
+Engineering evidence beyond the paper: frame dropout, a static occluder
+band, and user labelling noise, each swept over severity on the tunnel
+workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_experiment
+from repro.eval.robustness import (
+    robustness_dropout,
+    robustness_label_noise,
+    robustness_occlusion,
+)
+from repro.sim import tunnel
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return tunnel(n_frames=1200, seed=6, spawn_interval=(50.0, 80.0),
+                  n_wall_crashes=4, n_sudden_stops=3)
+
+
+def test_frame_dropout(benchmark, sim):
+    result = benchmark.pedantic(
+        lambda: robustness_dropout(sim, probs=(0.0, 0.1, 0.2, 0.3),
+                                   top_k=10),
+        rounds=1, iterations=1)
+    record_experiment(result)
+    finals = {k: v[-1] for k, v in result.series.items()}
+    # Moderate dropout costs at most a third of the clean accuracy.
+    assert finals["dropout=0.1"] >= finals["dropout=0"] * 0.66
+    # Severe dropout is allowed to hurt but the run must complete.
+    assert all(0.0 <= v <= 1.0 for v in finals.values())
+
+
+def test_occlusion_band(benchmark, sim):
+    result = benchmark.pedantic(
+        lambda: robustness_occlusion(sim, widths=(0, 20, 40, 80),
+                                     top_k=10, with_stitching=True),
+        rounds=1, iterations=1)
+    record_experiment(result)
+    finals = {k: v[-1] for k, v in result.series.items()}
+    assert finals["occluder=20px"] >= finals["occluder=0px"] * 0.5
+    assert all(0.0 <= v <= 1.0 for v in finals.values())
+    # Stitching never hurts the occluded variants by more than one slot.
+    for width in (20, 40, 80):
+        assert (finals[f"occluder={width}px+stitch"]
+                >= finals[f"occluder={width}px"] - 0.1)
+
+
+def test_occlusion_stitching_repairs_fragments(benchmark, sim):
+    """Stitching's real value is structural: fragments per vehicle."""
+    from repro.eval.robustness import (
+        _detections_for,
+        inject_occlusion_band,
+    )
+    from repro.tracking import CentroidTracker, stitch_tracks
+
+    def run():
+        detections = _detections_for(sim)
+        occluded = inject_occlusion_band(detections, 140.0, 180.0)
+        fragments = CentroidTracker().track(occluded)
+        stitched = stitch_tracks(fragments)
+        return len(fragments), len(stitched)
+
+    n_fragments, n_stitched = benchmark.pedantic(run, rounds=1,
+                                                 iterations=1)
+    assert n_stitched < n_fragments  # the band splits; stitching repairs
+    true_vehicles = len(sim.vehicle_ids())
+    # After stitching the track count is near the true vehicle count.
+    assert n_stitched <= true_vehicles * 1.3 + 2
+
+
+def test_illumination_drift(benchmark, sim):
+    from repro.eval.robustness import robustness_illumination
+
+    result = benchmark.pedantic(
+        lambda: robustness_illumination(sim, drifts=(0.0, 0.25),
+                                        top_k=10),
+        rounds=1, iterations=1)
+    record_experiment(result)
+    finals = {k: v[-1] for k, v in result.series.items()}
+    # The selective running average absorbs a 25% illumination swing...
+    assert finals["drift=0.25/lr=0.02"] >= finals["drift=0/lr=0.02"] - 0.1
+    # ...while a frozen background collapses under it.
+    assert finals["drift=0.25/lr=0.02"] >= finals["drift=0.25/lr=0"] + 0.2
+
+
+def test_label_noise(benchmark, sim):
+    result = benchmark.pedantic(
+        lambda: robustness_label_noise(sim,
+                                       flip_probs=(0.0, 0.1, 0.2, 0.35),
+                                       top_k=10),
+        rounds=1, iterations=1)
+    record_experiment(result)
+    finals = {k: v[-1] for k, v in result.series.items()}
+    # Clean labels are at least as good as heavily corrupted ones.
+    assert finals["flip=0"] >= finals["flip=0.35"] - 1e-9

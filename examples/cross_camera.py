@@ -1,0 +1,32 @@
+"""Cross-camera retrieval with plane normalization (paper future work).
+
+The paper closes by noting that mining all clips "as a whole" needs the
+clips normalized for "camera angle and camera position".  This example
+shoots two intersection clips through two different cameras (overhead
+and strongly tilted), calibrates each camera from a handful of surveyed
+road landmarks, back-projects the tracks onto the road plane, and
+retrieves accidents over the merged two-camera corpus — comparing raw
+image-plane features against normalized ones.
+
+Run:  python examples/cross_camera.py        (~10 s)
+"""
+
+from repro.eval.experiments import cross_camera
+from repro.eval.reporting import comparison_table
+
+
+def main() -> None:
+    print("two intersection clips, two cameras (overhead + 35-degree "
+          "tilt),\ncalibration from 8 surveyed landmarks, merged-corpus "
+          "retrieval ...\n")
+    result = cross_camera()
+    print(comparison_table(result))
+    raw = result.series["raw_image_plane"][-1]
+    norm = result.series["plane_normalized"][-1]
+    print(f"\nnormalizing to the road plane is worth "
+          f"{(norm - raw) * 100:+.0f} accuracy points on the merged "
+          f"corpus — the normalization the paper calls for.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""repro: reproduction of "A Multiple Instance Learning Framework for
+Incident Retrieval in Transportation Surveillance Video Databases"
+(Chen, Zhang & Chen, ICDE 2007 Workshops).
+
+Quick tour
+----------
+>>> from repro import (tunnel, build_artifacts, MILRetrievalEngine,
+...                    OracleUser, RetrievalSession)
+>>> sim = tunnel(n_frames=700, seed=3, spawn_interval=(50.0, 80.0),
+...              n_wall_crashes=2, n_sudden_stops=2)
+>>> artifacts = build_artifacts(sim, mode="oracle")
+>>> engine = MILRetrievalEngine(artifacts.dataset)
+>>> session = RetrievalSession(engine, OracleUser(artifacts.ground_truth),
+...                            top_k=10)
+>>> accuracies = [r.accuracy() for r in session.run(3)]
+
+Subpackages
+-----------
+``repro.sim``
+    Synthetic traffic world + renderer (substitute for the paper's clips).
+``repro.vision``
+    Background learning/subtraction, SPCPE segmentation, blob extraction,
+    PCA vehicle classification.
+``repro.tracking``
+    Multi-object data association into vehicle tracks.
+``repro.trajectory``
+    Least-squares polynomial trajectory modeling (paper Eq. 1-2).
+``repro.events``
+    Event models, sampling-point features, sliding-window VS extraction.
+``repro.svm``
+    From-scratch one-class SVM (Schoelkopf nu-OCSVM, SMO solver).
+``repro.core``
+    The paper's contribution: MIL + relevance-feedback retrieval.
+``repro.db``
+    Surveillance video database layer (catalog, storage, queries).
+``repro.eval``
+    Metrics, the 5-round RF protocol, and experiment runners.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    NotFittedError,
+    PipelineError,
+    ReproError,
+    StorageError,
+)
+
+# Convenience re-exports of the most used entry points.
+from repro.sim import GroundTruth, Renderer, highway, intersection, tunnel
+from repro.vision import SegmentationPipeline, VideoClip
+from repro.tracking import CentroidTracker, Track
+from repro.trajectory import PolynomialCurve, TrajectoryModel
+from repro.events import (
+    AccidentModel,
+    SamplingConfig,
+    build_dataset,
+    event_model_for,
+    extract_series,
+)
+from repro.svm import OneClassSVM
+from repro.core import (
+    Bag,
+    Instance,
+    MILDataset,
+    MILRetrievalEngine,
+    OracleUser,
+    RetrievalSession,
+    WeightedRFEngine,
+)
+from repro.db import SemanticQuerySession, VideoDatabase
+from repro.eval import build_artifacts, figure8, figure9, run_protocol
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "NotFittedError",
+    "ConvergenceError",
+    "StorageError",
+    "PipelineError",
+    # sim
+    "tunnel",
+    "intersection",
+    "highway",
+    "Renderer",
+    "GroundTruth",
+    # vision / tracking / trajectory
+    "VideoClip",
+    "SegmentationPipeline",
+    "CentroidTracker",
+    "Track",
+    "PolynomialCurve",
+    "TrajectoryModel",
+    # events
+    "SamplingConfig",
+    "extract_series",
+    "build_dataset",
+    "AccidentModel",
+    "event_model_for",
+    # svm
+    "OneClassSVM",
+    # core
+    "Bag",
+    "Instance",
+    "MILDataset",
+    "MILRetrievalEngine",
+    "WeightedRFEngine",
+    "OracleUser",
+    "RetrievalSession",
+    # db
+    "VideoDatabase",
+    "SemanticQuerySession",
+    # eval
+    "build_artifacts",
+    "run_protocol",
+    "figure8",
+    "figure9",
+]

@@ -1,0 +1,329 @@
+"""Command-line interface for the incident-retrieval system.
+
+Subcommands mirror the lifecycle of the paper's system:
+
+* ``simulate``   — generate a surveillance clip, run the pipeline, and
+  ingest everything into a video database.
+* ``clips``      — list stored clips, filterable by metadata.
+* ``info``       — show one clip's tracks/datasets/labels.
+* ``query``      — show the current top-k of a semantic query session.
+* ``label``      — record one round of relevance feedback.
+* ``experiment`` — run a named paper experiment and print its table.
+
+Example session::
+
+    repro simulate --scenario tunnel --frames 800 --db videos.db
+    repro query --db videos.db --clip tunnel --event accident --top-k 8
+    repro label --db videos.db --clip tunnel --event accident \\
+          --relevant 3,7 --irrelevant 1,2
+    repro query --db videos.db --clip tunnel --event accident --top-k 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+_SCENARIOS = ("tunnel", "intersection", "highway", "curve", "city_grid")
+_EXPERIMENTS = (
+    "figure8", "figure9", "ablation_z", "ablation_normalization",
+    "ablation_window", "other_events", "mil_algorithms", "cross_camera",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MIL incident retrieval for surveillance video "
+                    "databases (ICDE 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate",
+                         help="simulate a clip and ingest it into a db")
+    sim.add_argument("--scenario", choices=_SCENARIOS, default="tunnel")
+    sim.add_argument("--frames", type=int, default=None,
+                     help="clip length (scenario default if omitted)")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--db", required=True, help="SQLite database path")
+    sim.add_argument("--mode", choices=("vision", "oracle"),
+                     default="vision",
+                     help="full vision pipeline or oracle tracks")
+    sim.add_argument("--event", default="accident",
+                     help="event model for the stored dataset")
+    sim.add_argument("--clip-id", default=None,
+                     help="override the stored clip id")
+
+    clips = sub.add_parser("clips", help="list clips in a database")
+    clips.add_argument("--db", required=True)
+    clips.add_argument("--location", default=None)
+    clips.add_argument("--camera", default=None)
+
+    info = sub.add_parser("info", help="show one clip's contents")
+    info.add_argument("--db", required=True)
+    info.add_argument("--clip", required=True)
+
+    query = sub.add_parser("query", help="show the current top-k results")
+    query.add_argument("--db", required=True)
+    query.add_argument("--clip", required=True)
+    query.add_argument("--event", default="accident")
+    query.add_argument("--user", default="default")
+    query.add_argument("--top-k", type=int, default=20)
+    query.add_argument("--engine", default="mil_ocsvm",
+                       choices=("mil_ocsvm", "weighted_rf"))
+
+    label = sub.add_parser("label", help="record a feedback round")
+    label.add_argument("--db", required=True)
+    label.add_argument("--clip", required=True)
+    label.add_argument("--event", default="accident")
+    label.add_argument("--user", default="default")
+    label.add_argument("--relevant", default="",
+                       help="comma-separated relevant bag ids")
+    label.add_argument("--irrelevant", default="",
+                       help="comma-separated irrelevant bag ids")
+
+    experiment = sub.add_parser("experiment",
+                                help="run a paper experiment")
+    experiment.add_argument("--name", choices=_EXPERIMENTS,
+                            required=True)
+    experiment.add_argument("--mode", choices=("vision", "oracle"),
+                            default=None,
+                            help="override the experiment's default mode")
+    experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument("--chart", action="store_true",
+                            help="append an ASCII chart of the curves")
+
+    report = sub.add_parser(
+        "report", help="run the whole experiment suite, emit markdown")
+    report.add_argument("--out", default=None,
+                        help="write the report to this file")
+    report.add_argument("--only", default=None,
+                        help="comma-separated experiment names")
+
+    delete = sub.add_parser("delete-clip",
+                            help="remove a clip and its derived data")
+    delete.add_argument("--db", required=True)
+    delete.add_argument("--clip", required=True)
+
+    export = sub.add_parser("export-clip",
+                            help="write a clip to a portable bundle")
+    export.add_argument("--db", required=True)
+    export.add_argument("--clip", required=True)
+    export.add_argument("--out", required=True)
+
+    import_ = sub.add_parser("import-clip",
+                             help="load a clip bundle into a database")
+    import_.add_argument("--db", required=True)
+    import_.add_argument("--bundle", required=True)
+    import_.add_argument("--replace", action="store_true")
+    return parser
+
+
+def _ids(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _cmd_simulate(args) -> int:
+    from repro.db import VideoDatabase
+    from repro.eval import build_artifacts
+    from repro.sim import city_grid, curve, highway, intersection, tunnel
+
+    builders = {"tunnel": tunnel, "intersection": intersection,
+                "highway": highway, "curve": curve,
+                "city_grid": city_grid}
+    kwargs = {"seed": args.seed}
+    if args.frames is not None:
+        kwargs["n_frames"] = args.frames
+        # Scale the scenario's default incident counts with clip length
+        # so short clips stay feasible and long ones stay interesting.
+        if args.scenario == "tunnel":
+            factor = args.frames / 2500
+            kwargs["n_wall_crashes"] = max(1, round(7 * factor))
+            kwargs["n_sudden_stops"] = max(1, round(5 * factor))
+        elif args.scenario == "intersection":
+            factor = args.frames / 600
+            kwargs["n_collisions"] = max(1, round(5 * factor))
+            kwargs["n_near_misses"] = max(1, round(4 * factor))
+        elif args.scenario == "highway":
+            factor = args.frames / 800
+            kwargs["n_uturns"] = max(1, round(5 * factor))
+            kwargs["n_speeding"] = max(1, round(4 * factor))
+        elif args.scenario == "curve":
+            factor = args.frames / 1200
+            kwargs["n_sudden_stops"] = max(1, round(4 * factor))
+        else:  # city_grid
+            factor = args.frames / 900
+            kwargs["n_collisions"] = max(1, round(3 * factor))
+            kwargs["n_sudden_stops"] = max(1, round(3 * factor))
+    sim = builders[args.scenario](**kwargs)
+    if args.clip_id:
+        sim.name = args.clip_id
+    print(f"simulated {sim.name!r}: {sim.n_frames} frames, "
+          f"{len(sim.incidents)} incidents")
+    artifacts = build_artifacts(sim, event=args.event, mode=args.mode)
+    with VideoDatabase(args.db) as db:
+        db.ingest_simulation(sim, artifacts.tracks, artifacts.dataset)
+    print(f"ingested into {args.db}: {len(artifacts.tracks)} tracks, "
+          f"{len(artifacts.dataset)} video sequences, "
+          f"{artifacts.dataset.n_instances} trajectory sequences")
+    return 0
+
+
+def _cmd_clips(args) -> int:
+    from repro.db import VideoDatabase
+
+    with VideoDatabase(args.db) as db:
+        rows = db.clips(location=args.location, camera=args.camera)
+        if not rows:
+            print("(no clips)")
+            return 0
+        for clip in rows:
+            print(f"{clip.clip_id}: location={clip.location or '-'} "
+                  f"camera={clip.camera or '-'} frames={clip.n_frames} "
+                  f"start={clip.start_time or '-'}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.db import VideoDatabase
+
+    with VideoDatabase(args.db) as db:
+        clip = db.clip(args.clip)
+        tracks = db.track_records(args.clip)
+        events = db.events_for(args.clip)
+        print(f"clip {clip.clip_id}: {clip.n_frames} frames "
+              f"{clip.width}x{clip.height} @ {clip.fps} fps")
+        print(f"  location={clip.location or '-'} camera="
+              f"{clip.camera or '-'} start={clip.start_time or '-'}")
+        print(f"  tracks: {len(tracks)}")
+        for event in events:
+            dataset = db.dataset(args.clip, event)
+            labels = db.labels(args.clip, event)
+            print(f"  dataset {event!r}: {len(dataset)} VSs, "
+                  f"{dataset.n_instances} TSs, {len(labels)} stored labels")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.db import SemanticQuerySession, VideoDatabase
+
+    with VideoDatabase(args.db) as db:
+        session = SemanticQuerySession(
+            db, args.clip, args.event, user_id=args.user,
+            engine=args.engine, top_k=args.top_k)
+        print(f"query clip={args.clip} event={args.event} "
+              f"user={args.user} round={session.round_index}")
+        for rank, (bag_id, lo, hi) in enumerate(session.result_windows(),
+                                                start=1):
+            print(f"  {rank:2d}. VS {bag_id:4d}  frames {lo}-{hi}")
+    return 0
+
+
+def _cmd_label(args) -> int:
+    from repro.db import SemanticQuerySession, VideoDatabase
+
+    labels = {b: True for b in _ids(args.relevant)}
+    labels.update({b: False for b in _ids(args.irrelevant)})
+    if not labels:
+        print("nothing to label: pass --relevant and/or --irrelevant",
+              file=sys.stderr)
+        return 2
+    with VideoDatabase(args.db) as db:
+        session = SemanticQuerySession(
+            db, args.clip, args.event, user_id=args.user)
+        session.feed(labels)
+        print(f"recorded round {session.round_index - 1}: "
+              f"{sum(labels.values())} relevant, "
+              f"{len(labels) - sum(labels.values())} irrelevant")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.eval import experiments
+    from repro.eval.reporting import comparison_table
+
+    import inspect
+
+    runner = getattr(experiments, args.name)
+    accepted = inspect.signature(runner).parameters
+    kwargs = {}
+    if args.mode is not None and "mode" in accepted:
+        kwargs["mode"] = args.mode
+    if args.seed is not None and "seed" in accepted:
+        kwargs["seed"] = args.seed
+    result = runner(**kwargs)
+    print(comparison_table(result, with_chart=args.chart))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.eval.report import generate_report
+
+    names = ([part.strip() for part in args.only.split(",") if part.strip()]
+             if args.only else None)
+    text = generate_report(names=names, out_path=args.out,
+                           progress=lambda line: print(line))
+    if args.out:
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_delete_clip(args) -> int:
+    from repro.db import VideoDatabase
+
+    with VideoDatabase(args.db) as db:
+        db.delete_clip(args.clip)
+    print(f"deleted clip {args.clip!r} from {args.db}")
+    return 0
+
+
+def _cmd_export_clip(args) -> int:
+    from repro.db import VideoDatabase
+
+    with VideoDatabase(args.db) as db:
+        db.export_clip(args.clip, args.out)
+    print(f"exported clip {args.clip!r} to {args.out}")
+    return 0
+
+
+def _cmd_import_clip(args) -> int:
+    from repro.db import VideoDatabase
+
+    with VideoDatabase(args.db) as db:
+        record = db.import_clip(args.bundle, replace=args.replace)
+    print(f"imported clip {record.clip_id!r} into {args.db}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "clips": _cmd_clips,
+    "info": _cmd_info,
+    "query": _cmd_query,
+    "label": _cmd_label,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+    "delete-clip": _cmd_delete_clip,
+    "export-clip": _cmd_export_clip,
+    "import-clip": _cmd_import_clip,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""The paper's contribution: MIL + relevance-feedback retrieval.
+
+* :mod:`repro.core.bags` — Video Sequences as MIL bags, Trajectory
+  Sequences as instances (paper Eq. 3-4).
+* :mod:`repro.core.heuristics` — the initial, feedback-free ranking.
+* :mod:`repro.core.engine` — the One-class-SVM MIL retrieval engine
+  (paper Section 5).
+* :mod:`repro.core.weighted_rf` — the weighted relevance-feedback
+  baseline the paper compares against (Section 6.2).
+* :mod:`repro.core.feedback` — the interactive loop and the oracle user.
+* :mod:`repro.core.diverse_density` / :mod:`repro.core.emdd` — extension
+  MIL baselines from the paper's literature review (Section 2.1).
+"""
+
+from repro.core.bags import Bag, Instance, MILDataset, merge_datasets
+from repro.core.base import InstanceExplanation, RetrievalEngine
+from repro.core.active import ActiveRetrievalSession
+from repro.core.heuristics import heuristic_scores, normalize_features
+from repro.core.engine import MILRetrievalEngine
+from repro.core.weighted_rf import WeightedRFEngine
+from repro.core.feedback import MultiClipOracle, OracleUser, RetrievalSession
+from repro.core.diverse_density import DiverseDensityEngine
+from repro.core.emdd import EMDDEngine
+from repro.core.query_types import (
+    CombinedQueryEngine,
+    ExampleQueryEngine,
+    sketch_to_example,
+)
+
+__all__ = [
+    "Bag",
+    "Instance",
+    "MILDataset",
+    "merge_datasets",
+    "MultiClipOracle",
+    "heuristic_scores",
+    "normalize_features",
+    "MILRetrievalEngine",
+    "WeightedRFEngine",
+    "OracleUser",
+    "RetrievalSession",
+    "DiverseDensityEngine",
+    "EMDDEngine",
+    "ExampleQueryEngine",
+    "CombinedQueryEngine",
+    "sketch_to_example",
+    "RetrievalEngine",
+    "InstanceExplanation",
+    "ActiveRetrievalSession",
+]

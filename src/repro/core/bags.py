@@ -1,0 +1,188 @@
+"""MIL data structures: bags (Video Sequences) and instances (Trajectory
+Sequences).
+
+Paper Section 5.1, Eq. (3)-(4): a bag is positive iff at least one of its
+instances is positive; a negative bag has only negative instances.  Bag
+labels come from relevance feedback, instance labels stay latent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Instance", "Bag", "MILDataset", "merge_datasets"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One Trajectory Sequence inside one Video Sequence.
+
+    ``matrix`` is the (window_size, n_features) per-checkpoint feature
+    matrix; ``vector`` is its flattened form — the representation the
+    One-class SVM learns from ("the One-class SVM learns from the entire
+    trajectory sequence ... not only the highest scored sampling point",
+    paper Section 5.3).
+    """
+
+    instance_id: int
+    bag_id: int
+    track_id: int
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.size == 0:
+            raise ConfigurationError(
+                f"instance matrix must be non-empty 2-D, got shape "
+                f"{matrix.shape}"
+            )
+        object.__setattr__(self, "matrix", matrix)
+
+    @property
+    def vector(self) -> np.ndarray:
+        return self.matrix.ravel()
+
+    @property
+    def window_size(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.matrix.shape[1]
+
+
+@dataclass(frozen=True)
+class Bag:
+    """One Video Sequence: a frame window and its contained instances."""
+
+    bag_id: int
+    clip_id: str
+    frame_lo: int
+    frame_hi: int
+    instances: tuple[Instance, ...]
+
+    def __post_init__(self) -> None:
+        if self.frame_hi < self.frame_lo:
+            raise ConfigurationError(
+                f"bag {self.bag_id}: frame_hi {self.frame_hi} < frame_lo "
+                f"{self.frame_lo}"
+            )
+        for inst in self.instances:
+            if inst.bag_id != self.bag_id:
+                raise ConfigurationError(
+                    f"instance {inst.instance_id} carries bag_id "
+                    f"{inst.bag_id}, expected {self.bag_id}"
+                )
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def frame_range(self) -> tuple[int, int]:
+        return (self.frame_lo, self.frame_hi)
+
+    def instance_matrix(self) -> np.ndarray:
+        """(n_instances, window*features) stacked instance vectors."""
+        if not self.instances:
+            return np.empty((0, 0))
+        return np.stack([inst.vector for inst in self.instances])
+
+
+@dataclass
+class MILDataset:
+    """All bags of one clip for one event model."""
+
+    clip_id: str
+    event_name: str
+    feature_names: tuple[str, ...]
+    window_size: int
+    sampling_rate: int
+    bags: list[Bag] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.bags)
+
+    def __iter__(self) -> Iterator[Bag]:
+        return iter(self.bags)
+
+    @property
+    def n_instances(self) -> int:
+        return sum(b.n_instances for b in self.bags)
+
+    def bag_by_id(self, bag_id: int) -> Bag:
+        for bag in self.bags:
+            if bag.bag_id == bag_id:
+                return bag
+        raise ConfigurationError(f"no bag with id {bag_id}")
+
+    def all_instances(self) -> list[Instance]:
+        return [inst for bag in self.bags for inst in bag.instances]
+
+    def instance_matrix(self) -> np.ndarray:
+        """(total_instances, window*features) matrix over the dataset."""
+        instances = self.all_instances()
+        if not instances:
+            raise ConfigurationError(
+                f"dataset for clip {self.clip_id!r} has no instances"
+            )
+        return np.stack([inst.vector for inst in instances])
+
+    def non_empty_bags(self) -> list[Bag]:
+        return [b for b in self.bags if b.n_instances > 0]
+
+    def frame_windows(self) -> list[tuple[int, int]]:
+        return [(b.frame_lo, b.frame_hi) for b in self.bags]
+
+
+def merge_datasets(datasets: list["MILDataset"],
+                   merged_id: str = "merged") -> "MILDataset":
+    """Merge per-clip datasets into one retrievable corpus.
+
+    This is the paper's "ideally, all the video clips ... shall be mined
+    and retrieved as a whole" (Section 6.2): bags keep their source
+    ``clip_id`` (so a user/oracle can still judge them against the right
+    clip) while bag and instance ids are renumbered to be globally
+    unique.  All datasets must share the event model and windowing.
+    """
+    if not datasets:
+        raise ConfigurationError("merge_datasets needs >= 1 dataset")
+    head = datasets[0]
+    for ds in datasets[1:]:
+        if (ds.event_name != head.event_name
+                or ds.feature_names != head.feature_names
+                or ds.window_size != head.window_size
+                or ds.sampling_rate != head.sampling_rate):
+            raise ConfigurationError(
+                f"dataset {ds.clip_id!r} is not compatible with "
+                f"{head.clip_id!r} (event/features/windowing differ)"
+            )
+    merged = MILDataset(
+        clip_id=merged_id,
+        event_name=head.event_name,
+        feature_names=head.feature_names,
+        window_size=head.window_size,
+        sampling_rate=head.sampling_rate,
+    )
+    next_bag, next_inst = 0, 0
+    for ds in datasets:
+        for bag in ds.bags:
+            instances = []
+            for inst in bag.instances:
+                instances.append(Instance(
+                    instance_id=next_inst, bag_id=next_bag,
+                    track_id=inst.track_id, matrix=inst.matrix,
+                ))
+                next_inst += 1
+            merged.bags.append(Bag(
+                bag_id=next_bag, clip_id=bag.clip_id,
+                frame_lo=bag.frame_lo, frame_hi=bag.frame_hi,
+                instances=tuple(instances),
+            ))
+            next_bag += 1
+    return merged

@@ -1,0 +1,186 @@
+"""The paper's MIL retrieval engine: One-class SVM over TS vectors.
+
+Section 5.3: the training set collects the Trajectory Sequences of the
+bags the user confirmed relevant; the One-class SVM "learns from the
+entire trajectory sequence (TS) within the window" — the flattened
+(window x features) vector — with outlier fraction
+
+    delta = 1 - (h / H + z)                      (paper Eq. 9)
+
+where ``h`` is the number of relevant VSs, ``H`` the number of TSs in the
+training set and ``z`` a small slack (0.05 in the paper).  Every TS in
+the database is then scored by the SVM decision value and each VS by the
+maximum over its TSs (the Eq. 3 bag semantics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bags import Bag, MILDataset
+from repro.core.base import RetrievalEngine
+from repro.errors import ConfigurationError
+from repro.svm.kernels import Kernel
+from repro.svm.one_class import OneClassSVM
+from repro.svm.scaling import StandardScaler
+from repro.utils import check_in_range
+
+__all__ = ["MILRetrievalEngine"]
+
+
+def _parse_policy(policy: str) -> int | None:
+    """'all' -> None (no cap); 'top<m>' -> m."""
+    if policy == "all":
+        return None
+    if policy.startswith("top"):
+        try:
+            m = int(policy[3:])
+        except ValueError:
+            m = 0
+        if m >= 1:
+            return m
+    raise ConfigurationError(
+        f"training_policy must be 'all' or 'top<m>' (m >= 1), got "
+        f"{policy!r}"
+    )
+
+
+class MILRetrievalEngine(RetrievalEngine):
+    """Interactive MIL retrieval with a One-class SVM core.
+
+    Parameters
+    ----------
+    dataset:
+        The clip's bags/instances for one event model.
+    z:
+        Slack of Eq. (9); the paper reports z = 0.05 "works well".
+    kernel / gamma:
+        Passed to :class:`~repro.svm.one_class.OneClassSVM`.  Default is
+        RBF with gamma = 1/d on the standardized TS vectors; gamma =
+        "scale" is a poor choice here because the training set consists
+        of feature *spikes* whose variance is far above the dataset's.
+    training_policy:
+        How "the highest scored TSs in the relevant VSs" (Section 5.3)
+        are collected: ``"top<m>"`` takes the m highest heuristic-scored
+        TSs per relevant bag (default ``"top1"``, the paper's literal
+        reading), ``"all"`` takes every TS (the reading under which
+        Eq. 9's h/H ratio is informative).  Under Eq. 9 the outlier
+        fraction expels the collected-but-irrelevant extras.
+    nu_bounds:
+        Clipping range for the computed outlier fraction.
+    warm_start:
+        Seed each round's SMO solve with the previous round's alphas
+        (matched by instance id, projected to feasibility).  Same optimum
+        within solver tolerance, fewer iterations per round.
+    learner:
+        ``"ocsvm"`` (Schoelkopf's hyperplane machine, the paper's cited
+        learner) or ``"svdd"`` (Tax & Duin's hypersphere — the "ball" of
+        the paper's Figure 5).  Equivalent rankings under RBF kernels;
+        they differ for linear/polynomial kernels.
+    """
+
+    def __init__(
+        self,
+        dataset: MILDataset,
+        *,
+        z: float = 0.05,
+        kernel: str | Kernel = "rbf",
+        gamma: float | str = "auto",
+        training_policy: str = "top1",
+        nu_bounds: tuple[float, float] = (0.05, 0.95),
+        warm_start: bool = False,
+        learner: str = "ocsvm",
+    ) -> None:
+        super().__init__(dataset)
+        check_in_range("z", z, 0.0, 0.5)
+        self._top_m = _parse_policy(training_policy)
+        lo, hi = nu_bounds
+        check_in_range("nu lower bound", lo, 0.0, 1.0, inclusive=(False, True))
+        check_in_range("nu upper bound", hi, lo, 1.0)
+        if learner not in ("ocsvm", "svdd"):
+            raise ConfigurationError(
+                f"learner must be 'ocsvm' or 'svdd', got {learner!r}"
+            )
+        self.z = float(z)
+        self.kernel = kernel
+        self.gamma = gamma
+        self.training_policy = training_policy
+        self.nu_bounds = (float(lo), float(hi))
+        self.learner = learner
+
+        self._scaler = StandardScaler()
+        instances = dataset.all_instances()
+        self._vectors = {
+            inst.instance_id: inst.vector for inst in instances
+        }
+        self._scaler.fit(np.stack([v for v in self._vectors.values()]))
+        self._model: OneClassSVM | None = None
+        self.warm_start = bool(warm_start)
+        self._previous_alpha: dict[int, float] = {}
+        self.last_nu_: float | None = None
+        self.training_size_: int = 0
+
+    # -- training set construction ----------------------------------------
+    def _training_instance_ids(self, relevant_bags: list[Bag]) -> list[int]:
+        ids: list[int] = []
+        for bag in relevant_bags:
+            if not bag.instances:
+                continue
+            ranked = sorted(
+                bag.instances,
+                key=lambda i:
+                    self._heuristic_instance_scores[i.instance_id],
+                reverse=True,
+            )
+            take = len(ranked) if self._top_m is None else self._top_m
+            ids.extend(inst.instance_id for inst in ranked[:take])
+        return ids
+
+    def _compute_nu(self, n_relevant_bags: int, n_training: int) -> float:
+        nu = 1.0 - (n_relevant_bags / n_training + self.z)
+        return float(np.clip(nu, *self.nu_bounds))
+
+    # -- RetrievalEngine hooks ----------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        return self._model is not None
+
+    def _retrain(self) -> None:
+        relevant = [
+            self.dataset.bag_by_id(b) for b in self.relevant_bag_ids
+        ]
+        training_ids = self._training_instance_ids(relevant)
+        if not training_ids:
+            self._model = None
+            return
+        x = self._scaler.transform(
+            np.stack([self._vectors[i] for i in training_ids])
+        )
+        nu = self._compute_nu(len(relevant), len(training_ids))
+        self.last_nu_ = nu
+        self.training_size_ = len(training_ids)
+        if self.learner == "svdd":
+            from repro.svm.svdd import SVDD
+
+            self._model = SVDD(nu=nu, kernel=self.kernel,
+                               gamma=self.gamma).fit(x)
+            return
+        alpha0 = None
+        if self.warm_start and self._previous_alpha:
+            alpha0 = np.array([
+                self._previous_alpha.get(i, 0.0) for i in training_ids
+            ])
+        self._model = OneClassSVM(nu=nu, kernel=self.kernel,
+                                  gamma=self.gamma).fit(x, alpha0=alpha0)
+        if self.warm_start:
+            assert self._model.alpha_ is not None
+            self._previous_alpha = dict(
+                zip(training_ids, self._model.alpha_)
+            )
+
+    def _instance_scores(self) -> dict[int, float]:
+        assert self._model is not None, "scored before any relevant feedback"
+        ids = list(self._vectors)
+        x = self._scaler.transform(np.stack([self._vectors[i] for i in ids]))
+        decisions = self._model.decision_function(x)
+        return dict(zip(ids, decisions.astype(float)))

@@ -1,0 +1,486 @@
+"""SQLite-backed video database catalog.
+
+Stores clips with their metadata, per-vehicle tracks (raw points in the
+array store plus the paper's compact polynomial trajectory model in the
+catalog), MIL datasets (Video Sequences / Trajectory Sequences per event
+model) and accumulated relevance-feedback labels.
+
+The database is the integration point of the whole system: the ingest
+path (simulate/record -> segment -> track -> model -> window) writes,
+the query path (:mod:`repro.db.query`) reads and appends labels.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bags import Bag, Instance, MILDataset
+from repro.db.schema import ClipRecord, LabelRecord, TrackRecord
+from repro.db.storage import ArrayStore, InMemoryArrayStore, NpzArrayStore
+from repro.errors import StorageError
+from repro.trajectory.curve import TrajectoryModel
+
+__all__ = ["VideoDatabase"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS clips (
+    clip_id     TEXT PRIMARY KEY,
+    location    TEXT NOT NULL DEFAULT '',
+    camera      TEXT NOT NULL DEFAULT '',
+    start_time  TEXT NOT NULL DEFAULT '',
+    fps         REAL NOT NULL,
+    n_frames    INTEGER NOT NULL,
+    width       INTEGER NOT NULL,
+    height      INTEGER NOT NULL,
+    extra       TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS tracks (
+    clip_id     TEXT NOT NULL REFERENCES clips(clip_id),
+    track_id    INTEGER NOT NULL,
+    first_frame INTEGER NOT NULL,
+    last_frame  INTEGER NOT NULL,
+    n_points    INTEGER NOT NULL,
+    degree      INTEGER NOT NULL,
+    coeff_x     TEXT NOT NULL,
+    coeff_y     TEXT NOT NULL,
+    shift       REAL NOT NULL,
+    scale       REAL NOT NULL,
+    rms_error   REAL NOT NULL,
+    vehicle_class TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (clip_id, track_id)
+);
+CREATE TABLE IF NOT EXISTS datasets (
+    clip_id       TEXT NOT NULL REFERENCES clips(clip_id),
+    event         TEXT NOT NULL,
+    feature_names TEXT NOT NULL,
+    window_size   INTEGER NOT NULL,
+    sampling_rate INTEGER NOT NULL,
+    PRIMARY KEY (clip_id, event)
+);
+CREATE TABLE IF NOT EXISTS bags (
+    clip_id  TEXT NOT NULL,
+    event    TEXT NOT NULL,
+    bag_id   INTEGER NOT NULL,
+    frame_lo INTEGER NOT NULL,
+    frame_hi INTEGER NOT NULL,
+    PRIMARY KEY (clip_id, event, bag_id)
+);
+CREATE TABLE IF NOT EXISTS instances (
+    clip_id     TEXT NOT NULL,
+    event       TEXT NOT NULL,
+    instance_id INTEGER NOT NULL,
+    bag_id      INTEGER NOT NULL,
+    track_id    INTEGER NOT NULL,
+    PRIMARY KEY (clip_id, event, instance_id)
+);
+CREATE TABLE IF NOT EXISTS labels (
+    clip_id     TEXT NOT NULL,
+    event       TEXT NOT NULL,
+    bag_id      INTEGER NOT NULL,
+    user_id     TEXT NOT NULL,
+    round_index INTEGER NOT NULL,
+    relevant    INTEGER NOT NULL,
+    PRIMARY KEY (clip_id, event, bag_id, user_id, round_index)
+);
+CREATE INDEX IF NOT EXISTS idx_labels_query
+    ON labels (clip_id, event, user_id);
+"""
+
+
+def _floats_to_text(values) -> str:
+    return ",".join(repr(float(v)) for v in values)
+
+
+def _text_to_floats(text: str) -> tuple[float, ...]:
+    return tuple(float(v) for v in text.split(",")) if text else ()
+
+
+class VideoDatabase:
+    """Catalog + array store facade.
+
+    Parameters
+    ----------
+    path:
+        SQLite file path, or ``":memory:"`` (default) for an ephemeral
+        database with an in-memory array store.
+    array_store:
+        Override the bulk-array backend; defaults to in-memory for
+        ``:memory:`` and an npz directory next to the SQLite file
+        otherwise.
+    """
+
+    def __init__(self, path: str | Path = ":memory:",
+                 array_store: ArrayStore | None = None) -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+        if array_store is not None:
+            self.arrays = array_store
+        elif self.path == ":memory:":
+            self.arrays = InMemoryArrayStore()
+        else:
+            self.arrays = NpzArrayStore(Path(self.path).parent
+                                        / (Path(self.path).stem + "_arrays"))
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "VideoDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- clips
+    def add_clip(self, record: ClipRecord) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO clips VALUES (?,?,?,?,?,?,?,?,?)",
+                (record.clip_id, record.location, record.camera,
+                 record.start_time, record.fps, record.n_frames,
+                 record.width, record.height, record.extra_json()),
+            )
+
+    def clip(self, clip_id: str) -> ClipRecord:
+        row = self._conn.execute(
+            "SELECT * FROM clips WHERE clip_id = ?", (clip_id,)
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no clip {clip_id!r} in database")
+        return ClipRecord(
+            clip_id=row[0], location=row[1], camera=row[2], start_time=row[3],
+            fps=row[4], n_frames=row[5], width=row[6], height=row[7],
+            extra=ClipRecord.extra_from_json(row[8]),
+        )
+
+    def clips(self, *, location: str | None = None,
+              camera: str | None = None) -> list[ClipRecord]:
+        """List clips, optionally filtered by metadata (the paper's
+        time/place organization)."""
+        sql = "SELECT clip_id FROM clips"
+        clauses, params = [], []
+        if location is not None:
+            clauses.append("location = ?")
+            params.append(location)
+        if camera is not None:
+            clauses.append("camera = ?")
+            params.append(camera)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY clip_id"
+        return [self.clip(r[0]) for r in self._conn.execute(sql, params)]
+
+    # ------------------------------------------------------------ tracks
+    def add_tracks(self, clip_id: str, tracks, *, degree: int = 4,
+                   vehicle_classes: dict[int, str] | None = None) -> None:
+        """Store tracks: raw points in the array store, polynomial
+        trajectory models (paper Section 3.2) in the catalog."""
+        self.clip(clip_id)  # must exist
+        classes = vehicle_classes or {}
+        rows = []
+        for track in tracks:
+            model = TrajectoryModel.from_track(track, degree=degree)
+            rows.append((
+                clip_id, track.track_id, track.first_frame, track.last_frame,
+                len(track), model.degree,
+                _floats_to_text(model.curve_x.coefficients),
+                _floats_to_text(model.curve_y.coefficients),
+                model.curve_x.shift, model.curve_x.scale,
+                model.rms_error, classes.get(track.track_id, ""),
+            ))
+            self.arrays.save(
+                f"{clip_id}/track-{track.track_id}",
+                {"frames": track.frame_array(), "points": track.point_array()},
+            )
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO tracks VALUES "
+                "(?,?,?,?,?,?,?,?,?,?,?,?)", rows)
+
+    def track_records(self, clip_id: str) -> list[TrackRecord]:
+        rows = self._conn.execute(
+            "SELECT * FROM tracks WHERE clip_id = ? ORDER BY track_id",
+            (clip_id,),
+        ).fetchall()
+        return [
+            TrackRecord(
+                clip_id=r[0], track_id=r[1], first_frame=r[2],
+                last_frame=r[3], n_points=r[4], degree=r[5],
+                coeff_x=_text_to_floats(r[6]), coeff_y=_text_to_floats(r[7]),
+                shift=r[8], scale=r[9], rms_error=r[10], vehicle_class=r[11],
+            )
+            for r in rows
+        ]
+
+    def track_points(self, clip_id: str,
+                     track_id: int) -> tuple[np.ndarray, np.ndarray]:
+        bundle = self.arrays.load(f"{clip_id}/track-{track_id}")
+        return bundle["frames"], bundle["points"]
+
+    def vehicle_classes(self, clip_id: str) -> dict[int, str]:
+        """track_id -> stored vehicle class (empty string if unknown)."""
+        rows = self._conn.execute(
+            "SELECT track_id, vehicle_class FROM tracks WHERE clip_id = ?",
+            (clip_id,),
+        ).fetchall()
+        return {int(r[0]): r[1] for r in rows}
+
+    # ---------------------------------------------------------- datasets
+    def add_dataset(self, dataset: MILDataset) -> None:
+        """Store a MIL dataset (bags + instances + feature matrices)."""
+        self.clip(dataset.clip_id)
+        instances = dataset.all_instances()
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO datasets VALUES (?,?,?,?,?)",
+                (dataset.clip_id, dataset.event_name,
+                 ",".join(dataset.feature_names), dataset.window_size,
+                 dataset.sampling_rate),
+            )
+            self._conn.execute(
+                "DELETE FROM bags WHERE clip_id=? AND event=?",
+                (dataset.clip_id, dataset.event_name))
+            self._conn.execute(
+                "DELETE FROM instances WHERE clip_id=? AND event=?",
+                (dataset.clip_id, dataset.event_name))
+            self._conn.executemany(
+                "INSERT INTO bags VALUES (?,?,?,?,?)",
+                [(dataset.clip_id, dataset.event_name, b.bag_id,
+                  b.frame_lo, b.frame_hi) for b in dataset.bags],
+            )
+            self._conn.executemany(
+                "INSERT INTO instances VALUES (?,?,?,?,?)",
+                [(dataset.clip_id, dataset.event_name, i.instance_id,
+                  i.bag_id, i.track_id) for i in instances],
+            )
+        if instances:
+            self.arrays.save(
+                f"{dataset.clip_id}/dataset-{dataset.event_name}",
+                {
+                    "instance_ids": np.array(
+                        [i.instance_id for i in instances]),
+                    "matrices": np.stack([i.matrix for i in instances]),
+                },
+            )
+
+    def dataset(self, clip_id: str, event_name: str) -> MILDataset:
+        """Reconstruct a stored MIL dataset."""
+        meta = self._conn.execute(
+            "SELECT feature_names, window_size, sampling_rate FROM datasets"
+            " WHERE clip_id=? AND event=?", (clip_id, event_name),
+        ).fetchone()
+        if meta is None:
+            raise StorageError(
+                f"no dataset for clip {clip_id!r} / event {event_name!r}"
+            )
+        feature_names = tuple(meta[0].split(","))
+        matrices: dict[int, np.ndarray] = {}
+        key = f"{clip_id}/dataset-{event_name}"
+        if self.arrays.exists(key):
+            bundle = self.arrays.load(key)
+            for iid, matrix in zip(bundle["instance_ids"],
+                                   bundle["matrices"]):
+                matrices[int(iid)] = matrix
+        inst_rows = self._conn.execute(
+            "SELECT instance_id, bag_id, track_id FROM instances"
+            " WHERE clip_id=? AND event=? ORDER BY instance_id",
+            (clip_id, event_name),
+        ).fetchall()
+        by_bag: dict[int, list[Instance]] = {}
+        for iid, bag_id, track_id in inst_rows:
+            by_bag.setdefault(bag_id, []).append(
+                Instance(instance_id=iid, bag_id=bag_id, track_id=track_id,
+                         matrix=matrices[iid])
+            )
+        bag_rows = self._conn.execute(
+            "SELECT bag_id, frame_lo, frame_hi FROM bags"
+            " WHERE clip_id=? AND event=? ORDER BY bag_id",
+            (clip_id, event_name),
+        ).fetchall()
+        bags = [
+            Bag(bag_id=bid, clip_id=clip_id, frame_lo=lo, frame_hi=hi,
+                instances=tuple(by_bag.get(bid, ())))
+            for bid, lo, hi in bag_rows
+        ]
+        return MILDataset(clip_id=clip_id, event_name=event_name,
+                          feature_names=feature_names,
+                          window_size=meta[1], sampling_rate=meta[2],
+                          bags=bags)
+
+    def events_for(self, clip_id: str) -> list[str]:
+        rows = self._conn.execute(
+            "SELECT event FROM datasets WHERE clip_id=? ORDER BY event",
+            (clip_id,)).fetchall()
+        return [r[0] for r in rows]
+
+    # ------------------------------------------------------------ labels
+    def add_labels(self, labels: list[LabelRecord]) -> None:
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO labels VALUES (?,?,?,?,?,?)",
+                [(l.clip_id, l.event_name, l.bag_id, l.user_id,
+                  l.round_index, int(l.relevant)) for l in labels],
+            )
+
+    def labels(self, clip_id: str, event_name: str,
+               user_id: str | None = None) -> list[LabelRecord]:
+        sql = ("SELECT clip_id, event, bag_id, user_id, round_index,"
+               " relevant FROM labels WHERE clip_id=? AND event=?")
+        params: list = [clip_id, event_name]
+        if user_id is not None:
+            sql += " AND user_id=?"
+            params.append(user_id)
+        sql += " ORDER BY round_index, bag_id"
+        return [
+            LabelRecord(clip_id=r[0], event_name=r[1], bag_id=r[2],
+                        user_id=r[3], round_index=r[4], relevant=bool(r[5]))
+            for r in self._conn.execute(sql, params)
+        ]
+
+    def accumulated_labels(self, clip_id: str, event_name: str,
+                           user_id: str) -> dict[int, bool]:
+        """Latest label per bag for one user (later rounds win)."""
+        out: dict[int, bool] = {}
+        for rec in self.labels(clip_id, event_name, user_id):
+            out[rec.bag_id] = rec.relevant
+        return out
+
+    # ------------------------------------------------------- maintenance
+    def _array_keys_for(self, clip_id: str) -> list[str]:
+        prefix = f"{clip_id}/"
+        return [k for k in self.arrays.keys() if k.startswith(prefix)]
+
+    def delete_clip(self, clip_id: str) -> None:
+        """Remove a clip and everything derived from it.
+
+        Deletes catalog rows (tracks, datasets, bags, instances, labels,
+        the clip itself) and the clip's bulk arrays.  Raises
+        :class:`StorageError` if the clip does not exist.
+        """
+        self.clip(clip_id)  # existence check
+        with self._conn:
+            for table in ("labels", "instances", "bags", "datasets",
+                          "tracks"):
+                self._conn.execute(
+                    f"DELETE FROM {table} WHERE clip_id = ?", (clip_id,))
+            self._conn.execute("DELETE FROM clips WHERE clip_id = ?",
+                               (clip_id,))
+        for key in self._array_keys_for(clip_id):
+            self.arrays.delete(key)
+
+    def export_clip(self, clip_id: str, path: str | Path) -> None:
+        """Write one clip (catalog rows + arrays) to a portable npz file."""
+        import json
+
+        record = self.clip(clip_id)
+        manifest = {
+            "format": "repro-clip-bundle-v1",
+            "clip": {
+                "clip_id": record.clip_id, "location": record.location,
+                "camera": record.camera, "start_time": record.start_time,
+                "fps": record.fps, "n_frames": record.n_frames,
+                "width": record.width, "height": record.height,
+                "extra": record.extra,
+            },
+            "tracks": [
+                r for r in self._conn.execute(
+                    "SELECT * FROM tracks WHERE clip_id=?", (clip_id,))
+            ],
+            "datasets": [
+                r for r in self._conn.execute(
+                    "SELECT * FROM datasets WHERE clip_id=?", (clip_id,))
+            ],
+            "bags": [
+                r for r in self._conn.execute(
+                    "SELECT * FROM bags WHERE clip_id=?", (clip_id,))
+            ],
+            "instances": [
+                r for r in self._conn.execute(
+                    "SELECT * FROM instances WHERE clip_id=?", (clip_id,))
+            ],
+            "labels": [
+                r for r in self._conn.execute(
+                    "SELECT * FROM labels WHERE clip_id=?", (clip_id,))
+            ],
+        }
+        payload: dict[str, np.ndarray] = {
+            "manifest": np.frombuffer(
+                json.dumps(manifest).encode("utf-8"), dtype=np.uint8),
+        }
+        for key in self._array_keys_for(clip_id):
+            bundle = self.arrays.load(key)
+            for name, array in bundle.items():
+                payload[f"array::{key}::{name}"] = array
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+
+    def import_clip(self, path: str | Path, *,
+                    replace: bool = False) -> ClipRecord:
+        """Load a clip bundle written by :meth:`export_clip`."""
+        import json
+
+        with np.load(path) as bundle:
+            manifest = json.loads(bytes(bundle["manifest"]).decode("utf-8"))
+            if manifest.get("format") != "repro-clip-bundle-v1":
+                raise StorageError(
+                    f"{path} is not a repro clip bundle"
+                )
+            clip_id = manifest["clip"]["clip_id"]
+            exists = self._conn.execute(
+                "SELECT 1 FROM clips WHERE clip_id=?", (clip_id,)
+            ).fetchone()
+            if exists:
+                if not replace:
+                    raise StorageError(
+                        f"clip {clip_id!r} already exists "
+                        f"(pass replace=True to overwrite)"
+                    )
+                self.delete_clip(clip_id)
+            record = ClipRecord(**manifest["clip"])
+            self.add_clip(record)
+            with self._conn:
+                for table in ("tracks", "datasets", "bags", "instances",
+                              "labels"):
+                    rows = [tuple(r) for r in manifest[table]]
+                    if not rows:
+                        continue
+                    placeholders = ",".join("?" * len(rows[0]))
+                    self._conn.executemany(
+                        f"INSERT INTO {table} VALUES ({placeholders})",
+                        rows)
+            arrays: dict[str, dict[str, np.ndarray]] = {}
+            for name in bundle.files:
+                if not name.startswith("array::"):
+                    continue
+                _, key, array_name = name.split("::", 2)
+                arrays.setdefault(key, {})[array_name] = bundle[name]
+            for key, named in arrays.items():
+                self.arrays.save(key, named)
+        return record
+
+    # ------------------------------------------------------------ ingest
+    def ingest_simulation(self, result, tracks, dataset,
+                          *, start_time: str = "",
+                          vehicle_classes: dict[int, str] | None = None
+                          ) -> ClipRecord:
+        """Convenience: store a simulated clip + tracks + MIL dataset."""
+        record = ClipRecord(
+            clip_id=result.name,
+            location=str(result.metadata.get("location", "")),
+            camera=str(result.metadata.get("camera", "")),
+            start_time=start_time,
+            fps=25.0,
+            n_frames=result.n_frames,
+            width=result.width,
+            height=result.height,
+            extra={"scenario": result.metadata.get("scenario", "")},
+        )
+        self.add_clip(record)
+        self.add_tracks(record.clip_id, tracks,
+                        vehicle_classes=vehicle_classes)
+        self.add_dataset(dataset)
+        return record

@@ -1,0 +1,87 @@
+"""Typed records stored in the video database catalog."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["ClipRecord", "TrackRecord", "LabelRecord"]
+
+
+@dataclass(frozen=True)
+class ClipRecord:
+    """Catalog entry for one surveillance clip (paper: "organized with
+    the corresponding metadata such as the time and place")."""
+
+    clip_id: str
+    location: str = ""
+    camera: str = ""
+    start_time: str = ""  # ISO-8601 wall-clock time of frame 0
+    fps: float = 25.0
+    n_frames: int = 0
+    width: int = 0
+    height: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.clip_id:
+            raise StorageError("clip_id must be non-empty")
+        if self.fps <= 0:
+            raise StorageError(f"clip {self.clip_id}: fps must be > 0")
+
+    def extra_json(self) -> str:
+        return json.dumps(self.extra, sort_keys=True)
+
+    @staticmethod
+    def extra_from_json(text: str) -> dict:
+        return json.loads(text) if text else {}
+
+
+@dataclass(frozen=True)
+class TrackRecord:
+    """One stored vehicle track: span, size, vehicle class, and the
+    compact polynomial trajectory model of paper Section 3.2."""
+
+    clip_id: str
+    track_id: int
+    first_frame: int
+    last_frame: int
+    n_points: int
+    degree: int
+    coeff_x: tuple[float, ...]
+    coeff_y: tuple[float, ...]
+    shift: float
+    scale: float
+    rms_error: float
+    vehicle_class: str = ""
+
+    def curves(self):
+        """Rebuild the (x(t), y(t)) polynomial curves."""
+        from repro.trajectory.curve import PolynomialCurve
+
+        return (
+            PolynomialCurve(np.asarray(self.coeff_x), shift=self.shift,
+                            scale=self.scale),
+            PolynomialCurve(np.asarray(self.coeff_y), shift=self.shift,
+                            scale=self.scale),
+        )
+
+    def position_at(self, frame: float) -> np.ndarray:
+        cx, cy = self.curves()
+        return np.array([cx(float(frame)), cy(float(frame))])
+
+
+@dataclass(frozen=True)
+class LabelRecord:
+    """One relevance-feedback label from one user in one round."""
+
+    clip_id: str
+    event_name: str
+    bag_id: int
+    user_id: str
+    round_index: int
+    relevant: bool

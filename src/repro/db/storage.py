@@ -1,0 +1,117 @@
+"""Array side-store for bulk numeric data (track points, TS matrices).
+
+The SQLite catalog keeps relational metadata; large numeric arrays live
+in an :class:`ArrayStore`.  Two backends: an in-memory dict (used with
+``:memory:`` databases and in tests) and an npz-file-per-key directory
+store for persistence.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["ArrayStore", "InMemoryArrayStore", "NpzArrayStore"]
+
+
+def _check_key(key: str) -> str:
+    if not key or any(part in ("", ".", "..") for part in key.split("/")):
+        raise StorageError(f"invalid array key {key!r}")
+    for ch in key:
+        if not (ch.isalnum() or ch in "/_-."):
+            raise StorageError(
+                f"invalid character {ch!r} in array key {key!r}"
+            )
+    return key
+
+
+class ArrayStore(ABC):
+    """Keyed storage of named numpy array bundles."""
+
+    @abstractmethod
+    def save(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        """Store a bundle of named arrays under ``key`` (overwrites)."""
+
+    @abstractmethod
+    def load(self, key: str) -> dict[str, np.ndarray]:
+        """Load a bundle; raises :class:`StorageError` if missing."""
+
+    @abstractmethod
+    def exists(self, key: str) -> bool: ...
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove a bundle (no-op when missing)."""
+
+    @abstractmethod
+    def keys(self) -> list[str]: ...
+
+
+class InMemoryArrayStore(ArrayStore):
+    """Dict-backed store; lifetime of the process."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, dict[str, np.ndarray]] = {}
+
+    def save(self, key, arrays):
+        _check_key(key)
+        self._data[key] = {k: np.asarray(v).copy() for k, v in arrays.items()}
+
+    def load(self, key):
+        try:
+            bundle = self._data[_check_key(key)]
+        except KeyError:
+            raise StorageError(f"no arrays stored under {key!r}") from None
+        return {k: v.copy() for k, v in bundle.items()}
+
+    def exists(self, key):
+        return key in self._data
+
+    def delete(self, key):
+        self._data.pop(key, None)
+
+    def keys(self):
+        return sorted(self._data)
+
+
+class NpzArrayStore(ArrayStore):
+    """One compressed .npz file per key under a root directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / (_check_key(key).replace("/", "__") + ".npz")
+
+    def save(self, key, arrays):
+        path = self._path(key)
+        tmp = path.with_suffix(".npz.tmp")
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **{k: np.asarray(v)
+                                       for k, v in arrays.items()})
+        tmp.replace(path)  # atomic on POSIX: readers never see half a file
+
+    def load(self, key):
+        path = self._path(key)
+        if not path.exists():
+            raise StorageError(f"no arrays stored under {key!r}")
+        with np.load(path) as bundle:
+            return {k: bundle[k].copy() for k in bundle.files}
+
+    def exists(self, key):
+        return self._path(key).exists()
+
+    def delete(self, key):
+        path = self._path(key)
+        if path.exists():
+            path.unlink()
+
+    def keys(self):
+        return sorted(
+            p.stem.replace("__", "/") for p in self.root.glob("*.npz")
+        )

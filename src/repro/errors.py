@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before :meth:`fit` was called."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class StorageError(ReproError):
+    """A database/storage backend failed or was asked for a missing record."""
+
+
+class PipelineError(ReproError):
+    """A video-processing pipeline stage received unusable input."""

@@ -1,0 +1,452 @@
+"""Experiment runners — one per paper figure / in-text claim.
+
+Each returns an :class:`ExperimentResult` whose ``series`` maps a method
+or configuration label to its accuracy-per-round list, plus the paper's
+qualitative expectation so benchmark output can print paper-vs-measured
+side by side.  See DESIGN.md Section 4 for the experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.diverse_density import DiverseDensityEngine
+from repro.core.emdd import EMDDEngine
+from repro.core.engine import MILRetrievalEngine
+from repro.core.weighted_rf import WeightedRFEngine
+from repro.eval.pipeline import ClipArtifacts, build_artifacts
+from repro.eval.protocol import ProtocolResult, run_protocol
+from repro.events.features import SamplingConfig
+from repro.sim.scenarios import highway, intersection, tunnel
+
+__all__ = [
+    "ExperimentResult",
+    "figure8",
+    "figure9",
+    "ablation_z",
+    "ablation_normalization",
+    "ablation_window",
+    "ablation_step",
+    "ablation_sampling_rate",
+    "ablation_learner",
+    "other_events",
+    "mil_algorithms",
+    "cross_camera",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: per-method accuracy series + context."""
+
+    name: str
+    series: dict[str, list[float]]
+    expectation: str
+    metadata: dict = field(default_factory=dict)
+    protocols: dict[str, ProtocolResult] = field(default_factory=dict)
+
+    def add(self, label: str, protocol: ProtocolResult) -> None:
+        self.series[label] = protocol.accuracies
+        self.protocols[label] = protocol
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable summary (used by benchmark artifacts)."""
+        return {
+            "name": self.name,
+            "expectation": self.expectation,
+            "metadata": {k: _jsonable(v) for k, v in self.metadata.items()},
+            "series": {k: list(map(float, v))
+                       for k, v in self.series.items()},
+            "summary": {
+                label: {
+                    "initial": p.initial,
+                    "final": p.final,
+                    "gain": p.gain,
+                    "ceiling": p.ceiling,
+                    "n_relevant": p.n_relevant_total,
+                    "n_bags": p.n_bags,
+                }
+                for label, p in self.protocols.items()
+            },
+        }
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def _clip1(seed: int, mode: str) -> ClipArtifacts:
+    """Paper clip 1 analogue: the tunnel (2500 frames)."""
+    return build_artifacts(tunnel(seed=seed), mode=mode)
+
+
+def _clip2(seed: int, mode: str) -> ClipArtifacts:
+    """Paper clip 2 analogue: the intersection (600 frames)."""
+    return build_artifacts(intersection(seed=seed), mode=mode)
+
+
+def figure8(*, seed: int = 0, mode: str = "vision", rounds: int = 5,
+            top_k: int = 20) -> ExperimentResult:
+    """Figure 8: accuracy over RF rounds on clip 1 (tunnel).
+
+    Paper: both methods start at 40%; the MIL framework climbs steadily
+    to 60% while Weighted_RF gains only ~10 points overall and bounces
+    between 35% and 50% without further progress.
+    """
+    from repro.sim.stats import traffic_statistics
+
+    artifacts = _clip1(seed, mode)
+    stats = traffic_statistics(artifacts.result)
+    result = ExperimentResult(
+        name="figure8_tunnel",
+        series={},
+        expectation=("MIL+OCSVM gains steadily over rounds and ends well "
+                     "above Weighted_RF, whose overall gain is small"),
+        metadata={"seed": seed, "mode": mode,
+                  "n_bags": len(artifacts.dataset.bags),
+                  "n_instances": artifacts.dataset.n_instances,
+                  "n_relevant": len(artifacts.relevant_bag_ids),
+                  "concurrency": round(stats.mean_concurrency, 2)},
+    )
+    result.add("MIL_OCSVM", run_protocol(
+        artifacts, MILRetrievalEngine, method="MIL_OCSVM",
+        rounds=rounds, top_k=top_k))
+    result.add("Weighted_RF", run_protocol(
+        artifacts, WeightedRFEngine, method="Weighted_RF",
+        rounds=rounds, top_k=top_k))
+    return result
+
+
+def figure9(*, seed: int = 1, mode: str = "vision", rounds: int = 5,
+            top_k: int = 20) -> ExperimentResult:
+    """Figure 9: accuracy over RF rounds on clip 2 (intersection).
+
+    Paper: accidents involve two or more vehicles; the MIL framework's
+    gains are smaller than on clip 1 but it stays "far better" than
+    Weighted_RF, which degrades right after the initial round.
+    """
+    from repro.sim.stats import traffic_statistics
+
+    artifacts = _clip2(seed, mode)
+    stats = traffic_statistics(artifacts.result)
+    result = ExperimentResult(
+        name="figure9_intersection",
+        series={},
+        expectation=("MIL+OCSVM improves modestly; Weighted_RF falls to or "
+                     "below its initial accuracy right after round 0"),
+        metadata={"seed": seed, "mode": mode,
+                  "n_bags": len(artifacts.dataset.bags),
+                  "n_instances": artifacts.dataset.n_instances,
+                  "n_relevant": len(artifacts.relevant_bag_ids),
+                  "concurrency": round(stats.mean_concurrency, 2)},
+    )
+    result.add("MIL_OCSVM", run_protocol(
+        artifacts, MILRetrievalEngine, method="MIL_OCSVM",
+        rounds=rounds, top_k=top_k))
+    result.add("Weighted_RF", run_protocol(
+        artifacts, WeightedRFEngine, method="Weighted_RF",
+        rounds=rounds, top_k=top_k))
+    return result
+
+
+def ablation_z(*, zs: tuple[float, ...] = (0.0, 0.01, 0.05, 0.1, 0.2),
+               seed: int = 1, mode: str = "oracle",
+               scenario: str = "intersection",
+               training_policy: str = "all") -> ExperimentResult:
+    """Section 5.3 claim: "z = 0.05 works well" in Eq. (9).
+
+    Run with ``training_policy="all"`` so Eq. 9's h/H term (and hence z)
+    actually moves the outlier fraction.
+    """
+    builder = _clip2 if scenario == "intersection" else _clip1
+    artifacts = builder(seed, mode)
+    result = ExperimentResult(
+        name="ablation_z",
+        series={},
+        expectation=("accuracy is flat-topped around z=0.05; extreme z "
+                     "values clip nu and hurt"),
+        metadata={"seed": seed, "mode": mode, "scenario": scenario,
+                  "training_policy": training_policy},
+    )
+    for z in zs:
+        result.add(f"z={z:g}", run_protocol(
+            artifacts, MILRetrievalEngine, method=f"z={z:g}",
+            z=z, training_policy=training_policy))
+    return result
+
+
+def ablation_normalization(*, seed: int = 1, seeds: tuple[int, ...] | None = None,
+                           mode: str = "oracle",
+                           scenario: str = "intersection"
+                           ) -> ExperimentResult:
+    """Section 6.2: percentage weight normalization vs linear vs none.
+
+    The paper reports percentage best.  Note a structural fact this
+    reproduction surfaces: the weighted square-sum *ranking* is invariant
+    to rescaling all weights, so "percentage" and "none" produce
+    identical rankings by construction — only "linear" (which zeroes the
+    smallest weight, the paper's own criticism of it) can differ.  Pass
+    ``seeds`` to average the accuracy series over several workloads.
+    """
+    builder = _clip2 if scenario == "intersection" else _clip1
+    seed_list = seeds if seeds is not None else (seed,)
+    result = ExperimentResult(
+        name="ablation_normalization",
+        series={},
+        expectation=("percentage >= linear on final accuracy; percentage "
+                     "== none exactly (ranking is weight-scale invariant)"),
+        metadata={"seeds": seed_list, "mode": mode, "scenario": scenario},
+    )
+    per_norm: dict[str, list[list[float]]] = {
+        "percentage": [], "linear": [], "none": []}
+    last_protocols = {}
+    for s in seed_list:
+        artifacts = builder(s, mode)
+        for norm in per_norm:
+            protocol = run_protocol(artifacts, WeightedRFEngine,
+                                    method=norm, normalization=norm)
+            per_norm[norm].append(protocol.accuracies)
+            last_protocols[norm] = protocol
+    import numpy as np
+
+    for norm, runs in per_norm.items():
+        mean_series = np.mean(np.asarray(runs), axis=0).tolist()
+        result.series[norm] = mean_series
+        result.protocols[norm] = last_protocols[norm]
+    return result
+
+
+def ablation_window(*, windows: tuple[int, ...] = (2, 3, 5, 7),
+                    seed: int = 0, mode: str = "oracle") -> ExperimentResult:
+    """Section 5.1: window size = typical event length (3 checkpoints)."""
+    sim = tunnel(seed=seed)
+    result = ExperimentResult(
+        name="ablation_window",
+        series={},
+        expectation=("window=3 (the paper's 15-frame event length) is at "
+                     "or near the best final accuracy"),
+        metadata={"seed": seed, "mode": mode},
+    )
+    for w in windows:
+        artifacts = build_artifacts(sim, mode=mode, window_size=w)
+        result.add(f"window={w}", run_protocol(
+            artifacts, MILRetrievalEngine, method=f"window={w}"))
+    return result
+
+
+def ablation_sampling_rate(*, rates: tuple[int, ...] = (3, 5, 8, 12),
+                           seed: int = 0, mode: str = "oracle",
+                           top_k: int = 20) -> ExperimentResult:
+    """Section 5.1's other constant: 5 frames per checkpoint.
+
+    The checkpoint spacing trades temporal resolution against noise
+    amplification (velocities are finite differences).  The paper fixes
+    it at 5; the sweep shows the plateau around that choice.
+    """
+    sim = tunnel(seed=seed)
+    result = ExperimentResult(
+        name="ablation_sampling_rate",
+        series={},
+        expectation=("the paper's 5 frames/checkpoint sits on the "
+                     "accuracy plateau; extreme rates lose events or "
+                     "temporal detail"),
+        metadata={"seed": seed, "mode": mode},
+    )
+    for rate in rates:
+        config = SamplingConfig(sampling_rate=rate)
+        artifacts = build_artifacts(sim, mode=mode, sampling=config)
+        result.add(f"rate={rate}", run_protocol(
+            artifacts, MILRetrievalEngine, method=f"rate={rate}",
+            top_k=top_k))
+    return result
+
+
+def ablation_learner(*, seed: int = 0, mode: str = "oracle",
+                     top_k: int = 20) -> ExperimentResult:
+    """One-class learner: Schoelkopf hyperplane vs SVDD hypersphere.
+
+    The paper *describes* a ball (its Figure 5) but cites Schoelkopf's
+    hyperplane machine.  Under RBF kernels the two are equivalent up to
+    an affine decision transform, so the retrieval curves should match;
+    this ablation demonstrates that the description/citation mismatch is
+    immaterial.
+    """
+    sim = tunnel(seed=seed)
+    artifacts = build_artifacts(sim, mode=mode)
+    result = ExperimentResult(
+        name="ablation_learner",
+        series={},
+        expectation=("identical accuracy curves for OCSVM and SVDD under "
+                     "the RBF kernel (known equivalence)"),
+        metadata={"seed": seed, "mode": mode},
+    )
+    for learner in ("ocsvm", "svdd"):
+        result.add(learner, run_protocol(
+            artifacts, MILRetrievalEngine, method=learner,
+            learner=learner, top_k=top_k))
+    return result
+
+
+def ablation_step(*, seed: int = 0, mode: str = "oracle",
+                  top_k: int = 20) -> ExperimentResult:
+    """Window stride: the paper's ambiguity between overlap and not.
+
+    Section 5.1 describes the sliding window moving "one step a time",
+    yet the reported TS counts (109 TSs from 2504 frames) only work out
+    for *non-overlapping* windows.  Both variants are run; overlapping
+    windows multiply the bag count (and the user's labelling effort per
+    covered second) without changing the retrieval story.
+    """
+    sim = tunnel(seed=seed)
+    result = ExperimentResult(
+        name="ablation_step",
+        series={},
+        expectation=("non-overlapping windows (the TS-count reading) and "
+                     "step=1 (the literal reading) both learn; "
+                     "non-overlap is the better effort/coverage tradeoff"),
+        metadata={"seed": seed, "mode": mode},
+    )
+    for label, step in (("step=window (non-overlap)", None),
+                        ("step=1 (full overlap)", 1)):
+        artifacts = build_artifacts(sim, mode=mode, step=step)
+        protocol = run_protocol(artifacts, MILRetrievalEngine,
+                                method=label, top_k=top_k)
+        result.add(label, protocol)
+        result.metadata[f"n_bags[{label}]"] = len(artifacts.dataset.bags)
+    return result
+
+
+def other_events(*, seed: int = 2, mode: str = "oracle",
+                 top_k: int = 10) -> ExperimentResult:
+    """Section 4's remark: the model adjusts to U-turns and speeding."""
+    sim = highway(seed=seed)
+    result = ExperimentResult(
+        name="other_events",
+        series={},
+        expectation=("both U-turn and speeding queries end above their "
+                     "initial accuracy after feedback"),
+        metadata={"seed": seed, "mode": mode},
+    )
+    for event in ("u_turn", "speeding"):
+        artifacts = build_artifacts(sim, event=event, mode=mode)
+        result.add(event, run_protocol(
+            artifacts, MILRetrievalEngine, method=event, top_k=top_k))
+    return result
+
+
+def cross_camera(*, seeds: tuple[int, int] = (1, 5), rounds: int = 5,
+                 top_k: int = 20, tilt_deg: float = 35.0,
+                 n_landmarks: int = 8) -> ExperimentResult:
+    """Future-work experiment: retrieval over a multi-camera database.
+
+    Paper Section 6.2 (closing): mining all clips "as a whole" requires
+    normalizing videos "taken at different locations with different
+    camera parameters".  Two intersection clips are shot through two
+    different cameras (overhead and strongly tilted); accident retrieval
+    runs over the *merged* corpus twice — once on raw image-plane
+    features, once after calibrating each camera from ``n_landmarks``
+    surveyed road points (DLT) and back-projecting every track onto the
+    road plane.  Expectation: normalization recovers accuracy the
+    perspective distortion costs.
+    """
+    import numpy as np
+
+    from repro.core.bags import merge_datasets
+    from repro.core.feedback import MultiClipOracle, RetrievalSession
+    from repro.events.features import extract_series as _extract
+    from repro.events.models import AccidentModel
+    from repro.events.windows import build_dataset as _build
+    from repro.sim.camera import CameraModel
+    from repro.sim.ground_truth import GroundTruth
+    from repro.tracking.tracker import CentroidTracker
+    from repro.vision.calibration import estimate_homography, normalize_tracks
+    from repro.vision.frames import VideoClip
+    from repro.vision.pipeline import SegmentationPipeline
+
+    cameras = [
+        CameraModel.overhead(),
+        CameraModel.tilted(tilt_deg=tilt_deg, height=400.0, focal=200.0,
+                           principal=(160.0, 170.0)),
+    ]
+    truths: dict[str, GroundTruth] = {}
+    raw_datasets, norm_datasets = [], []
+    rng = np.random.default_rng(0)
+    for i, (seed, camera) in enumerate(zip(seeds, cameras)):
+        sim = intersection(seed=seed)
+        sim.name = f"intersection-cam{i}"
+        truths[sim.name] = GroundTruth.from_result(sim)
+        clip = VideoClip.from_simulation(sim, camera=camera)
+        detections = SegmentationPipeline(use_spcpe=False).process(clip)
+        tracks = CentroidTracker().track(detections)
+        raw_datasets.append(_build(_extract(tracks), AccidentModel(),
+                                   clip_id=sim.name))
+        # Calibrate from surveyed landmarks (world/image correspondences
+        # with half-pixel survey noise), then normalize to the road plane.
+        landmarks = rng.uniform([30, 30], [290, 210],
+                                size=(n_landmarks, 2))
+        observed = camera.project(landmarks) + rng.normal(
+            0.0, 0.5, size=(n_landmarks, 2))
+        estimated = estimate_homography(landmarks, observed)
+        normalized = normalize_tracks(tracks, estimated)
+        norm_datasets.append(_build(_extract(normalized), AccidentModel(),
+                                    clip_id=sim.name))
+
+    result = ExperimentResult(
+        name="cross_camera",
+        series={},
+        expectation=("plane-normalized features match or beat raw "
+                     "image-plane features on the merged two-camera "
+                     "corpus"),
+        metadata={"seeds": seeds, "tilt_deg": tilt_deg,
+                  "n_landmarks": n_landmarks},
+    )
+    for label, datasets in (("raw_image_plane", raw_datasets),
+                            ("plane_normalized", norm_datasets)):
+        merged = merge_datasets(datasets)
+        engine = MILRetrievalEngine(merged)
+        oracle = MultiClipOracle(truths, AccidentModel.relevant_kinds)
+        session = RetrievalSession(engine, oracle, top_k=top_k)
+        session.run(rounds)
+        n_relevant = sum(
+            truths[b.clip_id].label_window(b.frame_lo, b.frame_hi,
+                                           AccidentModel.relevant_kinds)
+            for b in merged.bags
+        )
+        result.add(label, ProtocolResult(
+            method=label,
+            accuracies=session.accuracies(),
+            n_relevant_total=n_relevant,
+            n_bags=len(merged.bags),
+            top_k=top_k,
+            extras={"last_nu": engine.last_nu_},
+        ))
+    return result
+
+
+def mil_algorithms(*, seed: int = 1, mode: str = "oracle",
+                   scenario: str = "intersection") -> ExperimentResult:
+    """Extension: OCSVM vs Diverse Density vs EM-DD vs Weighted_RF."""
+    builder = _clip2 if scenario == "intersection" else _clip1
+    artifacts = builder(seed, mode)
+    result = ExperimentResult(
+        name="mil_algorithms",
+        series={},
+        expectation=("the OCSVM engine is competitive with DD/EM-DD; all "
+                     "MIL engines beat Weighted_RF's gain"),
+        metadata={"seed": seed, "mode": mode, "scenario": scenario},
+    )
+    result.add("OCSVM", run_protocol(
+        artifacts, MILRetrievalEngine, method="OCSVM"))
+    result.add("DD", run_protocol(
+        artifacts, DiverseDensityEngine, method="DD", max_starts=5))
+    result.add("EM-DD", run_protocol(
+        artifacts, EMDDEngine, method="EM-DD", max_starts=5))
+    result.add("Weighted_RF", run_protocol(
+        artifacts, WeightedRFEngine, method="Weighted_RF"))
+    return result

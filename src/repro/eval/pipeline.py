@@ -1,0 +1,93 @@
+"""End-to-end plumbing: simulation -> tracks -> MIL dataset.
+
+``mode="vision"`` runs the honest pipeline (render frames, background
+subtraction, blob tracking); ``mode="oracle"`` reads tracks straight from
+the simulator with optional jitter — an order of magnitude faster and
+used by ablations that only probe the learning stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bags import MILDataset
+from repro.errors import ConfigurationError
+from repro.events.features import SamplingConfig, extract_series
+from repro.events.models import EventModel, event_model_for
+from repro.events.windows import build_dataset
+from repro.sim.ground_truth import GroundTruth
+from repro.sim.world import SimulationResult
+from repro.tracking.oracle import tracks_from_simulation
+from repro.tracking.track import Track
+from repro.tracking.tracker import CentroidTracker
+from repro.vision.frames import VideoClip
+from repro.vision.pipeline import SegmentationPipeline
+
+__all__ = ["ClipArtifacts", "build_artifacts"]
+
+
+@dataclass
+class ClipArtifacts:
+    """Everything downstream evaluation needs for one clip."""
+
+    result: SimulationResult
+    tracks: list[Track]
+    dataset: MILDataset
+    ground_truth: GroundTruth
+
+    @property
+    def relevant_bag_ids(self) -> set[int]:
+        """Bags a querying user of this dataset's event would confirm."""
+        model = event_model_for(self.dataset.event_name)
+        return {
+            b.bag_id for b in self.dataset.bags
+            if self.ground_truth.label_window(b.frame_lo, b.frame_hi,
+                                              model.relevant_kinds)
+        }
+
+
+def build_artifacts(
+    result: SimulationResult,
+    *,
+    event: str | EventModel = "accident",
+    mode: str = "vision",
+    window_size: int = 3,
+    step: int | None = None,
+    sampling: SamplingConfig | None = None,
+    oracle_jitter: float = 0.4,
+    render_seed: int = 7,
+    use_spcpe: bool = False,
+    stitch: bool = False,
+    seed: int = 0,
+) -> ClipArtifacts:
+    """Run the pipeline over a simulated clip and bundle the artifacts.
+
+    ``stitch`` applies occlusion/dropout track stitching after tracking
+    (vision mode only).
+    """
+    model = event_model_for(event) if isinstance(event, str) else event
+    if mode == "vision":
+        from repro.tracking.stitching import stitch_tracks
+
+        clip = VideoClip.from_simulation(result, render_seed=render_seed)
+        detections = SegmentationPipeline(use_spcpe=use_spcpe).process(clip)
+        tracks = CentroidTracker().track(detections)
+        if stitch:
+            tracks = stitch_tracks(tracks)
+    elif mode == "oracle":
+        tracks = tracks_from_simulation(result, jitter=oracle_jitter,
+                                        seed=seed)
+    else:
+        raise ConfigurationError(
+            f"mode must be 'vision' or 'oracle', got {mode!r}"
+        )
+    series = extract_series(tracks, sampling)
+    dataset = build_dataset(series, model, clip_id=result.name,
+                            window_size=window_size, step=step,
+                            config=sampling)
+    return ClipArtifacts(
+        result=result,
+        tracks=tracks,
+        dataset=dataset,
+        ground_truth=GroundTruth.from_result(result),
+    )

@@ -1,0 +1,71 @@
+"""Plain-text reporting of experiment results.
+
+Benchmarks print these tables so ``pytest benchmarks/ --benchmark-only``
+output doubles as the EXPERIMENTS.md evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.eval.experiments import ExperimentResult
+from repro.eval.protocol import ROUND_NAMES
+
+__all__ = ["format_series_table", "comparison_table"]
+
+
+def format_series_table(series: dict[str, Sequence[float]],
+                        round_names: Sequence[str] = ROUND_NAMES,
+                        *, as_percent: bool = True) -> str:
+    """Render {label: [acc per round]} as an aligned text table."""
+    if not series:
+        return "(no data)"
+    n_rounds = max(len(v) for v in series.values())
+    names = list(round_names)[:n_rounds]
+    names += [f"Round{i}" for i in range(len(names), n_rounds)]
+    label_w = max(len("method"), *(len(k) for k in series))
+    cell_w = max(8, *(len(n) for n in names))
+
+    def fmt(value: float) -> str:
+        return f"{value * 100:.0f}%" if as_percent else f"{value:.3f}"
+
+    lines = [
+        " | ".join(["method".ljust(label_w)]
+                   + [n.rjust(cell_w) for n in names]),
+        "-+-".join(["-" * label_w] + ["-" * cell_w] * len(names)),
+    ]
+    for label, values in series.items():
+        cells = [fmt(v).rjust(cell_w) for v in values]
+        cells += ["".rjust(cell_w)] * (n_rounds - len(values))
+        lines.append(" | ".join([label.ljust(label_w)] + cells))
+    return "\n".join(lines)
+
+
+def comparison_table(result: ExperimentResult, *,
+                     with_chart: bool = False) -> str:
+    """Experiment header + expectation + accuracy table + per-method
+    summary (initial, final, gain, ceiling); optionally an ASCII chart."""
+    lines = [
+        f"=== {result.name} ===",
+        f"paper expectation: {result.expectation}",
+    ]
+    if result.metadata:
+        meta = ", ".join(f"{k}={v}" for k, v in result.metadata.items())
+        lines.append(f"setup: {meta}")
+    lines.append("")
+    lines.append(format_series_table(result.series))
+    if with_chart and result.series:
+        from repro.eval.charts import line_chart
+
+        lines.append("")
+        lines.append(line_chart(result.series))
+    if result.protocols:
+        lines.append("")
+        for label, protocol in result.protocols.items():
+            lines.append(
+                f"  {label}: initial={protocol.initial:.0%} "
+                f"final={protocol.final:.0%} gain={protocol.gain:+.0%} "
+                f"(relevant={protocol.n_relevant_total}/{protocol.n_bags} "
+                f"bags, ceiling={protocol.ceiling:.0%})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Failure injection: how the pipeline degrades under adverse conditions.
+
+Surveillance video is not clean: frames drop, occluders (poles, signs,
+large trucks) blank out parts of the scene, and human labellers make
+mistakes.  These injectors perturb the pipeline at the detection and
+feedback levels so the benchmarks can chart graceful degradation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import MILRetrievalEngine
+from repro.errors import ConfigurationError
+from repro.eval.experiments import ExperimentResult
+from repro.eval.pipeline import ClipArtifacts
+from repro.eval.protocol import run_protocol
+from repro.events.features import extract_series
+from repro.events.models import event_model_for
+from repro.events.windows import build_dataset
+from repro.sim.ground_truth import GroundTruth
+from repro.tracking.tracker import CentroidTracker
+from repro.utils import as_rng, check_in_range
+from repro.vision.frames import VideoClip
+from repro.vision.pipeline import SegmentationPipeline
+
+__all__ = [
+    "inject_detection_dropout",
+    "inject_occlusion_band",
+    "robustness_dropout",
+    "robustness_occlusion",
+    "robustness_label_noise",
+    "robustness_illumination",
+]
+
+
+def inject_detection_dropout(detections_per_frame, prob: float,
+                             seed: int | np.random.Generator | None = 0):
+    """Blank whole frames of detections with probability ``prob``.
+
+    Models transport glitches / decoder corruption where entire frames
+    are lost; the tracker must coast across the gaps.
+    """
+    check_in_range("prob", prob, 0.0, 1.0)
+    rng = as_rng(seed)
+    return [
+        [] if rng.random() < prob else list(dets)
+        for dets in detections_per_frame
+    ]
+
+
+def inject_occlusion_band(detections_per_frame, x_lo: float, x_hi: float):
+    """Remove detections whose centroid falls in a vertical image band.
+
+    Models a static occluder (pole, gantry, parked truck) the camera
+    cannot see through; vehicles vanish mid-scene and must be re-linked.
+    """
+    if x_hi <= x_lo:
+        raise ConfigurationError(
+            f"occlusion band must have x_hi > x_lo, got [{x_lo}, {x_hi}]"
+        )
+    return [
+        [d for d in dets if not (x_lo <= d.blob.cx < x_hi)]
+        for dets in detections_per_frame
+    ]
+
+
+def _artifacts_from_detections(sim, detections, event: str,
+                               *, stitch: bool = False) -> ClipArtifacts:
+    tracks = CentroidTracker().track(detections)
+    if stitch:
+        from repro.tracking.stitching import stitch_tracks
+
+        tracks = stitch_tracks(tracks)
+    model = event_model_for(event)
+    dataset = build_dataset(extract_series(tracks), model,
+                            clip_id=sim.name)
+    return ClipArtifacts(result=sim, tracks=tracks, dataset=dataset,
+                         ground_truth=GroundTruth.from_result(sim))
+
+
+def _detections_for(sim, render_seed: int = 7):
+    clip = VideoClip.from_simulation(sim, render_seed=render_seed)
+    return SegmentationPipeline(use_spcpe=False).process(clip)
+
+
+def robustness_dropout(sim, *, probs=(0.0, 0.05, 0.1, 0.2, 0.3),
+                       event: str = "accident", rounds: int = 5,
+                       top_k: int = 20, seed: int = 0) -> ExperimentResult:
+    """Accuracy series per frame-dropout probability."""
+    detections = _detections_for(sim)
+    result = ExperimentResult(
+        name="robustness_dropout",
+        series={},
+        expectation=("accuracy degrades gracefully with frame dropout; "
+                     "moderate dropout (<= 10%) costs little"),
+        metadata={"clip": sim.name, "probs": probs},
+    )
+    for prob in probs:
+        injected = inject_detection_dropout(detections, prob, seed=seed)
+        artifacts = _artifacts_from_detections(sim, injected, event)
+        if not artifacts.dataset.bags:
+            result.series[f"dropout={prob:g}"] = [0.0] * rounds
+            continue
+        result.add(f"dropout={prob:g}", run_protocol(
+            artifacts, MILRetrievalEngine, method=f"dropout={prob:g}",
+            rounds=rounds, top_k=top_k))
+    return result
+
+
+def robustness_occlusion(sim, *, widths=(0, 20, 40, 80),
+                         event: str = "accident", rounds: int = 5,
+                         top_k: int = 20,
+                         with_stitching: bool = False) -> ExperimentResult:
+    """Accuracy series per occluder width (centered band).
+
+    With ``with_stitching`` each width is also run through the
+    track-stitching post-processor, quantifying how much of the occluder
+    damage stitching recovers.
+    """
+    detections = _detections_for(sim)
+    center = sim.width / 2.0
+    result = ExperimentResult(
+        name="robustness_occlusion",
+        series={},
+        expectation=("a static occluder splits tracks but retrieval "
+                     "survives moderate widths; stitching recovers part "
+                     "of the damage"),
+        metadata={"clip": sim.name, "widths": widths,
+                  "with_stitching": with_stitching},
+    )
+    variants = [(False, "")]
+    if with_stitching:
+        variants.append((True, "+stitch"))
+    for width in widths:
+        if width == 0:
+            injected = detections
+        else:
+            injected = inject_occlusion_band(
+                detections, center - width / 2, center + width / 2)
+        for stitch, suffix in variants:
+            label = f"occluder={width}px{suffix}"
+            artifacts = _artifacts_from_detections(sim, injected, event,
+                                                   stitch=stitch)
+            if not artifacts.dataset.bags:
+                result.series[label] = [0.0] * rounds
+                continue
+            result.add(label, run_protocol(
+                artifacts, MILRetrievalEngine, method=label,
+                rounds=rounds, top_k=top_k))
+    return result
+
+
+def robustness_illumination(sim, *, drifts=(0.0, 0.05, 0.12),
+                            learning_rates=(0.0, 0.02),
+                            event: str = "accident", rounds: int = 5,
+                            top_k: int = 20) -> ExperimentResult:
+    """Slow illumination drift vs background adaptation.
+
+    A sinusoidal gain on the rendered frames (cloud cover / dusk) breaks
+    a frozen background model; the selective running average
+    (learning_rate > 0) should absorb it.  Series are labelled
+    ``drift=<d>/lr=<r>``.
+    """
+    result = ExperimentResult(
+        name="robustness_illumination",
+        series={},
+        expectation=("with background adaptation (lr>0) accuracy under "
+                     "drift stays close to the drift-free level; a frozen "
+                     "background degrades"),
+        metadata={"clip": sim.name, "drifts": drifts,
+                  "learning_rates": learning_rates},
+    )
+    from repro.vision.background import BackgroundModel
+
+    for drift in drifts:
+        clip = VideoClip.from_simulation(sim, illumination_drift=drift)
+        for rate in learning_rates:
+            background = BackgroundModel(learning_rate=rate)
+            pipeline = SegmentationPipeline(background=background,
+                                            use_spcpe=False)
+            detections = pipeline.process(clip)
+            artifacts = _artifacts_from_detections(sim, detections, event)
+            label = f"drift={drift:g}/lr={rate:g}"
+            if not artifacts.dataset.bags:
+                result.series[label] = [0.0] * rounds
+                continue
+            result.add(label, run_protocol(
+                artifacts, MILRetrievalEngine, method=label,
+                rounds=rounds, top_k=top_k))
+    return result
+
+
+def robustness_label_noise(sim, *, flip_probs=(0.0, 0.1, 0.2, 0.35),
+                           event: str = "accident", rounds: int = 5,
+                           top_k: int = 20, mode: str = "oracle"
+                           ) -> ExperimentResult:
+    """Accuracy series per user label-flip probability."""
+    from repro.eval.pipeline import build_artifacts
+
+    artifacts = build_artifacts(sim, event=event, mode=mode)
+    result = ExperimentResult(
+        name="robustness_label_noise",
+        series={},
+        expectation=("the RF loop tolerates moderate labelling error; "
+                     "accuracy falls with the flip rate"),
+        metadata={"clip": sim.name, "flip_probs": flip_probs},
+    )
+    for prob in flip_probs:
+        result.add(f"flip={prob:g}", run_protocol(
+            artifacts, MILRetrievalEngine, method=f"flip={prob:g}",
+            rounds=rounds, top_k=top_k, flip_prob=prob, user_seed=7))
+    return result

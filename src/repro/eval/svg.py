@@ -1,0 +1,140 @@
+"""Minimal SVG line charts — regenerate the paper's figures as files.
+
+No plotting library ships with this repository, so the figure writer is
+~150 lines of SVG templating: accuracy-per-round curves with axes, ticks,
+point markers and a legend, matching the shape of the paper's Figures 8
+and 9.  Benchmarks save one SVG per experiment next to their text/JSON
+artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+from xml.sax.saxutils import escape
+
+from repro.errors import ConfigurationError
+
+__all__ = ["svg_line_chart", "save_chart"]
+
+#: Colorblind-safe categorical palette (Okabe-Ito).
+_PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7",
+            "#F0E442", "#56B4E9", "#E69F00", "#000000")
+
+_MARKERS = ("circle", "square", "diamond")
+
+
+def _marker(kind: str, x: float, y: float, color: str) -> str:
+    if kind == "circle":
+        return (f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+                f'fill="{color}"/>')
+    if kind == "square":
+        return (f'<rect x="{x - 3.5:.1f}" y="{y - 3.5:.1f}" width="7" '
+                f'height="7" fill="{color}"/>')
+    return (f'<path d="M {x:.1f} {y - 5:.1f} L {x + 5:.1f} {y:.1f} '
+            f'L {x:.1f} {y + 5:.1f} L {x - 5:.1f} {y:.1f} Z" '
+            f'fill="{color}"/>')
+
+
+def svg_line_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    round_names: Sequence[str] = ("Initial", "First", "Second", "Third",
+                                  "Fourth"),
+    width: int = 640,
+    height: int = 420,
+    y_max: float = 1.0,
+) -> str:
+    """Render accuracy curves as an SVG document string."""
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    if y_max <= 0:
+        raise ConfigurationError("y_max must be > 0")
+    n_points = max(len(v) for v in series.values())
+    if n_points < 1:
+        raise ConfigurationError("series are empty")
+
+    margin_l, margin_r, margin_t, margin_b = 64, 24, 48, 96
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    def sx(i: int) -> float:
+        if n_points == 1:
+            return margin_l + plot_w / 2
+        return margin_l + plot_w * i / (n_points - 1)
+
+    def sy(value: float) -> float:
+        clamped = min(max(value, 0.0), y_max)
+        return margin_t + plot_h * (1.0 - clamped / y_max)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="13">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="26" text-anchor="middle" '
+            f'font-size="16" font-weight="bold">{escape(title)}</text>')
+
+    # Gridlines + y ticks every 10% of y_max.
+    for tick in range(0, 11):
+        value = y_max * tick / 10
+        y = sy(value)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" '
+            f'x2="{width - margin_r}" y2="{y:.1f}" stroke="#e0e0e0"/>')
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{value * 100:.0f}%</text>')
+
+    # X axis labels.
+    labels = list(round_names)[:n_points]
+    labels += [f"Round{i}" for i in range(len(labels), n_points)]
+    for i, label in enumerate(labels):
+        parts.append(
+            f'<text x="{sx(i):.1f}" y="{margin_t + plot_h + 22}" '
+            f'text-anchor="middle">{escape(label)}</text>')
+
+    # Axes.
+    parts.append(
+        f'<line x1="{margin_l}" y1="{margin_t}" x2="{margin_l}" '
+        f'y2="{margin_t + plot_h}" stroke="black" stroke-width="1.5"/>')
+    parts.append(
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" '
+        f'x2="{width - margin_r}" y2="{margin_t + plot_h}" '
+        f'stroke="black" stroke-width="1.5"/>')
+
+    # Series.
+    for idx, (label, values) in enumerate(series.items()):
+        color = _PALETTE[idx % len(_PALETTE)]
+        marker = _MARKERS[idx % len(_MARKERS)]
+        points = " ".join(
+            f"{sx(i):.1f},{sy(v):.1f}" for i, v in enumerate(values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2.5"/>')
+        for i, v in enumerate(values):
+            parts.append(_marker(marker, sx(i), sy(v), color))
+        # Legend row.
+        ly = margin_t + plot_h + 48 + 20 * idx
+        parts.append(
+            f'<line x1="{margin_l}" y1="{ly - 4}" x2="{margin_l + 28}" '
+            f'y2="{ly - 4}" stroke="{color}" stroke-width="2.5"/>')
+        parts.append(_marker(marker, margin_l + 14, ly - 4, color))
+        parts.append(
+            f'<text x="{margin_l + 36}" y="{ly}">{escape(label)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_chart(series: Mapping[str, Sequence[float]], path: str | Path,
+               **kwargs) -> Path:
+    """Write an SVG chart to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(svg_line_chart(series, **kwargs))
+    return path

@@ -1,0 +1,42 @@
+"""Event modeling: sampling-point features and sliding-window extraction.
+
+Implements paper Sections 4 and 5.1: per sampling point (one checkpoint
+every ``sampling_rate`` frames) each vehicle trajectory yields velocity,
+velocity change, motion-vector angle change and inverse distance to its
+nearest neighbour; a sliding window over the checkpoints cuts the clip
+into Video Sequences (MIL bags) whose per-vehicle Trajectory Sequences are
+the MIL instances.
+"""
+
+from repro.events.features import (
+    CHANNEL_NAMES,
+    SamplingConfig,
+    TrackSeries,
+    extract_series,
+)
+from repro.events.models import (
+    AccidentModel,
+    EventModel,
+    SpeedingModel,
+    UTurnModel,
+    event_model_for,
+    register_event_model,
+    registered_event_models,
+)
+from repro.events.windows import build_dataset, window_frame_span
+
+__all__ = [
+    "CHANNEL_NAMES",
+    "SamplingConfig",
+    "TrackSeries",
+    "extract_series",
+    "EventModel",
+    "AccidentModel",
+    "SpeedingModel",
+    "UTurnModel",
+    "event_model_for",
+    "register_event_model",
+    "registered_event_models",
+    "build_dataset",
+    "window_frame_span",
+]

@@ -1,0 +1,135 @@
+"""Event models: which feature channels characterise which incident type.
+
+Paper Section 4 builds a spatio-temporal model for traffic accidents with
+the property vector alpha_i = [1/mdist_i, vdiff_i, theta_i] and notes the
+model "may also be adjusted to detect U-turns, speeding and any other
+event that involves the abnormal behavior of a vehicle".  An
+:class:`EventModel` is exactly that adjustment point: it names the
+channels, and maps a query event type to ground-truth incident kinds for
+the simulated user.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+
+from repro.errors import ConfigurationError
+from repro.events.features import CHANNEL_NAMES, TrackSeries
+
+__all__ = [
+    "EventModel",
+    "AccidentModel",
+    "SpeedingModel",
+    "UTurnModel",
+    "event_model_for",
+    "register_event_model",
+    "registered_event_models",
+]
+
+
+class EventModel(ABC):
+    """A named selection of feature channels plus its ground-truth kinds."""
+
+    #: Query name, e.g. "accident".
+    name: str = ""
+    #: Feature channels, in order, e.g. ("inv_mdist", "vdiff", "theta").
+    feature_names: tuple[str, ...] = ()
+    #: Ground-truth incident kinds a user with this query marks relevant.
+    relevant_kinds: frozenset[str] = frozenset()
+
+    def __init_subclass__(cls) -> None:
+        unknown = set(cls.feature_names) - set(CHANNEL_NAMES)
+        if unknown:
+            raise ConfigurationError(
+                f"{cls.__name__} uses unknown channels {sorted(unknown)}"
+            )
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    def feature_matrix(self, series: TrackSeries):
+        """(n_checkpoints, n_features) matrix for one track series."""
+        return series.channel_matrix(self.feature_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(features={self.feature_names})"
+
+
+class AccidentModel(EventModel):
+    """Paper Section 4: alpha_i = [1/mdist_i, vdiff_i, theta_i]."""
+
+    name = "accident"
+    feature_names = ("inv_mdist", "vdiff", "theta")
+    relevant_kinds = frozenset({"wall_crash", "sudden_stop", "collision"})
+
+
+class SpeedingModel(EventModel):
+    """Sustained excess speed: raw velocity dominates the vector."""
+
+    name = "speeding"
+    feature_names = ("velocity", "vdiff")
+    relevant_kinds = frozenset({"speeding"})
+
+
+class UTurnModel(EventModel):
+    """Large accumulated heading change over a short horizon."""
+
+    name = "u_turn"
+    feature_names = ("theta_cum", "theta")
+    relevant_kinds = frozenset({"u_turn"})
+
+
+_REGISTRY: dict[str, type[EventModel]] = {
+    AccidentModel.name: AccidentModel,
+    SpeedingModel.name: SpeedingModel,
+    UTurnModel.name: UTurnModel,
+}
+
+
+def event_model_for(name: str) -> EventModel:
+    """Instantiate the event model registered under ``name``."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown event model {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def register_event_model(model_cls: type[EventModel], *,
+                         replace: bool = False) -> type[EventModel]:
+    """Register a custom event model under its ``name``.
+
+    The paper's future work asks for "more generic event models"; this
+    is the plugin point.  Usable as a decorator::
+
+        @register_event_model
+        class TailgatingModel(EventModel):
+            name = "tailgating"
+            feature_names = ("inv_mdist", "velocity")
+            relevant_kinds = frozenset({"tailgating"})
+    """
+    if not isinstance(model_cls, type) or not issubclass(model_cls,
+                                                         EventModel):
+        raise ConfigurationError(
+            "register_event_model expects an EventModel subclass"
+        )
+    if not model_cls.name:
+        raise ConfigurationError("event model must define a name")
+    if not model_cls.feature_names:
+        raise ConfigurationError(
+            f"event model {model_cls.name!r} must name >= 1 feature channel"
+        )
+    if model_cls.name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"event model {model_cls.name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    _REGISTRY[model_cls.name] = model_cls
+    return model_cls
+
+
+def registered_event_models() -> list[str]:
+    """Names of all currently registered event models."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,145 @@
+"""Camera geometry: planar homographies between road plane and image.
+
+Paper Section 6.2 (closing): "Ideally, all the video clips in a
+transportation surveillance video database shall be mined and retrieved
+as a whole.  However ... it requires that we normalize all the video
+clips taken at different locations with different camera parameters.
+Those parameters, such as camera angle and camera position, are necessary
+for normalization."
+
+This module provides those parameters: a :class:`CameraModel` maps points
+on the road plane (world coordinates, metres-ish) to image pixels via a
+3x3 homography.  The renderer can shoot a scenario through a camera, and
+:mod:`repro.vision.calibration` inverts the mapping so trajectories from
+different cameras become comparable — the normalization experiment the
+paper leaves as future work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils import check_positive
+
+__all__ = ["CameraModel"]
+
+
+class CameraModel:
+    """A world-plane -> image homography with convenience constructors.
+
+    World coordinates live on the road plane (Z = 0); image coordinates
+    are pixels.  ``matrix`` is the 3x3 homography H with
+    ``image ~ H @ [X, Y, 1]``.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (3, 3):
+            raise ConfigurationError(
+                f"homography must be 3x3, got shape {matrix.shape}"
+            )
+        if abs(np.linalg.det(matrix)) < 1e-12:
+            raise ConfigurationError("homography is singular")
+        self.matrix = matrix / matrix[2, 2]
+
+    @classmethod
+    def identity(cls) -> "CameraModel":
+        return cls(np.eye(3))
+
+    @classmethod
+    def overhead(cls, *, scale: float = 1.0,
+                 offset: tuple[float, float] = (0.0, 0.0)) -> "CameraModel":
+        """Orthographic-like overhead camera: uniform scale + shift."""
+        check_positive("scale", scale)
+        h = np.array([
+            [scale, 0.0, offset[0]],
+            [0.0, scale, offset[1]],
+            [0.0, 0.0, 1.0],
+        ])
+        return cls(h)
+
+    @classmethod
+    def tilted(cls, *, tilt_deg: float = 20.0, height: float = 260.0,
+               focal: float = 220.0,
+               principal: tuple[float, float] = (160.0, 150.0),
+               world_center: tuple[float, float] = (160.0, 120.0)
+               ) -> "CameraModel":
+        """Pinhole camera looking down at the road plane at an angle.
+
+        The camera sits ``height`` world units above the point
+        ``world_center`` on the road plane, pitched ``tilt_deg`` away
+        from straight-down, with focal length ``focal`` pixels.  The
+        resulting homography is H = K [r1 r2 t] for the Z = 0 plane.
+        """
+        check_positive("height", height)
+        check_positive("focal", focal)
+        if not 0.0 <= tilt_deg < 85.0:
+            raise ConfigurationError(
+                f"tilt_deg must be in [0, 85), got {tilt_deg}"
+            )
+        tilt = np.deg2rad(tilt_deg)
+        # Rotation: camera z-axis points at the plane; pitch about x.
+        rot = np.array([
+            [1.0, 0.0, 0.0],
+            [0.0, np.cos(tilt), -np.sin(tilt)],
+            [0.0, np.sin(tilt), np.cos(tilt)],
+        ])
+        # World origin shifted to the camera footprint.
+        cx, cy = world_center
+        translation = rot @ np.array([-cx, -cy, 0.0]) + np.array(
+            [0.0, 0.0, height])
+        intrinsics = np.array([
+            [focal, 0.0, principal[0]],
+            [0.0, focal, principal[1]],
+            [0.0, 0.0, 1.0],
+        ])
+        extrinsics = np.column_stack([rot[:, 0], rot[:, 1], translation])
+        return cls(intrinsics @ extrinsics)
+
+    # ------------------------------------------------------------ mapping
+    def project(self, world_points: np.ndarray) -> np.ndarray:
+        """Road-plane (n, 2) -> image pixels (n, 2)."""
+        pts = np.atleast_2d(np.asarray(world_points, dtype=float))
+        homogeneous = np.column_stack([pts, np.ones(len(pts))])
+        image = homogeneous @ self.matrix.T
+        w = image[:, 2]
+        if np.any(np.abs(w) < 1e-12):
+            raise ConfigurationError(
+                "point projects to infinity (on the camera's horizon)"
+            )
+        return image[:, :2] / w[:, None]
+
+    def unproject(self, image_points: np.ndarray) -> np.ndarray:
+        """Image pixels (n, 2) -> road-plane (n, 2)."""
+        inv = np.linalg.inv(self.matrix)
+        pts = np.atleast_2d(np.asarray(image_points, dtype=float))
+        homogeneous = np.column_stack([pts, np.ones(len(pts))])
+        world = homogeneous @ inv.T
+        w = world[:, 2]
+        if np.any(np.abs(w) < 1e-12):
+            raise ConfigurationError(
+                "pixel back-projects to infinity (above the horizon)"
+            )
+        return world[:, :2] / w[:, None]
+
+    def local_scale(self, world_point: np.ndarray) -> float:
+        """Linear magnification (pixels per world unit) near a point.
+
+        Square root of |det J| of the projection's Jacobian — used by the
+        renderer to size vehicles with distance.
+        """
+        x, y = np.asarray(world_point, dtype=float)
+        h = self.matrix
+        w = h[2, 0] * x + h[2, 1] * y + h[2, 2]
+        u = h[0, 0] * x + h[0, 1] * y + h[0, 2]
+        v = h[1, 0] * x + h[1, 1] * y + h[1, 2]
+        du = np.array([h[0, 0] / w - u * h[2, 0] / w**2,
+                       h[0, 1] / w - u * h[2, 1] / w**2])
+        dv = np.array([h[1, 0] / w - v * h[2, 0] / w**2,
+                       h[1, 1] / w - v * h[2, 1] / w**2])
+        det = du[0] * dv[1] - du[1] * dv[0]
+        return float(np.sqrt(abs(det)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CameraModel(matrix=\n{np.round(self.matrix, 4)})"

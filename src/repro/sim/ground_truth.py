@@ -1,0 +1,124 @@
+"""Ground truth access: incident labels and track-to-vehicle matching.
+
+The simulated user of the relevance-feedback loop (the oracle in
+:mod:`repro.core.feedback`) labels a returned video sequence "relevant" iff
+a queried incident is visible in its frame range — exactly what the paper's
+human user does when playing a returned VS.  This module answers that
+question from the simulator's incident log, and additionally matches
+*estimated* tracks (from the vision pipeline) back to true vehicles for
+instance-level diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.incidents import ACCIDENT_KINDS, IncidentRecord
+from repro.sim.world import SimulationResult
+
+__all__ = ["GroundTruth", "TrackMatcher"]
+
+
+@dataclass
+class GroundTruth:
+    """Queryable view over a clip's incident log."""
+
+    incidents: list[IncidentRecord] = field(default_factory=list)
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "GroundTruth":
+        return cls(incidents=list(result.incidents))
+
+    def of_kinds(self, kinds: Iterable[str] | None) -> list[IncidentRecord]:
+        """Incidents restricted to ``kinds`` (None means accidents)."""
+        wanted = set(kinds) if kinds is not None else set(ACCIDENT_KINDS)
+        return [r for r in self.incidents if r.kind in wanted]
+
+    def label_window(self, frame_lo: int, frame_hi: int,
+                     kinds: Iterable[str] | None = None) -> bool:
+        """True iff a queried incident overlaps [frame_lo, frame_hi].
+
+        This is the bag (VS) label of paper Eq. (3)-(4): the user watches
+        the window and marks it relevant iff the incident is visible.
+        """
+        return any(r.overlaps(frame_lo, frame_hi) for r in self.of_kinds(kinds))
+
+    def involved_vehicles(self, kinds: Iterable[str] | None = None,
+                          frame_lo: int | None = None,
+                          frame_hi: int | None = None) -> set[int]:
+        """Vehicle ids involved in queried incidents (optionally windowed)."""
+        out: set[int] = set()
+        for r in self.of_kinds(kinds):
+            if frame_lo is not None and frame_hi is not None:
+                if not r.overlaps(frame_lo, frame_hi):
+                    continue
+            out.update(r.vehicle_ids)
+        return out
+
+    def n_relevant_windows(self, windows: Sequence[tuple[int, int]],
+                           kinds: Iterable[str] | None = None) -> int:
+        """How many of ``windows`` a user would label relevant."""
+        return sum(
+            self.label_window(lo, hi, kinds) for lo, hi in windows
+        )
+
+
+class TrackMatcher:
+    """Match estimated tracks to true simulated vehicles.
+
+    A track is a set of (frame, x, y) observations.  It is matched to the
+    vehicle whose true centroid is, on average over the overlapping frames,
+    closest — provided that average distance is below ``max_dist`` pixels.
+    Used only for diagnostics and instance-level evaluation; the retrieval
+    loop itself never sees vehicle ids.
+    """
+
+    def __init__(self, result: SimulationResult, max_dist: float = 14.0) -> None:
+        if max_dist <= 0:
+            raise ValueError("max_dist must be > 0")
+        self.max_dist = float(max_dist)
+        # frame -> (vids array, positions array)
+        self._per_frame: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for frame, states in enumerate(result.states):
+            if not states:
+                continue
+            vids = np.array([s.vid for s in states])
+            pos = np.array([[s.x, s.y] for s in states])
+            self._per_frame[frame] = (vids, pos)
+
+    def match(self, frames: np.ndarray, points: np.ndarray) -> int | None:
+        """Return the best-matching vehicle id, or None if nothing is close.
+
+        ``frames`` is an (n,) int array and ``points`` an (n, 2) float
+        array of the track's observations.
+        """
+        frames = np.asarray(frames, dtype=int)
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        if len(frames) != len(points):
+            raise ValueError("frames and points must have equal length")
+        dist_sum: dict[int, float] = defaultdict(float)
+        count: dict[int, int] = defaultdict(int)
+        for frame, point in zip(frames, points):
+            entry = self._per_frame.get(int(frame))
+            if entry is None:
+                continue
+            vids, pos = entry
+            dists = np.hypot(pos[:, 0] - point[0], pos[:, 1] - point[1])
+            j = int(np.argmin(dists))
+            dist_sum[int(vids[j])] += float(dists[j])
+            count[int(vids[j])] += 1
+        if not count:
+            return None
+        best_vid, best_mean = None, np.inf
+        for vid in count:
+            mean = dist_sum[vid] / count[vid]
+            # Require the match to cover a meaningful share of the track.
+            if count[vid] >= max(2, len(frames) // 4) and mean < best_mean:
+                best_vid, best_mean = vid, mean
+        if best_vid is None or best_mean > self.max_dist:
+            return None
+        return best_vid

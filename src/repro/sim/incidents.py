@@ -1,0 +1,498 @@
+"""Scripted traffic incidents.
+
+Each incident is a *controller* attached to one vehicle: while active it
+overrides the vehicle's desired velocity, producing the abrupt kinematic
+signatures the paper's event model keys on (velocity change ``vdiff``,
+heading change ``theta``, small inter-vehicle distance ``mdist``).  When an
+incident actually triggers it records an :class:`IncidentRecord` into the
+world, which becomes the retrieval ground truth.
+
+Incident kinds:
+
+* :class:`SuddenStop` — hard braking to a standstill, then resume.
+* :class:`WallCrash` — veer out of lane and crash into a wall (the paper's
+  tunnel clip: "speeding vehicles lost control and hit on the sidewalls").
+* :class:`CollisionCrash` — two (or more) vehicles collide near a conflict
+  point (the paper's intersection clip).
+* :class:`UTurn` — 180-degree turn over a few seconds.
+* :class:`Speeding` — sustained excess speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.world import TrafficWorld, Vehicle
+
+#: Incident kind tags used throughout the library (event models, ground
+#: truth queries, benchmarks).
+ACCIDENT_KINDS = frozenset({"sudden_stop", "wall_crash", "collision"})
+
+
+@dataclass(frozen=True)
+class IncidentRecord:
+    """Ground-truth record of one incident: what, who, and when."""
+
+    kind: str
+    vehicle_ids: tuple[int, ...]
+    frame_start: int
+    frame_end: int
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """True if the incident overlaps the frame interval [lo, hi]."""
+        return self.frame_start <= hi and self.frame_end >= lo
+
+    def involves(self, vid: int) -> bool:
+        return vid in self.vehicle_ids
+
+
+@runtime_checkable
+class Controller(Protocol):
+    """Velocity override hook consulted by the world each frame."""
+
+    def desired_velocity(
+        self, vehicle: "Vehicle", frame: int, world: "TrafficWorld"
+    ) -> np.ndarray | None:
+        """Return a desired velocity, or None to defer to the route."""
+
+    def accel_limit(self) -> float:
+        """Acceleration bound while this controller is steering."""
+
+    def holds(self, frame: int) -> bool:
+        """True while the vehicle must be kept alive (e.g. crashed)."""
+
+
+class _IncidentBase:
+    """Shared bookkeeping: one-shot incident recording and accel limits."""
+
+    kind = "incident"
+    #: Incidents are abrupt: allow far harder accelerations than traffic.
+    BRAKE = 3.5
+
+    def __init__(self) -> None:
+        self._recorded = False
+
+    def accel_limit(self) -> float:
+        return self.BRAKE
+
+    def holds(self, frame: int) -> bool:
+        return False
+
+    def _record(
+        self,
+        world: "TrafficWorld",
+        vids: tuple[int, ...],
+        frame_start: int,
+        frame_end: int,
+    ) -> None:
+        if self._recorded:
+            return
+        world.record_incident(
+            IncidentRecord(self.kind, tuple(vids), int(frame_start),
+                           int(frame_end))
+        )
+        self._recorded = True
+
+
+class SuddenStop(_IncidentBase):
+    """Brake hard to a standstill at ``start``, hold, then resume the route."""
+
+    kind = "sudden_stop"
+
+    def __init__(self, start: int, hold: int = 25) -> None:
+        super().__init__()
+        check_positive("hold", hold)
+        self.start = int(start)
+        self.hold = int(hold)
+        self._stopped_at: int | None = None
+
+    def desired_velocity(self, vehicle, frame, world):
+        if frame < self.start:
+            return None
+        if self._stopped_at is None:
+            if vehicle.speed < 0.08:
+                self._stopped_at = frame
+                self._record(world, (vehicle.vid,), self.start,
+                             frame + self.hold)
+            return np.zeros(2)
+        if frame < self._stopped_at + self.hold:
+            return np.zeros(2)
+        return None  # resume normal route
+
+    def holds(self, frame: int) -> bool:
+        if frame < self.start:
+            return False
+        return self._stopped_at is None or frame < self._stopped_at + self.hold
+
+
+class WallCrash(_IncidentBase):
+    """Veer laterally out of the lane and slam into a wall at ``wall_y``.
+
+    Mirrors the paper's tunnel accidents.  The vehicle keeps most of its
+    forward speed while drifting toward the wall, then stops abruptly on
+    contact and stays there for ``hold`` frames before being towed
+    (retired from the world).
+    """
+
+    kind = "wall_crash"
+
+    def __init__(self, start: int, wall_y: float, *, veer_speed: float = 1.6,
+                 hold: int = 60) -> None:
+        super().__init__()
+        check_positive("veer_speed", veer_speed)
+        check_positive("hold", hold)
+        self.start = int(start)
+        self.wall_y = float(wall_y)
+        self.veer_speed = float(veer_speed)
+        self.hold = int(hold)
+        self._forward: np.ndarray | None = None
+        self._crashed_at: int | None = None
+
+    def desired_velocity(self, vehicle, frame, world):
+        if frame < self.start:
+            return None
+        if self._crashed_at is not None:
+            if frame >= self._crashed_at + self.hold:
+                vehicle.retired = True
+            return np.zeros(2)
+        if self._forward is None:
+            speed = max(vehicle.speed, 1.0)
+            self._forward = vehicle.vel / speed * speed
+        if abs(vehicle.pos[1] - self.wall_y) < 3.0:
+            self._crashed_at = frame
+            self._record(world, (vehicle.vid,), self.start,
+                         frame + min(self.hold, 20))
+            return np.zeros(2)
+        toward_wall = np.sign(self.wall_y - vehicle.pos[1])
+        return self._forward * 0.9 + np.array(
+            [0.0, toward_wall * self.veer_speed]
+        )
+
+    def holds(self, frame: int) -> bool:
+        return frame >= self.start and (
+            self._crashed_at is None or frame < self._crashed_at + self.hold
+        )
+
+
+class _SharedCollision:
+    """State shared by the controllers of all vehicles in one collision."""
+
+    def __init__(self) -> None:
+        self.triggered_at: int | None = None
+        self.recorded = False
+
+
+class CollisionCrash(_IncidentBase):
+    """Crash with a partner vehicle when the two get close enough.
+
+    Attach one controller per involved vehicle, all sharing a single
+    :class:`_SharedCollision` created by :func:`make_collision_pair`.  While
+    armed (inside the watch window) the controller monitors the distance to
+    the partner; once below ``trigger_dist`` both vehicles skid (deflected,
+    rapidly decaying velocity) and then stand still until towed.
+    """
+
+    kind = "collision"
+
+    def __init__(
+        self,
+        partner_vid: int,
+        shared: _SharedCollision,
+        *,
+        window: tuple[int, int],
+        trigger_dist: float = 14.0,
+        deflect_angle: float = 0.5,
+        hold: int = 50,
+    ) -> None:
+        super().__init__()
+        check_positive("trigger_dist", trigger_dist)
+        check_positive("hold", hold)
+        if window[1] <= window[0]:
+            raise ConfigurationError(
+                f"collision window must be increasing, got {window!r}"
+            )
+        self.partner_vid = int(partner_vid)
+        self.shared = shared
+        self.window = (int(window[0]), int(window[1]))
+        self.trigger_dist = float(trigger_dist)
+        self.deflect_angle = float(deflect_angle)
+        self.hold = int(hold)
+        self._skid: np.ndarray | None = None
+
+    def _partner(self, world: "TrafficWorld") -> "Vehicle | None":
+        for v in world.vehicles:
+            if v.vid == self.partner_vid:
+                return v
+        return None
+
+    def desired_velocity(self, vehicle, frame, world):
+        trig = self.shared.triggered_at
+        if trig is None:
+            if not (self.window[0] <= frame <= self.window[1]):
+                return None
+            partner = self._partner(world)
+            if partner is None or not partner.active_at(frame):
+                return None
+            dist = float(np.hypot(*(partner.pos - vehicle.pos)))
+            if dist >= self.trigger_dist:
+                return None
+            self.shared.triggered_at = frame
+            trig = frame
+        if not self.shared.recorded:
+            # One record per collision, covering both vehicles.  The
+            # visible incident is the impact and the first skid moments;
+            # the vehicles then standing still is ordinary scenery.
+            self._record(world, (vehicle.vid, self.partner_vid),
+                         max(0, trig - 2), trig + min(self.hold, 15))
+            self.shared.recorded = True
+        if self._skid is None:
+            angle = self.deflect_angle
+            cos_a, sin_a = np.cos(angle), np.sin(angle)
+            rot = np.array([[cos_a, -sin_a], [sin_a, cos_a]])
+            self._skid = rot @ vehicle.vel * 0.4
+        elapsed = frame - trig
+        if elapsed >= self.hold:
+            vehicle.retired = True
+            return np.zeros(2)
+        return self._skid * (0.75 ** elapsed)
+
+    def holds(self, frame: int) -> bool:
+        trig = self.shared.triggered_at
+        if trig is None:
+            return self.window[0] <= frame <= self.window[1]
+        return frame < trig + self.hold
+
+
+def make_collision_pair(
+    vid_a: int,
+    vid_b: int,
+    window: tuple[int, int],
+    *,
+    trigger_dist: float = 14.0,
+    hold: int = 50,
+) -> tuple[CollisionCrash, CollisionCrash]:
+    """Build the two coupled controllers for a two-vehicle collision."""
+    shared = _SharedCollision()
+    ctrl_a = CollisionCrash(vid_b, shared, window=window,
+                            trigger_dist=trigger_dist,
+                            deflect_angle=0.5, hold=hold)
+    ctrl_b = CollisionCrash(vid_a, shared, window=window,
+                            trigger_dist=trigger_dist,
+                            deflect_angle=-0.5, hold=hold)
+    return ctrl_a, ctrl_b
+
+
+class BenignBrake(_IncidentBase):
+    """Normal-driving distractor: slow down moderately, then resume.
+
+    Not an incident — nothing is recorded.  These maneuvers exist so the
+    initial square-sum heuristic has plausible false positives to rank,
+    like real traffic does (paper clip 1 starts at only 40% accuracy).
+    """
+
+    kind = "benign_brake"
+
+    def __init__(self, start: int, *, dip: float = 0.3,
+                 ramp: int = 8, hold: int = 12) -> None:
+        super().__init__()
+        check_positive("ramp", ramp)
+        check_positive("hold", hold)
+        if not 0.0 < dip < 1.0:
+            raise ConfigurationError(
+                f"dip must be a fraction in (0, 1), got {dip!r}"
+            )
+        self.start = int(start)
+        self.dip = float(dip)
+        self.ramp = int(ramp)
+        self.hold = int(hold)
+
+    def accel_limit(self) -> float:
+        return 2.4  # a hard-but-normal brake, below incident abruptness
+
+    def desired_velocity(self, vehicle, frame, world):
+        t = frame - self.start
+        if t < 0 or t > 2 * self.ramp + self.hold:
+            return None
+        if t < self.ramp:
+            factor = 1.0 - (1.0 - self.dip) * t / self.ramp
+        elif t < self.ramp + self.hold:
+            factor = self.dip
+        else:
+            factor = self.dip + (1.0 - self.dip) * (
+                (t - self.ramp - self.hold) / self.ramp)
+        return vehicle.route.desired_velocity(vehicle.pos) * factor
+
+
+class LaneChange(_IncidentBase):
+    """Normal-driving distractor: drift one lane over, keep going."""
+
+    kind = "lane_change"
+
+    def __init__(self, start: int, offset: float, *, duration: int = 12) -> None:
+        super().__init__()
+        check_positive("duration", duration)
+        self.start = int(start)
+        self.offset = float(offset)
+        self.duration = int(duration)
+        self._forward: np.ndarray | None = None
+
+    def accel_limit(self) -> float:
+        return 0.8
+
+    def desired_velocity(self, vehicle, frame, world):
+        t = frame - self.start
+        if t < 0 or t >= self.duration:
+            return None
+        if self._forward is None:
+            speed = max(vehicle.speed, 0.5)
+            self._forward = vehicle.vel / speed * speed
+            # Shift the remaining route laterally so the vehicle stays in
+            # the new lane after the maneuver.
+            lateral = np.array([-self._forward[1], self._forward[0]])
+            lateral = lateral / max(np.hypot(*lateral), 1e-9)
+            vehicle.route.waypoints = (
+                vehicle.route.waypoints + lateral * self.offset
+            )
+        lateral = np.array([-self._forward[1], self._forward[0]])
+        lateral = lateral / max(np.hypot(*lateral), 1e-9)
+        rate = self.offset / self.duration
+        return self._forward + lateral * rate
+
+
+class YieldBrake(_IncidentBase):
+    """Near-miss distractor: panic-brake for a crossing vehicle, then go.
+
+    Not an incident — the two vehicles never touch.  Produces the feature
+    signature automatic detectors most often confuse with a crash: a hard
+    velocity drop while another vehicle is close.
+    """
+
+    kind = "near_miss"
+
+    def __init__(self, partner_vid: int, *, window: tuple[int, int],
+                 brake_dist: float = 30.0, clear_dist: float = 26.0) -> None:
+        super().__init__()
+        check_positive("brake_dist", brake_dist)
+        check_positive("clear_dist", clear_dist)
+        if window[1] <= window[0]:
+            raise ConfigurationError(
+                f"yield window must be increasing, got {window!r}"
+            )
+        self.partner_vid = int(partner_vid)
+        self.window = (int(window[0]), int(window[1]))
+        self.brake_dist = float(brake_dist)
+        self.clear_dist = float(clear_dist)
+        self._braking = False
+        self._done = False
+
+    def accel_limit(self) -> float:
+        return 2.2  # panic braking, almost incident-hard
+
+    def _partner(self, world: "TrafficWorld") -> "Vehicle | None":
+        for v in world.vehicles:
+            if v.vid == self.partner_vid:
+                return v
+        return None
+
+    def desired_velocity(self, vehicle, frame, world):
+        if self._done or not (self.window[0] <= frame <= self.window[1]):
+            return None
+        partner = self._partner(world)
+        if partner is None or not partner.active_at(frame) or partner.retired:
+            if self._braking:
+                self._braking, self._done = False, True
+            return None
+        dist = float(np.hypot(*(partner.pos - vehicle.pos)))
+        if not self._braking:
+            # Brake only for a partner that is still ahead of us.
+            if dist < self.brake_dist and vehicle.speed > 1e-6:
+                heading = vehicle.vel / vehicle.speed
+                if float((partner.pos - vehicle.pos) @ heading) > 0:
+                    self._braking = True
+            if not self._braking:
+                return None
+        if dist > self.clear_dist and self._crossed(vehicle, partner):
+            self._braking, self._done = False, True
+            return None
+        return np.zeros(2)
+
+    @staticmethod
+    def _crossed(vehicle, partner) -> bool:
+        """Partner has moved past our path (no longer ahead of us)."""
+        if vehicle.speed < 1e-6:
+            direction = vehicle.route.desired_velocity(vehicle.pos)
+            norm = float(np.hypot(*direction))
+            if norm < 1e-6:
+                return True
+            heading = direction / norm
+        else:
+            heading = vehicle.vel / vehicle.speed
+        return float((partner.pos - vehicle.pos) @ heading) <= 2.0
+
+    def holds(self, frame: int) -> bool:
+        return self._braking
+
+
+class UTurn(_IncidentBase):
+    """Rotate the direction of travel by 180 degrees over ``duration``."""
+
+    kind = "u_turn"
+
+    def __init__(self, start: int, duration: int = 20) -> None:
+        super().__init__()
+        check_positive("duration", duration)
+        self.start = int(start)
+        self.duration = int(duration)
+        self._initial: np.ndarray | None = None
+
+    def desired_velocity(self, vehicle, frame, world):
+        if frame < self.start:
+            return None
+        if self._initial is None:
+            self._initial = vehicle.vel.copy()
+            if float(np.hypot(*self._initial)) < 0.5:
+                self._initial = np.array([1.5, 0.0])
+            self._record(world, (vehicle.vid,), self.start,
+                         self.start + self.duration)
+        t = min(frame - self.start, self.duration)
+        angle = np.pi * t / self.duration
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        rot = np.array([[cos_a, -sin_a], [sin_a, cos_a]])
+        return rot @ self._initial
+
+    def accel_limit(self) -> float:
+        return 1.8  # a turn is brisk but not crash-abrupt
+
+
+class Speeding(_IncidentBase):
+    """Travel at ``factor`` times the route's nominal speed."""
+
+    kind = "speeding"
+
+    def __init__(self, start: int, duration: int, factor: float = 2.2) -> None:
+        super().__init__()
+        check_positive("duration", duration)
+        if factor <= 1.0:
+            raise ConfigurationError(
+                f"speeding factor must exceed 1.0, got {factor!r}"
+            )
+        self.start = int(start)
+        self.duration = int(duration)
+        self.factor = float(factor)
+
+    def desired_velocity(self, vehicle, frame, world):
+        if not (self.start <= frame < self.start + self.duration):
+            return None
+        self._record(world, (vehicle.vid,), self.start,
+                     self.start + self.duration)
+        return vehicle.route.desired_velocity(vehicle.pos) * self.factor
+
+    def accel_limit(self) -> float:
+        return 1.2

@@ -1,0 +1,241 @@
+"""Raster renderer: simulated vehicle states -> noisy grayscale frames.
+
+The renderer exists so the *vision* side of the pipeline (background
+learning, SPCPE segmentation, blob tracking) runs on actual images, not on
+oracle positions.  Frames are uint8 grayscale with per-frame sensor noise
+and a small global illumination flicker, which is exactly the regime the
+paper's background-subtraction front end has to cope with.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.sim.camera import CameraModel
+from repro.sim.world import SimulationResult, VehicleState
+from repro.utils import as_rng, check_positive
+
+__all__ = ["Renderer", "render_clip", "build_background"]
+
+#: Gray level used outside the calibrated road plane (tilted cameras see
+#: sky/structure above the horizon).
+_VOID = 25.0
+
+_ROAD = 110.0
+_OFFROAD = 70.0
+_WALL = 35.0
+_MARKING = 160.0
+
+
+def build_background(width: int, height: int, metadata: dict) -> np.ndarray:
+    """Static scene background for a scenario, as float32 gray levels.
+
+    The layout key is ``metadata["scenario"]``: ``tunnel`` (horizontal road
+    with dark side walls), ``intersection`` (crossing roads), anything else
+    (plain horizontal road).
+    """
+    check_positive("width", width)
+    check_positive("height", height)
+    img = np.full((height, width), _OFFROAD, dtype=np.float32)
+    # Mild vertical illumination gradient so the background is not flat.
+    img += np.linspace(-4.0, 4.0, height, dtype=np.float32)[:, None]
+    cx, cy = width // 2, height // 2
+    scenario = metadata.get("scenario", "road")
+
+    xs = np.arange(width)
+    dashes_x = (xs % 24) < 12
+
+    if scenario == "tunnel":
+        road_half = 27
+        img[cy - road_half : cy + road_half, :] = _ROAD
+        img[cy - road_half - 8 : cy - road_half, :] = _WALL
+        img[cy + road_half : cy + road_half + 8, :] = _WALL
+        img[cy, dashes_x] = _MARKING
+    elif scenario == "intersection":
+        half = 18
+        img[cy - half : cy + half, :] = _ROAD
+        img[:, cx - half : cx + half] = _ROAD
+        ys = np.arange(height)
+        dashes_y = (ys % 24) < 12
+        outside_x = np.abs(xs - cx) > half
+        outside_y = np.abs(ys - cy) > half
+        img[cy, dashes_x & outside_x] = _MARKING
+        img[dashes_y & outside_y, cx] = _MARKING
+    else:
+        half = 20
+        img[cy - half : cy + half, :] = _ROAD
+        img[cy, dashes_x] = _MARKING
+    return img
+
+
+def _draw_vehicle(img: np.ndarray, state: VehicleState) -> None:
+    """Fill the axis-aligned vehicle rectangle, clipped to the frame."""
+    height, width = img.shape
+    hx, hy = state.half_extents()
+    x0 = max(int(round(state.x - hx)), 0)
+    x1 = min(int(round(state.x + hx)), width)
+    y0 = max(int(round(state.y - hy)), 0)
+    y1 = min(int(round(state.y + hy)), height)
+    if x1 <= x0 or y1 <= y0:
+        return
+    img[y0:y1, x0:x1] = state.intensity
+    # Darker roof stripe so vehicles are not perfectly flat blobs.
+    ry0 = y0 + max(1, (y1 - y0) // 3)
+    ry1 = min(y1, ry0 + max(1, (y1 - y0) // 4))
+    img[ry0:ry1, x0:x1] = max(state.intensity - 45.0, 10.0)
+
+
+class Renderer:
+    """Render frames for one :class:`SimulationResult`.
+
+    Parameters
+    ----------
+    result:
+        The simulation to render.
+    noise_sigma:
+        Standard deviation of additive per-pixel Gaussian sensor noise —
+        a scalar, or a per-pixel (height, width) array for spatially
+        varying noise (flickering reflections, a failing sensor region).
+    flicker_sigma:
+        Standard deviation of the per-frame multiplicative illumination
+        flicker (0 disables it).
+    seed:
+        RNG seed for the noise stream (independent of the simulation seed).
+    camera:
+        Optional :class:`~repro.sim.camera.CameraModel`.  When given, the
+        simulation's coordinates are treated as road-plane world
+        coordinates and the frame is shot through the camera: the
+        background is warped by the inverse homography and vehicles are
+        projected, scaled by local magnification.
+    """
+
+    def __init__(
+        self,
+        result: SimulationResult,
+        *,
+        noise_sigma: float | np.ndarray = 2.0,
+        flicker_sigma: float = 0.004,
+        illumination_drift: float = 0.0,
+        drift_period: int = 1200,
+        seed: int | np.random.Generator | None = 7,
+        camera: CameraModel | None = None,
+    ) -> None:
+        noise_sigma = np.asarray(noise_sigma, dtype=float)
+        if noise_sigma.ndim not in (0, 2):
+            raise ValueError(
+                "noise_sigma must be a scalar or (height, width) array"
+            )
+        if np.any(noise_sigma < 0) or flicker_sigma < 0:
+            raise ValueError("noise/flicker sigmas must be >= 0")
+        if illumination_drift < 0 or illumination_drift >= 1:
+            raise ValueError("illumination_drift must be in [0, 1)")
+        check_positive("drift_period", drift_period)
+        self.result = result
+        self.noise_sigma = (float(noise_sigma) if noise_sigma.ndim == 0
+                            else noise_sigma)
+        self.flicker_sigma = float(flicker_sigma)
+        self.illumination_drift = float(illumination_drift)
+        self.drift_period = int(drift_period)
+        self.rng = as_rng(seed)
+        self.camera = camera
+        world_bg = build_background(result.width, result.height,
+                                    result.metadata)
+        if camera is None:
+            self.background = world_bg
+        else:
+            self.background = self._warp_background(world_bg, camera)
+
+    @staticmethod
+    def _warp_background(world_bg: np.ndarray,
+                         camera: CameraModel) -> np.ndarray:
+        """Sample the world background through the camera (nearest px)."""
+        height, width = world_bg.shape
+        vs, us = np.mgrid[0:height, 0:width]
+        pixels = np.column_stack([us.ravel(), vs.ravel()]).astype(float)
+        # Guard against horizon pixels: do the division manually.
+        inv = np.linalg.inv(camera.matrix)
+        homogeneous = np.column_stack([pixels, np.ones(len(pixels))])
+        world = homogeneous @ inv.T
+        w = world[:, 2]
+        valid = np.abs(w) > 1e-9
+        out = np.full(height * width, _VOID, dtype=np.float32)
+        wx = np.where(valid, world[:, 0] / np.where(valid, w, 1.0), -1)
+        wy = np.where(valid, world[:, 1] / np.where(valid, w, 1.0), -1)
+        inside = valid & (wx >= 0) & (wx < width - 0.5) \
+            & (wy >= 0) & (wy < height - 0.5)
+        xi = np.clip(wx[inside].round().astype(int), 0, width - 1)
+        yi = np.clip(wy[inside].round().astype(int), 0, height - 1)
+        out[inside.nonzero()[0]] = world_bg[yi, xi]
+        return out.reshape(height, width)
+
+    def _through_camera(self, state: VehicleState) -> VehicleState | None:
+        """Project one vehicle's state into image coordinates."""
+        assert self.camera is not None
+        try:
+            image_pos = self.camera.project([[state.x, state.y]])[0]
+            ahead = self.camera.project(
+                [[state.x + state.vx, state.y + state.vy]])[0]
+        except Exception:
+            return None
+        scale = self.camera.local_scale([state.x, state.y])
+        if scale <= 1e-6:
+            return None
+        return VehicleState(
+            vid=state.vid, kind=state.kind,
+            x=float(image_pos[0]), y=float(image_pos[1]),
+            vx=float(ahead[0] - image_pos[0]),
+            vy=float(ahead[1] - image_pos[1]),
+            length=state.length * scale, width=state.width * scale,
+            intensity=state.intensity,
+        )
+
+    def gain(self, frame_index: int) -> float:
+        """Deterministic slow illumination drift (cloud cover, dusk)."""
+        if self.illumination_drift == 0.0:
+            return 1.0
+        phase = 2.0 * np.pi * frame_index / self.drift_period
+        return 1.0 + self.illumination_drift * np.sin(phase)
+
+    def clean_frame(self, frame_index: int) -> np.ndarray:
+        """Background + vehicles, float32, no noise or flicker."""
+        states = self.result.states[frame_index]
+        img = self.background.copy()
+        for state in states:
+            if self.camera is not None:
+                projected = self._through_camera(state)
+                if projected is None:
+                    continue
+                _draw_vehicle(img, projected)
+            else:
+                _draw_vehicle(img, state)
+        drift = self.gain(frame_index)
+        if drift != 1.0:
+            img *= drift
+        return img
+
+    def render(self, frame_index: int) -> np.ndarray:
+        """Render one frame as a uint8 grayscale image."""
+        img = self.clean_frame(frame_index)
+        if self.flicker_sigma > 0:
+            img *= 1.0 + self.rng.normal(0.0, self.flicker_sigma)
+        if np.any(self.noise_sigma > 0):
+            img += self.rng.normal(0.0, 1.0, size=img.shape) \
+                * self.noise_sigma
+        return np.clip(img, 0, 255).astype(np.uint8)
+
+    def frames(self) -> Iterator[np.ndarray]:
+        """Yield all frames in order (lazy; preferred for long clips)."""
+        for i in range(self.result.n_frames):
+            yield self.render(i)
+
+
+def render_clip(result: SimulationResult, **kwargs) -> np.ndarray:
+    """Render a whole clip into an (n_frames, height, width) uint8 array.
+
+    Convenience for short clips and tests; long clips should consume
+    :meth:`Renderer.frames` lazily instead.
+    """
+    renderer = Renderer(result, **kwargs)
+    return np.stack([renderer.render(i) for i in range(result.n_frames)])

@@ -1,0 +1,85 @@
+"""Workload statistics: does a simulated clip resemble its target?
+
+The substitution argument in DESIGN.md rests on the simulated workloads
+having the right *shape* — sparse single-vehicle tunnel traffic vs a
+denser multi-vehicle intersection.  This module quantifies that shape so
+tests and benchmark metadata can assert it instead of assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.sim.world import SimulationResult
+
+__all__ = ["TrafficStats", "traffic_statistics"]
+
+#: Speed below which a vehicle counts as stopped (pixels/frame).
+_STOP_SPEED = 0.2
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """Aggregate traffic measures over one simulated clip."""
+
+    n_frames: int
+    n_vehicles: int
+    mean_concurrency: float      # vehicles visible per frame
+    max_concurrency: int
+    mean_speed: float            # pixels/frame over moving vehicle-frames
+    speed_std: float
+    stop_fraction: float         # vehicle-frames spent (nearly) standing
+    mean_transit_frames: float   # frames a vehicle stays in scene
+    incidents_per_1k_frames: float
+    incident_kinds: tuple[str, ...]
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        return (
+            f"{self.n_vehicles} vehicles over {self.n_frames} frames: "
+            f"{self.mean_concurrency:.1f} concurrent on average (peak "
+            f"{self.max_concurrency}), mean speed "
+            f"{self.mean_speed:.1f} px/frame "
+            f"(std {self.speed_std:.1f}), {self.stop_fraction:.0%} of "
+            f"vehicle-time stationary, "
+            f"{self.incidents_per_1k_frames:.1f} incidents per 1k frames "
+            f"({', '.join(self.incident_kinds) or 'none'})"
+        )
+
+
+def traffic_statistics(result: SimulationResult) -> TrafficStats:
+    """Compute :class:`TrafficStats` for a simulation."""
+    concurrency = np.array([len(fs) for fs in result.states])
+    speeds: list[float] = []
+    stopped = 0
+    vehicle_frames: dict[int, int] = {}
+    for frame_states in result.states:
+        for s in frame_states:
+            vehicle_frames[s.vid] = vehicle_frames.get(s.vid, 0) + 1
+            if s.speed < _STOP_SPEED:
+                stopped += 1
+            else:
+                speeds.append(s.speed)
+    total_vehicle_frames = int(concurrency.sum())
+    kinds = tuple(sorted({r.kind for r in result.incidents}))
+    return TrafficStats(
+        n_frames=result.n_frames,
+        n_vehicles=len(vehicle_frames),
+        mean_concurrency=float(concurrency.mean()) if len(concurrency)
+        else 0.0,
+        max_concurrency=int(concurrency.max()) if len(concurrency) else 0,
+        mean_speed=float(np.mean(speeds)) if speeds else 0.0,
+        speed_std=float(np.std(speeds)) if speeds else 0.0,
+        stop_fraction=stopped / total_vehicle_frames
+        if total_vehicle_frames else 0.0,
+        mean_transit_frames=float(np.mean(list(vehicle_frames.values())))
+        if vehicle_frames else 0.0,
+        incidents_per_1k_frames=1000.0 * len(result.incidents)
+        / result.n_frames,
+        incident_kinds=kinds,
+    )

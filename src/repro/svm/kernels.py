@@ -1,0 +1,134 @@
+"""Kernel functions for the one-class SVM.
+
+The paper's Eq. (6) prints the RBF kernel as ``exp(||u-v|| / 2 sigma)``,
+which is a typo (it grows without bound and is not positive definite);
+following its reference [18] we implement the standard Gaussian RBF
+
+    K(u, v) = exp(-||u - v||^2 / (2 sigma^2)) = exp(-gamma ||u - v||^2).
+
+``RBFKernel.from_sigma`` exposes the paper's sigma parameterisation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils import check_2d, check_positive, pairwise_sq_dists
+
+__all__ = [
+    "Kernel",
+    "LinearKernel",
+    "RBFKernel",
+    "PolynomialKernel",
+    "resolve_kernel",
+]
+
+
+class Kernel(ABC):
+    """A positive-definite kernel; callable on row matrices."""
+
+    @abstractmethod
+    def compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Gram matrix between rows of ``a`` and rows of ``b``."""
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.compute(check_2d("a", a), check_2d("b", b))
+
+    def prepare(self, x: np.ndarray) -> "Kernel":
+        """Hook for data-dependent parameters (e.g. gamma='scale')."""
+        return self
+
+
+class LinearKernel(Kernel):
+    """K(u, v) = u . v"""
+
+    def compute(self, a, b):
+        return a @ b.T
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "LinearKernel()"
+
+
+class RBFKernel(Kernel):
+    """Gaussian kernel with sklearn-compatible gamma conventions.
+
+    ``gamma`` may be a positive float, ``"scale"`` (1 / (d * var(X)),
+    resolved at :meth:`prepare` time) or ``"auto"`` (1 / d).
+    """
+
+    def __init__(self, gamma: float | str = "scale") -> None:
+        if isinstance(gamma, str):
+            if gamma not in ("scale", "auto"):
+                raise ConfigurationError(
+                    f"gamma must be a positive float, 'scale' or 'auto', "
+                    f"got {gamma!r}"
+                )
+        else:
+            check_positive("gamma", gamma)
+        self.gamma = gamma
+
+    @classmethod
+    def from_sigma(cls, sigma: float) -> "RBFKernel":
+        """Paper parameterisation: K = exp(-||u-v||^2 / (2 sigma^2))."""
+        check_positive("sigma", sigma)
+        return cls(gamma=1.0 / (2.0 * sigma * sigma))
+
+    def prepare(self, x: np.ndarray) -> "RBFKernel":
+        if not isinstance(self.gamma, str):
+            return self
+        x = check_2d("x", x)
+        d = x.shape[1]
+        if self.gamma == "auto":
+            return RBFKernel(1.0 / d)
+        var = float(x.var())
+        return RBFKernel(1.0 / (d * var) if var > 1e-12 else 1.0 / d)
+
+    def compute(self, a, b):
+        if isinstance(self.gamma, str):
+            raise ConfigurationError(
+                "gamma is still symbolic; call prepare(X) first"
+            )
+        return np.exp(-self.gamma * pairwise_sq_dists(a, b))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RBFKernel(gamma={self.gamma!r})"
+
+
+class PolynomialKernel(Kernel):
+    """K(u, v) = (gamma u.v + coef0)^degree"""
+
+    def __init__(self, degree: int = 3, gamma: float = 1.0,
+                 coef0: float = 1.0) -> None:
+        check_positive("degree", degree)
+        check_positive("gamma", gamma)
+        self.degree = int(degree)
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def compute(self, a, b):
+        return (self.gamma * (a @ b.T) + self.coef0) ** self.degree
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PolynomialKernel(degree={self.degree}, gamma={self.gamma}, "
+                f"coef0={self.coef0})")
+
+
+def resolve_kernel(kernel: str | Kernel, *, gamma: float | str = "scale",
+                   degree: int = 3, coef0: float = 1.0) -> Kernel:
+    """Build a kernel from a name (sklearn-style) or pass one through."""
+    if isinstance(kernel, Kernel):
+        return kernel
+    if kernel == "rbf":
+        return RBFKernel(gamma)
+    if kernel == "linear":
+        return LinearKernel()
+    if kernel == "poly":
+        g = 1.0 if isinstance(gamma, str) else float(gamma)
+        return PolynomialKernel(degree=degree, gamma=g, coef0=coef0)
+    raise ConfigurationError(
+        f"unknown kernel {kernel!r}; expected 'rbf', 'linear', 'poly' or a "
+        f"Kernel instance"
+    )

@@ -1,0 +1,75 @@
+"""Feature scalers (fit on training data, apply everywhere).
+
+The paper is silent on scaling; its three accident features live on very
+different ranges (1/mdist in [0, 0.5], vdiff in pixels/frame, theta in
+[0, pi]), so both the heuristic square-sum score and the RBF kernel need
+the columns commensurate.  ``StandardScaler`` feeds the SVM,
+``MinMaxScaler`` feeds the heuristic/weighted-RF scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.utils import check_2d
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+_STD_FLOOR = 1e-12
+
+
+class StandardScaler:
+    """Per-column standardisation to zero mean / unit variance."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = check_2d("x", x)
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        self.scale_ = np.where(std > _STD_FLOOR, std, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler: call fit() first")
+        x = check_2d("x", x)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler: call fit() first")
+        x = check_2d("x", x)
+        return x * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Per-column scaling to [0, 1] over the fit data (clipped outside)."""
+
+    def __init__(self, clip: bool = True) -> None:
+        self.clip = bool(clip)
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        x = check_2d("x", x)
+        self.min_ = x.min(axis=0)
+        span = x.max(axis=0) - self.min_
+        self.range_ = np.where(span > _STD_FLOOR, span, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler: call fit() first")
+        x = check_2d("x", x)
+        out = (x - self.min_) / self.range_
+        return np.clip(out, 0.0, 1.0) if self.clip else out
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

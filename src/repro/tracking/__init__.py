@@ -1,0 +1,30 @@
+"""Tracking substrate: per-frame detections -> per-vehicle tracks.
+
+Implements the "tracking information ... used to determine the trails of
+vehicle objects" stage of the paper (Section 3.1): greedy-optimal data
+association of blob centroids across frames with constant-velocity
+prediction, track birth on unmatched detections and death after a run of
+misses.
+"""
+
+from repro.tracking.track import Track
+from repro.tracking.tracker import CentroidTracker
+from repro.tracking.smoothing import smooth_points
+from repro.tracking.stitching import stitch_tracks
+from repro.tracking.occlusion import (
+    MergeEvent,
+    MergeInterval,
+    detect_merge_events,
+    merge_intervals,
+)
+
+__all__ = [
+    "Track",
+    "CentroidTracker",
+    "smooth_points",
+    "stitch_tracks",
+    "MergeEvent",
+    "MergeInterval",
+    "detect_merge_events",
+    "merge_intervals",
+]

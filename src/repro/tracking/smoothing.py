@@ -1,0 +1,28 @@
+"""Light positional smoothing to damp segmentation jitter."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["smooth_points"]
+
+
+def smooth_points(points: np.ndarray, window: int = 3) -> np.ndarray:
+    """Centered moving average over an (n, 2) point sequence.
+
+    The window shrinks symmetrically near the ends so the output has the
+    same length and no phase lag.  ``window`` must be odd.
+    """
+    points = np.asarray(points, dtype=float).reshape(-1, 2)
+    if window < 1 or window % 2 == 0:
+        raise ConfigurationError(f"window must be odd and >= 1, got {window}")
+    if window == 1 or len(points) <= 2:
+        return points.copy()
+    half = window // 2
+    out = np.empty_like(points)
+    for i in range(len(points)):
+        reach = min(half, i, len(points) - 1 - i)
+        out[i] = points[i - reach : i + reach + 1].mean(axis=0)
+    return out

@@ -1,0 +1,117 @@
+"""Track stitching: re-join tracks split by occlusion or dropouts.
+
+A static occluder (pole, gantry), a long detector dropout or a merge of
+two blobs can end a track mid-scene and start a new one moments later.
+:func:`stitch_tracks` links such fragments when the kinematics agree:
+the earlier fragment's constant-velocity prediction lands near the later
+fragment's start, and the headings are compatible.  Fragments are joined
+greedily, closest prediction first, each fragment used at most once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tracking.track import Track
+from repro.utils import check_positive
+from repro.vision.blobs import Blob
+
+__all__ = ["stitch_tracks"]
+
+
+def _heading_compatible(tail: Track, head: Track,
+                        min_cos: float) -> bool:
+    """True when the two fragments travel in compatible directions."""
+    v_tail = tail.velocity()
+    v_head = head.velocity()
+    speed_tail = float(np.hypot(*v_tail))
+    speed_head = float(np.hypot(*v_head))
+    if speed_tail < 0.3 or speed_head < 0.3:
+        return True  # slow fragments: direction is noise, allow
+    cos = float(v_tail @ v_head) / (speed_tail * speed_head)
+    return cos >= min_cos
+
+
+def _join(tail: Track, head: Track) -> Track:
+    """Concatenate two fragments, keeping the earlier track's identity."""
+    joined = Track(tail.track_id)
+    for src in (tail, head):
+        for frame, (x, y), bbox, area in zip(src.frames, src.points,
+                                             src.bboxes, src.areas):
+            blob = Blob(cx=x, cy=y, x0=bbox[0], y0=bbox[1], x1=bbox[2],
+                        y1=bbox[3], area=area, mean_intensity=float("nan"))
+            joined.add(frame, blob)
+    return joined
+
+
+def stitch_tracks(
+    tracks: list[Track],
+    *,
+    max_gap: int = 15,
+    max_dist: float = 25.0,
+    min_cos: float = 0.5,
+) -> list[Track]:
+    """Join track fragments across short gaps.
+
+    Parameters
+    ----------
+    tracks:
+        Tracker output (fragments included).
+    max_gap:
+        Largest frame gap (exclusive of endpoints) bridged.
+    max_dist:
+        Largest distance between the tail's constant-velocity prediction
+        and the head's first observation.
+    min_cos:
+        Minimum cosine between the fragments' velocity directions (only
+        enforced when both fragments are actually moving).
+
+    Stitching repeats until no more joins apply, so chains A-B-C collapse
+    into one track.  Output is sorted by track id.
+    """
+    check_positive("max_gap", max_gap)
+    check_positive("max_dist", max_dist)
+    if not -1.0 <= min_cos <= 1.0:
+        raise ConfigurationError(
+            f"min_cos must be in [-1, 1], got {min_cos}"
+        )
+
+    pool = list(tracks)
+    changed = True
+    while changed:
+        changed = False
+        pool.sort(key=lambda t: (t.first_frame, t.track_id))
+        candidates: list[tuple[float, int, int]] = []
+        for i, tail in enumerate(pool):
+            for j, head in enumerate(pool):
+                if i == j:
+                    continue
+                gap = head.first_frame - tail.last_frame
+                if not 0 < gap <= max_gap:
+                    continue
+                predicted = tail.predict(head.first_frame)
+                dist = float(np.hypot(*(predicted
+                                        - head.point_array()[0])))
+                if dist > max_dist:
+                    continue
+                if not _heading_compatible(tail, head, min_cos):
+                    continue
+                candidates.append((dist, i, j))
+        used: set[int] = set()
+        joins: list[tuple[int, int]] = []
+        for dist, i, j in sorted(candidates):
+            if i in used or j in used:
+                continue
+            used.update((i, j))
+            joins.append((i, j))
+        if joins:
+            changed = True
+            joined = {i: _join(pool[i], pool[j]) for i, j in joins}
+            consumed = {j for _, j in joins}
+            pool = [
+                joined.get(k, track)
+                for k, track in enumerate(pool)
+                if k not in consumed
+            ]
+    return sorted(pool, key=lambda t: t.track_id)

@@ -1,0 +1,100 @@
+"""Track data type: one vehicle's observed trail through a clip."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.vision.blobs import Blob
+
+__all__ = ["Track"]
+
+
+class Track:
+    """An ordered sequence of (frame, centroid, MBR) observations.
+
+    Frames are strictly increasing but need not be contiguous (the tracker
+    coasts through short occlusions).  :meth:`position_at` interpolates
+    linearly inside gaps, which is what the event-feature sampler uses.
+    """
+
+    def __init__(self, track_id: int) -> None:
+        self.track_id = int(track_id)
+        self.frames: list[int] = []
+        self.points: list[tuple[float, float]] = []
+        self.bboxes: list[tuple[int, int, int, int]] = []
+        self.areas: list[int] = []
+
+    def add(self, frame: int, blob: Blob) -> None:
+        """Append one observation (frames must arrive in order)."""
+        if self.frames and frame <= self.frames[-1]:
+            raise ConfigurationError(
+                f"track {self.track_id}: frame {frame} not after "
+                f"{self.frames[-1]}"
+            )
+        self.frames.append(int(frame))
+        self.points.append((float(blob.cx), float(blob.cy)))
+        self.bboxes.append(blob.bbox)
+        self.areas.append(blob.area)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def first_frame(self) -> int:
+        return self.frames[0]
+
+    @property
+    def last_frame(self) -> int:
+        return self.frames[-1]
+
+    def frame_array(self) -> np.ndarray:
+        return np.asarray(self.frames, dtype=int)
+
+    def point_array(self) -> np.ndarray:
+        return np.asarray(self.points, dtype=float).reshape(-1, 2)
+
+    def velocity(self, lookback: int = 3) -> np.ndarray:
+        """Mean per-frame displacement over the last ``lookback`` steps."""
+        if len(self) < 2:
+            return np.zeros(2)
+        take = min(lookback + 1, len(self))
+        pts = self.point_array()[-take:]
+        frames = self.frame_array()[-take:]
+        span = frames[-1] - frames[0]
+        if span <= 0:
+            return np.zeros(2)
+        return (pts[-1] - pts[0]) / span
+
+    def predict(self, frame: int) -> np.ndarray:
+        """Constant-velocity position prediction for ``frame``."""
+        if not self.frames:
+            raise ConfigurationError("cannot predict from an empty track")
+        last = self.point_array()[-1]
+        return last + self.velocity() * (frame - self.last_frame)
+
+    def covers(self, frame: int) -> bool:
+        """True if ``frame`` lies inside the track's observed span."""
+        return bool(self.frames) and self.first_frame <= frame <= self.last_frame
+
+    def position_at(self, frame: int) -> np.ndarray:
+        """Centroid at ``frame``, interpolating linearly inside gaps."""
+        if not self.covers(frame):
+            raise ConfigurationError(
+                f"frame {frame} outside track span "
+                f"[{self.first_frame}, {self.last_frame}]"
+            )
+        frames = self.frame_array()
+        pts = self.point_array()
+        idx = int(np.searchsorted(frames, frame))
+        if idx < len(frames) and frames[idx] == frame:
+            return pts[idx]
+        lo, hi = idx - 1, idx
+        t = (frame - frames[lo]) / (frames[hi] - frames[lo])
+        return pts[lo] * (1.0 - t) + pts[hi] * t
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.frames:
+            return f"Track(id={self.track_id}, empty)"
+        return (f"Track(id={self.track_id}, frames={self.first_frame}.."
+                f"{self.last_frame}, n={len(self)})")

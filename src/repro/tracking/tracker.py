@@ -1,0 +1,109 @@
+"""Centroid tracker: Hungarian data association with velocity prediction."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.errors import ConfigurationError
+from repro.tracking.track import Track
+from repro.vision.pipeline import Detection
+
+__all__ = ["CentroidTracker"]
+
+
+class CentroidTracker:
+    """Associate per-frame detections into tracks.
+
+    Each frame, active tracks predict their centroid under a
+    constant-velocity model; the predicted-to-detected distance matrix is
+    solved optimally (Hungarian algorithm), matches beyond
+    ``max_match_dist`` are rejected, unmatched detections open new tracks
+    and tracks unmatched for more than ``max_misses`` consecutive frames
+    are closed.  Tracks shorter than ``min_track_length`` observations are
+    dropped as noise.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_match_dist: float = 28.0,
+        max_misses: int = 4,
+        min_track_length: int = 5,
+    ) -> None:
+        if max_match_dist <= 0:
+            raise ConfigurationError("max_match_dist must be > 0")
+        if max_misses < 0:
+            raise ConfigurationError("max_misses must be >= 0")
+        if min_track_length < 1:
+            raise ConfigurationError("min_track_length must be >= 1")
+        self.max_match_dist = float(max_match_dist)
+        self.max_misses = int(max_misses)
+        self.min_track_length = int(min_track_length)
+        self._next_id = 0
+        self._active: list[tuple[Track, int]] = []  # (track, misses)
+        self._finished: list[Track] = []
+
+    def _new_track(self, frame: int, detection: Detection) -> None:
+        track = Track(self._next_id)
+        self._next_id += 1
+        track.add(frame, detection.blob)
+        self._active.append((track, 0))
+
+    def update(self, frame: int, detections: Sequence[Detection]) -> None:
+        """Advance one frame of association."""
+        if not self._active:
+            for det in detections:
+                self._new_track(frame, det)
+            return
+
+        tracks = [t for t, _ in self._active]
+        misses = [m for _, m in self._active]
+        matched_tracks: set[int] = set()
+        matched_dets: set[int] = set()
+
+        if detections:
+            predicted = np.stack([t.predict(frame) for t in tracks])
+            observed = np.stack([d.centroid for d in detections])
+            cost = np.linalg.norm(
+                predicted[:, None, :] - observed[None, :, :], axis=2)
+            rows, cols = linear_sum_assignment(cost)
+            for r, c in zip(rows, cols):
+                if cost[r, c] <= self.max_match_dist:
+                    tracks[r].add(frame, detections[c].blob)
+                    matched_tracks.add(r)
+                    matched_dets.add(c)
+
+        next_active: list[tuple[Track, int]] = []
+        for i, track in enumerate(tracks):
+            if i in matched_tracks:
+                next_active.append((track, 0))
+            elif misses[i] + 1 > self.max_misses:
+                self._retire(track)
+            else:
+                next_active.append((track, misses[i] + 1))
+        self._active = next_active
+
+        for c, det in enumerate(detections):
+            if c not in matched_dets:
+                self._new_track(frame, det)
+
+    def _retire(self, track: Track) -> None:
+        if len(track) >= self.min_track_length:
+            self._finished.append(track)
+
+    def finish(self) -> list[Track]:
+        """Close all active tracks and return every kept track."""
+        for track, _ in self._active:
+            self._retire(track)
+        self._active = []
+        return sorted(self._finished, key=lambda t: t.track_id)
+
+    def track(self, detections_per_frame:
+              Sequence[Sequence[Detection]]) -> list[Track]:
+        """Convenience: run :meth:`update` over a whole clip and finish."""
+        for frame, dets in enumerate(detections_per_frame):
+            self.update(frame, dets)
+        return self.finish()

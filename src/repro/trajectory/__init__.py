@@ -1,0 +1,17 @@
+"""Trajectory modeling: least-squares polynomial curve fitting.
+
+Reproduces paper Section 3.2: a vehicle's centroid trail is approximated
+by a k-th degree polynomial fitted by least squares (Eq. 1-2); "the first
+derivative of a polynomial curve is a tangent vector, which represents the
+velocities of that vehicle at different time".
+"""
+
+from repro.trajectory.polyfit import fit_polynomial, vandermonde
+from repro.trajectory.curve import PolynomialCurve, TrajectoryModel
+
+__all__ = [
+    "fit_polynomial",
+    "vandermonde",
+    "PolynomialCurve",
+    "TrajectoryModel",
+]

@@ -1,0 +1,57 @@
+"""Least-squares polynomial fitting, written out as paper Eq. (1)-(2).
+
+Given n samples of (x, y), build the Vandermonde system
+
+    [1  x_1  ...  x_1^k] [a_0]   [y_1]
+    [1  x_2  ...  x_2^k] [a_1] = [y_2]
+    [ ...              ] [...]   [...]
+    [1  x_n  ...  x_n^k] [a_k]   [y_n]
+
+and solve it in the least-squares sense.  Inputs are shifted/scaled to a
+centered unit interval internally for conditioning; coefficients are
+returned in that normalized basis together with the transform, wrapped by
+:class:`repro.trajectory.curve.PolynomialCurve`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["vandermonde", "fit_polynomial"]
+
+
+def vandermonde(x: np.ndarray, degree: int) -> np.ndarray:
+    """Column matrix [x^0, x^1, ..., x^degree] (paper Eq. 2, lhs)."""
+    if degree < 0:
+        raise ConfigurationError(f"degree must be >= 0, got {degree}")
+    x = np.asarray(x, dtype=float).ravel()
+    return np.vander(x, degree + 1, increasing=True)
+
+
+def fit_polynomial(x: np.ndarray, y: np.ndarray,
+                   degree: int) -> tuple[np.ndarray, float]:
+    """Fit ``y ~ a_0 + a_1 x + ... + a_k x^k`` by least squares.
+
+    Returns ``(coefficients, rms_residual)`` with coefficients in
+    increasing-power order ``[a_0, ..., a_k]``.  The requested degree is
+    capped at ``n_points - 1`` (an exact interpolation) so the system is
+    never underdetermined.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if len(x) != len(y):
+        raise ConfigurationError(
+            f"x and y must have equal length, got {len(x)} and {len(y)}"
+        )
+    if len(x) == 0:
+        raise ConfigurationError("cannot fit a polynomial to 0 points")
+    effective = min(degree, len(x) - 1)
+    matrix = vandermonde(x, effective)
+    coeffs, *_ = np.linalg.lstsq(matrix, y, rcond=None)
+    residuals = y - matrix @ coeffs
+    rms = float(np.sqrt(np.mean(residuals**2)))
+    if effective < degree:
+        coeffs = np.concatenate([coeffs, np.zeros(degree - effective)])
+    return coeffs, rms

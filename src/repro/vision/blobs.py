@@ -1,0 +1,120 @@
+"""Blob extraction: foreground mask -> vehicle candidates.
+
+Produces, per connected foreground component, the Minimal Bounding
+Rectangle (MBR) and centroid the paper tracks (Figure 1: "the yellow
+rectangular area is the MBR ... (x_centroid, y_centroid) ... used for
+tracking the positions of vehicles across video frames").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.errors import PipelineError
+
+__all__ = ["Blob", "clean_mask", "extract_blobs"]
+
+
+@dataclass(frozen=True)
+class Blob:
+    """One connected foreground component.
+
+    Coordinates are in pixel units; the bounding box is half-open
+    ``[x0, x1) x [y0, y1)`` and the centroid is the foreground-pixel mean.
+    """
+
+    cx: float
+    cy: float
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+    area: int
+    mean_intensity: float
+
+    @property
+    def centroid(self) -> np.ndarray:
+        return np.array([self.cx, self.cy])
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def bbox(self) -> tuple[int, int, int, int]:
+        return (self.x0, self.y0, self.x1, self.y1)
+
+    def mask_slice(self) -> tuple[slice, slice]:
+        """(row, col) slices of the MBR, for cutting patches."""
+        return slice(self.y0, self.y1), slice(self.x0, self.x1)
+
+
+def clean_mask(mask: np.ndarray, *, open_iterations: int = 1,
+               close_iterations: int = 1) -> np.ndarray:
+    """Morphological cleanup: opening kills speckle, closing fills holes."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise PipelineError(f"mask must be 2-D, got shape {mask.shape}")
+    out = mask
+    if open_iterations > 0:
+        out = ndimage.binary_opening(out, iterations=open_iterations)
+    if close_iterations > 0:
+        out = ndimage.binary_closing(out, iterations=close_iterations)
+    return out
+
+
+def extract_blobs(mask: np.ndarray, frame: np.ndarray | None = None,
+                  *, min_area: int = 20,
+                  max_area: int | None = None) -> list[Blob]:
+    """Connected components of ``mask`` as :class:`Blob` records.
+
+    ``frame`` (if given) supplies the mean intensity per blob; components
+    outside [min_area, max_area] are discarded as noise / lighting
+    artifacts.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise PipelineError(f"mask must be 2-D, got shape {mask.shape}")
+    labels, n = ndimage.label(mask)
+    if n == 0:
+        return []
+    blobs: list[Blob] = []
+    slices = ndimage.find_objects(labels)
+    for index, box in enumerate(slices, start=1):
+        if box is None:
+            continue
+        component = labels[box] == index
+        area = int(component.sum())
+        if area < min_area:
+            continue
+        if max_area is not None and area > max_area:
+            continue
+        ys, xs = np.nonzero(component)
+        y_off, x_off = box[0].start, box[1].start
+        cy = float(ys.mean() + y_off)
+        cx = float(xs.mean() + x_off)
+        if frame is not None:
+            patch = np.asarray(frame, dtype=float)[box]
+            mean_intensity = float(patch[component].mean())
+        else:
+            mean_intensity = float("nan")
+        blobs.append(
+            Blob(
+                cx=cx,
+                cy=cy,
+                x0=int(x_off),
+                y0=int(y_off),
+                x1=int(box[1].stop),
+                y1=int(box[0].stop),
+                area=area,
+                mean_intensity=mean_intensity,
+            )
+        )
+    return blobs

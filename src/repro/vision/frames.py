@@ -1,0 +1,129 @@
+"""Video clip abstraction consumed by the vision pipeline.
+
+A :class:`VideoClip` is a sequence of grayscale uint8 frames plus the
+metadata the database layer stores (clip id, fps, location, camera).
+Frames can be held eagerly (an ``(n, h, w)`` array) or produced lazily by a
+renderer, which matters for the paper-scale 2500-frame tunnel clip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import PipelineError
+
+__all__ = ["VideoClip"]
+
+
+class VideoClip:
+    """A grayscale video clip: indexed frame access plus metadata."""
+
+    def __init__(
+        self,
+        clip_id: str,
+        n_frames: int,
+        frame_getter: Callable[[int], np.ndarray],
+        *,
+        fps: float = 25.0,
+        metadata: dict | None = None,
+    ) -> None:
+        if n_frames <= 0:
+            raise PipelineError(f"clip {clip_id!r} has no frames")
+        if fps <= 0:
+            raise PipelineError(f"clip {clip_id!r} has non-positive fps")
+        self.clip_id = str(clip_id)
+        self.n_frames = int(n_frames)
+        self.fps = float(fps)
+        self.metadata = dict(metadata or {})
+        self._getter = frame_getter
+        self._shape: tuple[int, int] | None = None
+
+    @classmethod
+    def from_array(cls, clip_id: str, frames: np.ndarray,
+                   **kwargs) -> "VideoClip":
+        """Wrap an eager ``(n, h, w)`` uint8 array."""
+        frames = np.asarray(frames)
+        if frames.ndim != 3:
+            raise PipelineError(
+                f"expected (n_frames, h, w) array, got shape {frames.shape}"
+            )
+        return cls(clip_id, len(frames), lambda i: frames[i], **kwargs)
+
+    @classmethod
+    def from_simulation(cls, result, *,
+                        noise_sigma: "float | np.ndarray" = 2.0,
+                        render_seed: int = 7, fps: float = 25.0,
+                        camera=None,
+                        illumination_drift: float = 0.0) -> "VideoClip":
+        """Render a :class:`~repro.sim.world.SimulationResult` lazily.
+
+        Each frame is rendered on demand with a per-frame-seeded noise
+        stream, so random access stays deterministic without holding the
+        whole clip in memory.  ``camera`` (a
+        :class:`~repro.sim.camera.CameraModel`) shoots the scenario
+        through a projective camera instead of the identity view.
+        """
+        from repro.sim.render import Renderer
+
+        base = Renderer(result, noise_sigma=0.0, flicker_sigma=0.0,
+                        camera=camera,
+                        illumination_drift=illumination_drift)
+
+        sigma = np.asarray(noise_sigma, dtype=float)
+
+        def get(i: int) -> np.ndarray:
+            rng = np.random.default_rng((render_seed, i))
+            img = base.clean_frame(i)
+            if np.any(sigma > 0):
+                img += rng.normal(0.0, 1.0, size=img.shape) * sigma
+            return np.clip(img, 0, 255).astype(np.uint8)
+
+        metadata = dict(result.metadata)
+        metadata.setdefault("width", result.width)
+        metadata.setdefault("height", result.height)
+        if camera is not None:
+            metadata["camera_matrix"] = camera.matrix.tolist()
+        return cls(result.name, result.n_frames, get, fps=fps,
+                   metadata=metadata)
+
+    def get(self, index: int) -> np.ndarray:
+        """Return frame ``index`` as a uint8 array."""
+        if not 0 <= index < self.n_frames:
+            raise IndexError(
+                f"frame {index} out of range [0, {self.n_frames})"
+            )
+        frame = np.asarray(self._getter(index))
+        if frame.ndim != 2:
+            raise PipelineError(
+                f"frame {index} of clip {self.clip_id!r} is not grayscale "
+                f"2-D (shape {frame.shape})"
+            )
+        if self._shape is None:
+            self._shape = frame.shape
+        elif frame.shape != self._shape:
+            raise PipelineError(
+                f"frame {index} shape {frame.shape} differs from earlier "
+                f"frames {self._shape}"
+            )
+        return frame
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(height, width) of the frames."""
+        if self._shape is None:
+            self.get(0)
+        assert self._shape is not None
+        return self._shape
+
+    def __len__(self) -> int:
+        return self.n_frames
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for i in range(self.n_frames):
+            yield self.get(i)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"VideoClip(id={self.clip_id!r}, n_frames={self.n_frames}, "
+                f"fps={self.fps})")

@@ -1,0 +1,169 @@
+"""Detection and tracking quality metrics against simulator ground truth.
+
+The retrieval benchmarks measure end-task accuracy; these metrics grade
+the *front end* — how well detections and tracks match the simulated
+vehicles — so regressions in the vision substrate are caught where they
+happen, and ablations (background models, occluders, stitching) can be
+quantified structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.world import SimulationResult
+from repro.utils import check_positive
+
+__all__ = [
+    "DetectionQuality",
+    "TrackingQuality",
+    "evaluate_detections",
+    "evaluate_tracking",
+]
+
+
+@dataclass(frozen=True)
+class DetectionQuality:
+    """Frame-level detection quality."""
+
+    n_truth: int
+    n_detections: int
+    recall: float
+    precision: float
+    false_positives_per_frame: float
+    mean_position_error: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DetectionQuality(recall={self.recall:.2f}, "
+                f"precision={self.precision:.2f}, "
+                f"fp/frame={self.false_positives_per_frame:.2f}, "
+                f"err={self.mean_position_error:.2f}px)")
+
+
+@dataclass(frozen=True)
+class TrackingQuality:
+    """Track-level quality: coverage, fragmentation, identity purity."""
+
+    n_vehicles: int
+    n_tracks: int
+    coverage: float           # matched truth-frames / truth-frames
+    fragments_per_vehicle: float  # distinct tracks serving one vehicle
+    purity: float             # tracks serving exactly one vehicle
+    mean_position_error: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TrackingQuality(coverage={self.coverage:.2f}, "
+                f"fragments={self.fragments_per_vehicle:.2f}, "
+                f"purity={self.purity:.2f})")
+
+
+def _truth_states(result: SimulationResult, frame: int, margin: float):
+    return [
+        s for s in result.states[frame]
+        if margin < s.x < result.width - margin
+        and margin < s.y < result.height - margin
+    ]
+
+
+def evaluate_detections(
+    result: SimulationResult,
+    detections_per_frame,
+    *,
+    match_dist: float = 10.0,
+    margin: float = 8.0,
+    start_frame: int = 40,
+) -> DetectionQuality:
+    """Grade per-frame detections against true vehicle positions.
+
+    A truth vehicle counts as recalled when a detection centroid lies
+    within ``match_dist``; a detection counts as a false positive when no
+    truth vehicle lies within ``1.4 * match_dist``.  The first
+    ``start_frame`` frames are skipped (background bootstrap).
+    """
+    check_positive("match_dist", match_dist)
+    if len(detections_per_frame) != result.n_frames:
+        raise ConfigurationError(
+            f"{len(detections_per_frame)} detection frames for a "
+            f"{result.n_frames}-frame clip"
+        )
+    hits = total_truth = total_dets = false_pos = 0
+    errors: list[float] = []
+    n_frames = 0
+    for frame in range(start_frame, result.n_frames):
+        truths = _truth_states(result, frame, margin)
+        dets = detections_per_frame[frame]
+        total_truth += len(truths)
+        total_dets += len(dets)
+        n_frames += 1
+        for s in truths:
+            dists = [float(np.hypot(d.blob.cx - s.x, d.blob.cy - s.y))
+                     for d in dets]
+            if dists and min(dists) < match_dist:
+                hits += 1
+                errors.append(min(dists))
+        for d in dets:
+            if not any(np.hypot(d.blob.cx - s.x, d.blob.cy - s.y)
+                       < 1.4 * match_dist for s in result.states[frame]):
+                false_pos += 1
+    return DetectionQuality(
+        n_truth=total_truth,
+        n_detections=total_dets,
+        recall=hits / total_truth if total_truth else 0.0,
+        precision=(total_dets - false_pos) / total_dets
+        if total_dets else 0.0,
+        false_positives_per_frame=false_pos / max(n_frames, 1),
+        mean_position_error=float(np.mean(errors)) if errors else 0.0,
+    )
+
+
+def evaluate_tracking(
+    result: SimulationResult,
+    tracks,
+    *,
+    match_dist: float = 14.0,
+    margin: float = 8.0,
+    start_frame: int = 40,
+) -> TrackingQuality:
+    """Grade tracks: per-frame nearest matching, then structure metrics.
+
+    ``coverage`` — fraction of (in-frame) truth observations matched by
+    some track; ``fragments_per_vehicle`` — mean number of distinct
+    tracks that ever serve one vehicle (1.0 is ideal); ``purity`` —
+    fraction of tracks that only ever serve a single vehicle.
+    """
+    check_positive("match_dist", match_dist)
+    vehicle_tracks: dict[int, set[int]] = {}
+    track_vehicles: dict[int, set[int]] = {t.track_id: set() for t in tracks}
+    matched = total = 0
+    errors: list[float] = []
+    for frame in range(start_frame, result.n_frames):
+        truths = _truth_states(result, frame, margin)
+        live = [(t.track_id, t.position_at(frame))
+                for t in tracks if t.covers(frame)]
+        for s in truths:
+            total += 1
+            best_id, best_dist = None, np.inf
+            for track_id, pos in live:
+                dist = float(np.hypot(pos[0] - s.x, pos[1] - s.y))
+                if dist < best_dist:
+                    best_id, best_dist = track_id, dist
+            if best_id is not None and best_dist < match_dist:
+                matched += 1
+                errors.append(best_dist)
+                vehicle_tracks.setdefault(s.vid, set()).add(best_id)
+                track_vehicles[best_id].add(s.vid)
+    serving = [ids for ids in vehicle_tracks.values() if ids]
+    pure = [vids for vids in track_vehicles.values() if len(vids) == 1]
+    used = [vids for vids in track_vehicles.values() if vids]
+    return TrackingQuality(
+        n_vehicles=len(vehicle_tracks),
+        n_tracks=len(tracks),
+        coverage=matched / total if total else 0.0,
+        fragments_per_vehicle=float(np.mean([len(s) for s in serving]))
+        if serving else 0.0,
+        purity=len(pure) / len(used) if used else 0.0,
+        mean_position_error=float(np.mean(errors)) if errors else 0.0,
+    )

@@ -1,0 +1,24 @@
+"""Shared fixtures: small deterministic scenarios reused across test files."""
+
+import numpy as np
+import pytest
+
+from repro.sim import intersection, tunnel
+
+
+@pytest.fixture(scope="session")
+def small_tunnel():
+    """A short tunnel clip with a couple of incidents (session-cached)."""
+    return tunnel(n_frames=500, seed=3, spawn_interval=(60.0, 90.0),
+                  n_wall_crashes=2, n_sudden_stops=1)
+
+
+@pytest.fixture(scope="session")
+def small_intersection():
+    """A short intersection clip with two collisions (session-cached)."""
+    return intersection(n_frames=400, seed=4, n_collisions=2)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,75 @@
+"""Shared fixtures for the core MIL/RF tests.
+
+``toy_dataset`` builds a small, fully controlled MIL dataset with known
+instance semantics: "event" instances carry a deceleration spike (the
+signed-vdiff signature of an incident), "brake" instances a V-shaped
+brake-and-resume, "normal" instances are quiet.  Ground truth for the
+oracle is expressed through frame windows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bags import Bag, Instance, MILDataset
+from repro.sim.ground_truth import GroundTruth
+from repro.sim.incidents import IncidentRecord
+
+
+def _matrix(kind, rng):
+    noise = rng.normal(0, 0.05, size=(3, 3))
+    base = np.zeros((3, 3))
+    if kind == "event":
+        # columns: [inv_mdist, vdiff, theta].  Deceleration that sticks,
+        # with a nearby vehicle.  Magnitudes overlap the brake class so
+        # the square-sum heuristic cannot fully separate them.
+        base[1] = [0.4, -rng.uniform(0.8, 1.5), rng.uniform(0.1, 0.4)]
+        base[2] = [0.45, -rng.uniform(0.5, 1.2), 0.1]
+    elif kind == "brake":
+        # V-shaped brake-and-resume, alone in frame.
+        base[1] = [0.0, -rng.uniform(1.0, 1.7), 0.05]
+        base[2] = [0.0, rng.uniform(0.9, 1.6), 0.05]
+    return base + noise
+
+
+def make_toy(n_event=8, n_brake=8, n_normal=24, seed=0,
+             instances_per_bag=1):
+    """Build (dataset, ground_truth).  One bag per 15-frame window."""
+    rng = np.random.default_rng(seed)
+    kinds = (["event"] * n_event + ["brake"] * n_brake
+             + ["normal"] * n_normal)
+    rng.shuffle(kinds)
+    bags, incidents = [], []
+    iid = 0
+    for b, kind in enumerate(kinds):
+        lo, hi = b * 15, b * 15 + 14
+        instances = []
+        members = [kind] + ["normal"] * (instances_per_bag - 1)
+        for member in members:
+            instances.append(
+                Instance(instance_id=iid, bag_id=b, track_id=iid,
+                         matrix=_matrix(member, rng))
+            )
+            iid += 1
+        bags.append(Bag(bag_id=b, clip_id="toy", frame_lo=lo, frame_hi=hi,
+                        instances=tuple(instances)))
+        if kind == "event":
+            incidents.append(
+                IncidentRecord("collision", (iid - 1,), lo + 2, hi - 2)
+            )
+    dataset = MILDataset(
+        clip_id="toy", event_name="accident",
+        feature_names=("inv_mdist", "vdiff", "theta"),
+        window_size=3, sampling_rate=5, bags=bags,
+    )
+    return dataset, GroundTruth(incidents=incidents)
+
+
+@pytest.fixture()
+def toy():
+    return make_toy()
+
+
+@pytest.fixture()
+def toy_multi():
+    """Bags with 3 instances each (one meaningful + two normal)."""
+    return make_toy(instances_per_bag=3, seed=1)

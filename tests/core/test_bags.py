@@ -1,0 +1,91 @@
+"""Tests for MIL bag/instance structures (paper Eq. 3-4 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bags import Bag, Instance, MILDataset
+from repro.errors import ConfigurationError
+
+
+def _inst(iid=0, bag=0, matrix=None):
+    return Instance(instance_id=iid, bag_id=bag, track_id=iid,
+                    matrix=matrix if matrix is not None else np.ones((3, 2)))
+
+
+class TestInstance:
+    def test_vector_is_flattened_matrix(self):
+        matrix = np.arange(6.0).reshape(3, 2)
+        inst = _inst(matrix=matrix)
+        assert np.array_equal(inst.vector, np.arange(6.0))
+        assert inst.window_size == 3
+        assert inst.n_features == 2
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ConfigurationError):
+            _inst(matrix=np.empty((0, 3)))
+
+    def test_rejects_1d_matrix(self):
+        with pytest.raises(ConfigurationError):
+            _inst(matrix=np.ones(5))
+
+
+class TestBag:
+    def test_instances_must_carry_bag_id(self):
+        with pytest.raises(ConfigurationError, match="carries bag_id"):
+            Bag(bag_id=1, clip_id="c", frame_lo=0, frame_hi=10,
+                instances=(_inst(bag=2),))
+
+    def test_rejects_inverted_frames(self):
+        with pytest.raises(ConfigurationError):
+            Bag(bag_id=0, clip_id="c", frame_lo=10, frame_hi=5,
+                instances=())
+
+    def test_instance_matrix_stacks_vectors(self):
+        bag = Bag(bag_id=0, clip_id="c", frame_lo=0, frame_hi=10,
+                  instances=(_inst(0), _inst(1)))
+        assert bag.instance_matrix().shape == (2, 6)
+        assert bag.n_instances == 2
+
+    def test_empty_bag(self):
+        bag = Bag(bag_id=0, clip_id="c", frame_lo=0, frame_hi=10,
+                  instances=())
+        assert bag.instance_matrix().size == 0
+
+
+class TestMILDataset:
+    def _dataset(self):
+        bags = [
+            Bag(bag_id=0, clip_id="c", frame_lo=0, frame_hi=14,
+                instances=(_inst(0, 0),)),
+            Bag(bag_id=1, clip_id="c", frame_lo=15, frame_hi=29,
+                instances=(_inst(1, 1), _inst(2, 1))),
+            Bag(bag_id=2, clip_id="c", frame_lo=30, frame_hi=44,
+                instances=()),
+        ]
+        return MILDataset(clip_id="c", event_name="accident",
+                          feature_names=("a", "b"), window_size=3,
+                          sampling_rate=5, bags=bags)
+
+    def test_counts(self):
+        ds = self._dataset()
+        assert len(ds) == 3
+        assert ds.n_instances == 3
+        assert len(ds.non_empty_bags()) == 2
+
+    def test_bag_by_id(self):
+        ds = self._dataset()
+        assert ds.bag_by_id(1).n_instances == 2
+        with pytest.raises(ConfigurationError):
+            ds.bag_by_id(99)
+
+    def test_instance_matrix_shape(self):
+        ds = self._dataset()
+        assert ds.instance_matrix().shape == (3, 6)
+
+    def test_frame_windows(self):
+        ds = self._dataset()
+        assert ds.frame_windows() == [(0, 14), (15, 29), (30, 44)]
+
+    def test_iteration(self):
+        ds = self._dataset()
+        assert [b.bag_id for b in ds] == [0, 1, 2]

@@ -1,0 +1,95 @@
+"""Tests for merged multi-clip datasets and the multi-clip oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import MILRetrievalEngine, MultiClipOracle, RetrievalSession
+from repro.core.bags import merge_datasets
+from repro.errors import ConfigurationError
+from tests.core.conftest import make_toy
+
+
+class TestMergeDatasets:
+    def test_merge_two(self):
+        ds_a, _ = make_toy(n_event=3, n_brake=3, n_normal=4, seed=0)
+        ds_b, _ = make_toy(n_event=2, n_brake=2, n_normal=4, seed=1)
+        for bag in ds_b.bags:
+            object.__setattr__(bag, "clip_id", "toyB")
+        merged = merge_datasets([ds_a, ds_b])
+        assert len(merged) == len(ds_a) + len(ds_b)
+        assert merged.n_instances == ds_a.n_instances + ds_b.n_instances
+
+    def test_ids_renumbered_uniquely(self):
+        ds_a, _ = make_toy(n_event=2, n_brake=2, n_normal=2, seed=0)
+        ds_b, _ = make_toy(n_event=2, n_brake=2, n_normal=2, seed=1)
+        merged = merge_datasets([ds_a, ds_b])
+        bag_ids = [b.bag_id for b in merged.bags]
+        inst_ids = [i.instance_id for i in merged.all_instances()]
+        assert bag_ids == sorted(set(bag_ids))
+        assert inst_ids == sorted(set(inst_ids))
+
+    def test_source_clip_id_preserved(self):
+        ds_a, _ = make_toy(n_event=1, n_brake=1, n_normal=1, seed=0)
+        ds_b, _ = make_toy(n_event=1, n_brake=1, n_normal=1, seed=1)
+        for bag in ds_b.bags:
+            object.__setattr__(bag, "clip_id", "toyB")
+        merged = merge_datasets([ds_a, ds_b])
+        clips = {b.clip_id for b in merged.bags}
+        assert clips == {"toy", "toyB"}
+
+    def test_matrices_preserved(self):
+        ds_a, _ = make_toy(n_event=2, n_brake=0, n_normal=2, seed=0)
+        merged = merge_datasets([ds_a])
+        for orig, new in zip(ds_a.all_instances(),
+                             merged.all_instances()):
+            assert np.array_equal(orig.matrix, new.matrix)
+
+    def test_incompatible_rejected(self):
+        ds_a, _ = make_toy(n_event=1, n_brake=1, n_normal=1)
+        ds_b, _ = make_toy(n_event=1, n_brake=1, n_normal=1)
+        ds_b.window_size = 5
+        with pytest.raises(ConfigurationError, match="not compatible"):
+            merge_datasets([ds_a, ds_b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_datasets([])
+
+
+class TestMultiClipOracle:
+    def _merged_with_truths(self):
+        ds_a, gt_a = make_toy(n_event=3, n_brake=3, n_normal=6, seed=0)
+        ds_b, gt_b = make_toy(n_event=3, n_brake=3, n_normal=6, seed=1)
+        for bag in ds_b.bags:
+            object.__setattr__(bag, "clip_id", "toyB")
+        merged = merge_datasets([ds_a, ds_b])
+        return merged, {"toy": gt_a, "toyB": gt_b}
+
+    def test_routes_to_right_truth(self):
+        merged, truths = self._merged_with_truths()
+        oracle = MultiClipOracle(truths)
+        from repro.core import OracleUser
+
+        users = {cid: OracleUser(gt) for cid, gt in truths.items()}
+        for bag in merged.bags:
+            assert oracle.true_label(bag) == users[bag.clip_id].true_label(bag)
+
+    def test_unknown_clip_rejected(self):
+        merged, truths = self._merged_with_truths()
+        oracle = MultiClipOracle({"toy": truths["toy"]})
+        bad = next(b for b in merged.bags if b.clip_id == "toyB")
+        with pytest.raises(ConfigurationError, match="unknown clip"):
+            oracle.label(bad)
+
+    def test_empty_truths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiClipOracle({})
+
+    def test_session_over_merged_corpus(self):
+        merged, truths = self._merged_with_truths()
+        engine = MILRetrievalEngine(merged)
+        session = RetrievalSession(engine, MultiClipOracle(truths),
+                                   top_k=10)
+        accs = [r.accuracy() for r in session.run(3)]
+        assert len(accs) == 3
+        assert accs[-1] >= accs[0]

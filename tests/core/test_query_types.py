@@ -1,0 +1,147 @@
+"""Tests for query-by-example / sketch / combined queries (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OracleUser, RetrievalSession
+from repro.core.query_types import (
+    CombinedQueryEngine,
+    ExampleQueryEngine,
+    sketch_to_example,
+    similarity_scores,
+)
+from repro.errors import ConfigurationError
+from repro.events import AccidentModel, SamplingConfig
+from tests.core.conftest import make_toy
+
+
+def _event_example(ds, gt):
+    """Pick a true event instance's vector as the example."""
+    for bag in ds.bags:
+        if gt.label_window(bag.frame_lo, bag.frame_hi):
+            return bag.instances[0].vector
+    raise AssertionError("no event bag in toy dataset")
+
+
+class TestSimilarityScores:
+    def test_example_itself_scores_highest(self, toy):
+        ds, gt = toy
+        example = _event_example(ds, gt)
+        _, inst_scores = similarity_scores(ds, [example])
+        best = max(inst_scores, key=inst_scores.get)
+        best_vec = next(i.vector for i in ds.all_instances()
+                        if i.instance_id == best)
+        assert np.allclose(best_vec, example)
+
+    def test_bag_score_is_max_of_instances(self, toy):
+        ds, gt = toy
+        example = _event_example(ds, gt)
+        bag_scores, inst_scores = similarity_scores(ds, [example])
+        for b, bag in enumerate(ds.bags):
+            expected = max(inst_scores[i.instance_id]
+                           for i in bag.instances)
+            assert bag_scores[b] == pytest.approx(expected)
+
+    def test_dimension_mismatch_rejected(self, toy):
+        ds, _ = toy
+        with pytest.raises(ConfigurationError, match="features"):
+            similarity_scores(ds, [np.zeros(4)])
+
+
+class TestExampleQueryEngine:
+    def test_initial_round_finds_similar_events(self, toy):
+        ds, gt = toy
+        example = _event_example(ds, gt)
+        engine = ExampleQueryEngine(ds, [example])
+        top = engine.top_k(8)
+        relevant = [b for b in top
+                    if gt.label_window(ds.bag_by_id(b).frame_lo,
+                                       ds.bag_by_id(b).frame_hi)]
+        # The example-driven initial round is strongly enriched.
+        assert len(relevant) >= 6
+
+    def test_example_beats_heuristic_initial(self):
+        from repro.core import MILRetrievalEngine
+
+        ds, gt = make_toy(n_event=8, n_brake=12, n_normal=20, seed=3)
+        example = _event_example(ds, gt)
+        rel = {b.bag_id for b in ds.bags
+               if gt.label_window(b.frame_lo, b.frame_hi)}
+
+        def acc(engine):
+            top = engine.top_k(10)
+            return sum(b in rel for b in top) / 10
+
+        assert acc(ExampleQueryEngine(ds, [example])) \
+            >= acc(MILRetrievalEngine(ds))
+
+    def test_feedback_still_works(self, toy):
+        ds, gt = toy
+        example = _event_example(ds, gt)
+        engine = ExampleQueryEngine(ds, [example])
+        session = RetrievalSession(engine, OracleUser(gt), top_k=10)
+        accs = [r.accuracy() for r in session.run(3)]
+        assert accs[-1] >= 0.5
+
+
+class TestSketchToExample:
+    def _sudden_stop_sketch(self, n=60, stop_at=30):
+        xs = np.cumsum([3.0 if i < stop_at else 0.0 for i in range(n)])
+        return np.column_stack([xs, np.full(n, 50.0)])
+
+    def test_sketch_vector_shape(self):
+        vec = sketch_to_example(self._sudden_stop_sketch(), AccidentModel())
+        assert vec.shape == (9,)  # 3 checkpoints x 3 features
+
+    def test_sketch_captures_the_stop(self):
+        vec = sketch_to_example(self._sudden_stop_sketch(), AccidentModel())
+        matrix = vec.reshape(3, 3)
+        assert matrix[:, 1].min() < -0.5  # a deceleration spike
+
+    def test_straight_sketch_is_quiet(self):
+        points = np.column_stack([3.0 * np.arange(60), np.full(60, 50.0)])
+        vec = sketch_to_example(points, AccidentModel())
+        assert np.abs(vec).max() < 0.3
+
+    def test_short_sketch_rejected(self):
+        with pytest.raises(ConfigurationError, match="too short"):
+            sketch_to_example(np.zeros((10, 2)), AccidentModel())
+
+    def test_sketch_query_end_to_end(self, toy):
+        """Sketch a sudden stop, retrieve event bags."""
+        ds, gt = toy
+        vec = sketch_to_example(self._sudden_stop_sketch(),
+                                AccidentModel(),
+                                config=SamplingConfig(smooth_window=1))
+        engine = ExampleQueryEngine(ds, [vec], use_scaler=False)
+        session = RetrievalSession(engine, OracleUser(gt), top_k=10)
+        accs = [r.accuracy() for r in session.run(3)]
+        assert max(accs) >= 0.5
+
+
+class TestCombinedQueryEngine:
+    def test_combination_runs(self, toy):
+        ds, gt = toy
+        example = _event_example(ds, gt)
+        engine = CombinedQueryEngine(
+            ds, [("heuristic", None, 1.0), ("examples", [example], 2.0)])
+        assert len(engine.rank()) == len(ds.bags)
+
+    def test_zero_weight_component_ignored(self, toy):
+        ds, gt = toy
+        example = _event_example(ds, gt)
+        pure = ExampleQueryEngine(ds, [example])
+        combined = CombinedQueryEngine(
+            ds, [("heuristic", None, 0.0), ("examples", [example], 1.0)])
+        assert combined.rank() == pure.rank()
+
+    def test_validation(self, toy):
+        ds, _ = toy
+        with pytest.raises(ConfigurationError):
+            CombinedQueryEngine(ds, [])
+        with pytest.raises(ConfigurationError):
+            CombinedQueryEngine(ds, [("telepathy", None, 1.0)])
+        with pytest.raises(ConfigurationError):
+            CombinedQueryEngine(ds, [("heuristic", None, -1.0)])
+        with pytest.raises(ConfigurationError):
+            CombinedQueryEngine(ds, [("heuristic", None, 0.0)])

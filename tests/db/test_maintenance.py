@@ -1,0 +1,91 @@
+"""Tests for database maintenance: delete, export, import."""
+
+import numpy as np
+import pytest
+
+from repro.db import LabelRecord, VideoDatabase
+from repro.errors import StorageError
+from repro.eval import build_artifacts
+
+
+@pytest.fixture()
+def populated(small_tunnel):
+    db = VideoDatabase()
+    artifacts = build_artifacts(small_tunnel, mode="oracle")
+    db.ingest_simulation(small_tunnel, artifacts.tracks, artifacts.dataset)
+    db.add_labels([
+        LabelRecord(small_tunnel.name, "accident", 0, "alice", 0, True),
+    ])
+    return db, small_tunnel.name
+
+
+class TestDeleteClip:
+    def test_delete_removes_everything(self, populated):
+        db, clip_id = populated
+        db.delete_clip(clip_id)
+        with pytest.raises(StorageError):
+            db.clip(clip_id)
+        assert db.track_records(clip_id) == []
+        with pytest.raises(StorageError):
+            db.dataset(clip_id, "accident")
+        assert db.labels(clip_id, "accident") == []
+        assert db._array_keys_for(clip_id) == []
+
+    def test_delete_unknown_clip_raises(self):
+        with pytest.raises(StorageError):
+            VideoDatabase().delete_clip("ghost")
+
+    def test_delete_leaves_other_clips(self, populated,
+                                       small_intersection):
+        db, clip_id = populated
+        other = build_artifacts(small_intersection, mode="oracle")
+        db.ingest_simulation(small_intersection, other.tracks,
+                             other.dataset)
+        db.delete_clip(clip_id)
+        assert db.clip(small_intersection.name)
+        assert db.dataset(small_intersection.name,
+                          "accident").n_instances > 0
+
+
+class TestExportImport:
+    def test_roundtrip_preserves_everything(self, populated, tmp_path):
+        db, clip_id = populated
+        bundle = tmp_path / "clip.npz"
+        db.export_clip(clip_id, bundle)
+        assert bundle.exists()
+
+        fresh = VideoDatabase()
+        record = fresh.import_clip(bundle)
+        assert record.clip_id == clip_id
+        assert fresh.clip(clip_id).n_frames == db.clip(clip_id).n_frames
+
+        orig = db.dataset(clip_id, "accident")
+        back = fresh.dataset(clip_id, "accident")
+        assert back.n_instances == orig.n_instances
+        for a, b in zip(orig.all_instances(), back.all_instances()):
+            assert np.allclose(a.matrix, b.matrix)
+
+        assert len(fresh.track_records(clip_id)) \
+            == len(db.track_records(clip_id))
+        assert fresh.labels(clip_id, "accident", "alice")
+
+    def test_import_rejects_duplicate_without_replace(self, populated,
+                                                      tmp_path):
+        db, clip_id = populated
+        bundle = tmp_path / "clip.npz"
+        db.export_clip(clip_id, bundle)
+        with pytest.raises(StorageError, match="already exists"):
+            db.import_clip(bundle)
+        record = db.import_clip(bundle, replace=True)
+        assert record.clip_id == clip_id
+
+    def test_import_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, manifest=np.frombuffer(b'{"format": "nope"}',
+                                              dtype=np.uint8))
+        with pytest.raises(StorageError, match="not a repro clip bundle"):
+            VideoDatabase().import_clip(path)
+
+    def test_export_unknown_clip_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            VideoDatabase().export_clip("ghost", tmp_path / "x.npz")

@@ -1,0 +1,93 @@
+"""Tests for multi-clip (whole-database) query sessions."""
+
+import pytest
+
+from repro.core import MultiClipOracle
+from repro.db import MultiClipQuerySession, VideoDatabase
+from repro.errors import ConfigurationError
+from repro.eval import build_artifacts
+from repro.sim import GroundTruth
+
+
+@pytest.fixture()
+def two_clip_db(small_tunnel, small_intersection):
+    db = VideoDatabase()
+    truths = {}
+    for sim in (small_tunnel, small_intersection):
+        artifacts = build_artifacts(sim, mode="oracle")
+        db.ingest_simulation(sim, artifacts.tracks, artifacts.dataset)
+        truths[sim.name] = GroundTruth.from_result(sim)
+    return db, truths
+
+
+class TestMultiClipQuerySession:
+    def test_merged_corpus_size(self, two_clip_db, small_tunnel,
+                                small_intersection):
+        db, _ = two_clip_db
+        session = MultiClipQuerySession(
+            db, [small_tunnel.name, small_intersection.name], "accident")
+        per_clip = (len(db.dataset(small_tunnel.name, "accident"))
+                    + len(db.dataset(small_intersection.name, "accident")))
+        assert len(session.dataset) == per_clip
+
+    def test_results_span_both_clips(self, two_clip_db, small_tunnel,
+                                     small_intersection):
+        db, _ = two_clip_db
+        session = MultiClipQuerySession(
+            db, [small_tunnel.name, small_intersection.name], "accident",
+            top_k=len(db.dataset(small_tunnel.name, "accident"))
+            + len(db.dataset(small_intersection.name, "accident")))
+        clips = {session.dataset.bag_by_id(b).clip_id
+                 for b in session.results()}
+        assert clips == {small_tunnel.name, small_intersection.name}
+
+    def test_feedback_with_multiclip_oracle(self, two_clip_db,
+                                            small_tunnel,
+                                            small_intersection):
+        db, truths = two_clip_db
+        session = MultiClipQuerySession(
+            db, [small_tunnel.name, small_intersection.name], "accident",
+            user_id="dana", top_k=10)
+        oracle = MultiClipOracle(truths)
+        bags = [session.dataset.bag_by_id(b) for b in session.results()]
+        session.feed(oracle.label_bags(bags))
+        assert session.round_index == 1
+        stored = db.labels(session.corpus_id, "accident", "dana")
+        assert len(stored) == 10
+
+    def test_resume_restores_merged_session(self, two_clip_db,
+                                            small_tunnel,
+                                            small_intersection):
+        db, truths = two_clip_db
+        clip_ids = [small_tunnel.name, small_intersection.name]
+        first = MultiClipQuerySession(db, clip_ids, "accident",
+                                      user_id="ed", top_k=8)
+        oracle = MultiClipOracle(truths)
+        bags = [first.dataset.bag_by_id(b) for b in first.results()]
+        first.feed(oracle.label_bags(bags))
+        after = first.results()
+
+        resumed = MultiClipQuerySession(db, clip_ids, "accident",
+                                        user_id="ed", top_k=8)
+        assert resumed.round_index == 1
+        assert resumed.results() == after
+
+    def test_corpus_isolated_from_single_clip_labels(self, two_clip_db,
+                                                     small_tunnel,
+                                                     small_intersection):
+        from repro.db import SemanticQuerySession
+
+        db, _ = two_clip_db
+        single = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                      user_id="f", top_k=5)
+        single.feed({b: True for b in single.results()})
+        merged = MultiClipQuerySession(
+            db, [small_tunnel.name, small_intersection.name], "accident",
+            user_id="f", top_k=5)
+        assert merged.round_index == 0
+        assert not merged.engine.labels
+
+    def test_empty_clip_list_rejected(self, two_clip_db):
+        db, _ = two_clip_db
+        with pytest.raises(ConfigurationError):
+            MultiClipQuerySession(db, [], "accident")

@@ -1,0 +1,92 @@
+"""Tests for persistent semantic query sessions."""
+
+import pytest
+
+from repro.core import MILRetrievalEngine, OracleUser
+from repro.db import SemanticQuerySession, VideoDatabase
+from repro.errors import ConfigurationError
+from repro.events import AccidentModel, build_dataset, extract_series
+from repro.sim import GroundTruth
+from repro.tracking.oracle import tracks_from_simulation
+
+
+@pytest.fixture()
+def db_with_clip(small_tunnel):
+    db = VideoDatabase()
+    tracks = tracks_from_simulation(small_tunnel)
+    dataset = build_dataset(extract_series(tracks), AccidentModel(),
+                            clip_id=small_tunnel.name)
+    db.ingest_simulation(small_tunnel, tracks, dataset)
+    return db, GroundTruth.from_result(small_tunnel)
+
+
+class TestSemanticQuerySession:
+    def test_results_are_bag_ids(self, db_with_clip, small_tunnel):
+        db, _ = db_with_clip
+        session = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                       top_k=5)
+        results = session.results()
+        assert len(results) == 5
+        windows = session.result_windows()
+        assert [w[0] for w in windows] == results
+
+    def test_feedback_persists_labels(self, db_with_clip, small_tunnel):
+        db, gt = db_with_clip
+        session = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                       user_id="u1", top_k=5)
+        user = OracleUser(gt)
+        bags = [session.dataset.bag_by_id(b) for b in session.results()]
+        session.feed(user.label_bags(bags))
+        stored = db.labels(small_tunnel.name, "accident", "u1")
+        assert len(stored) == 5
+        assert all(l.round_index == 0 for l in stored)
+
+    def test_session_resume_restores_feedback(self, db_with_clip,
+                                              small_tunnel):
+        db, gt = db_with_clip
+        first = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                     user_id="u2", top_k=8)
+        user = OracleUser(gt)
+        bags = [first.dataset.bag_by_id(b) for b in first.results()]
+        first.feed(user.label_bags(bags))
+        after_feedback = first.results()
+
+        resumed = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                       user_id="u2", top_k=8)
+        assert resumed.round_index == 1
+        assert resumed.results() == after_feedback
+
+    def test_users_are_isolated(self, db_with_clip, small_tunnel):
+        db, gt = db_with_clip
+        s1 = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                  user_id="a", top_k=5)
+        s1.feed({b: True for b in s1.results()})
+        s2 = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                  user_id="b", top_k=5)
+        assert s2.round_index == 0
+        assert not s2.engine.labels
+
+    def test_custom_engine_instance(self, db_with_clip, small_tunnel):
+        db, _ = db_with_clip
+        dataset = db.dataset(small_tunnel.name, "accident")
+        engine = MILRetrievalEngine(dataset, training_policy="top2")
+        session = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                       engine=engine)
+        assert session.engine is engine
+
+    def test_engine_registry(self, db_with_clip, small_tunnel):
+        db, _ = db_with_clip
+        session = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                       engine="weighted_rf")
+        assert session.results()
+
+    def test_validation(self, db_with_clip, small_tunnel):
+        db, _ = db_with_clip
+        with pytest.raises(ConfigurationError):
+            SemanticQuerySession(db, small_tunnel.name, "accident",
+                                 engine="bogus")
+        with pytest.raises(ConfigurationError):
+            SemanticQuerySession(db, small_tunnel.name, "accident", top_k=0)
+        session = SemanticQuerySession(db, small_tunnel.name, "accident")
+        with pytest.raises(ConfigurationError):
+            session.feed({})

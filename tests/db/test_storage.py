@@ -1,0 +1,63 @@
+"""Tests for the array side-stores."""
+
+import numpy as np
+import pytest
+
+from repro.db import InMemoryArrayStore, NpzArrayStore
+from repro.errors import StorageError
+
+
+@pytest.fixture(params=["memory", "npz"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryArrayStore()
+    return NpzArrayStore(tmp_path / "arrays")
+
+
+class TestArrayStore:
+    def test_roundtrip(self, store):
+        arrays = {"a": np.arange(6).reshape(2, 3), "b": np.ones(4)}
+        store.save("clip1/tracks", arrays)
+        loaded = store.load("clip1/tracks")
+        assert set(loaded) == {"a", "b"}
+        assert np.array_equal(loaded["a"], arrays["a"])
+
+    def test_overwrite(self, store):
+        store.save("k", {"x": np.zeros(2)})
+        store.save("k", {"x": np.ones(3)})
+        assert np.array_equal(store.load("k")["x"], np.ones(3))
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(StorageError, match="no arrays"):
+            store.load("nothing/here")
+
+    def test_exists_and_delete(self, store):
+        store.save("k", {"x": np.zeros(1)})
+        assert store.exists("k")
+        store.delete("k")
+        assert not store.exists("k")
+        store.delete("k")  # idempotent
+
+    def test_keys_listing(self, store):
+        store.save("b/2", {"x": np.zeros(1)})
+        store.save("a/1", {"x": np.zeros(1)})
+        assert store.keys() == ["a/1", "b/2"]
+
+    @pytest.mark.parametrize("bad", ["", "a//b", "../etc", "a b", "a/./b"])
+    def test_invalid_keys_rejected(self, store, bad):
+        with pytest.raises(StorageError):
+            store.save(bad, {"x": np.zeros(1)})
+
+    def test_mutating_loaded_copy_is_safe(self, store):
+        store.save("k", {"x": np.zeros(3)})
+        loaded = store.load("k")
+        loaded["x"][:] = 99
+        assert np.array_equal(store.load("k")["x"], np.zeros(3))
+
+
+class TestNpzPersistence:
+    def test_survives_reopen(self, tmp_path):
+        root = tmp_path / "arrays"
+        NpzArrayStore(root).save("clip/x", {"a": np.arange(5)})
+        fresh = NpzArrayStore(root)
+        assert np.array_equal(fresh.load("clip/x")["a"], np.arange(5))

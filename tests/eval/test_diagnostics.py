@@ -1,0 +1,49 @@
+"""Tests for instance-level discovery diagnostics."""
+
+import pytest
+
+from repro.core import MILRetrievalEngine, OracleUser, RetrievalSession
+from repro.errors import ConfigurationError
+from repro.eval import build_artifacts
+from repro.eval.diagnostics import InstanceDiscovery, evaluate_instance_discovery
+
+
+@pytest.fixture(scope="module")
+def artifacts(small_tunnel):
+    return build_artifacts(small_tunnel, mode="oracle")
+
+
+class TestEvaluateInstanceDiscovery:
+    def test_heuristic_beats_chance(self, artifacts):
+        engine = MILRetrievalEngine(artifacts.dataset)
+        report = evaluate_instance_discovery(artifacts, engine)
+        assert report.n_bags > 0
+        assert report.top1_precision >= report.random_top1
+
+    def test_metrics_bounded(self, artifacts):
+        engine = MILRetrievalEngine(artifacts.dataset)
+        session = RetrievalSession(engine,
+                                   OracleUser(artifacts.ground_truth),
+                                   top_k=10)
+        session.run(2)
+        report = evaluate_instance_discovery(artifacts, engine)
+        assert 0.0 <= report.top1_precision <= 1.0
+        assert 0.0 <= report.mean_reciprocal_rank <= 1.0
+        assert 0.0 < report.random_top1 <= 1.0
+
+    def test_mrr_at_least_top1(self, artifacts):
+        engine = MILRetrievalEngine(artifacts.dataset)
+        report = evaluate_instance_discovery(artifacts, engine)
+        assert report.mean_reciprocal_rank >= report.top1_precision
+
+    def test_mismatched_dataset_rejected(self, artifacts, small_tunnel):
+        other = build_artifacts(small_tunnel, mode="oracle")
+        engine = MILRetrievalEngine(other.dataset)
+        with pytest.raises(ConfigurationError, match="share"):
+            evaluate_instance_discovery(artifacts, engine)
+
+    def test_no_matching_kinds_gives_empty_report(self, artifacts):
+        engine = MILRetrievalEngine(artifacts.dataset)
+        report = evaluate_instance_discovery(artifacts, engine,
+                                             kinds=["u_turn"])
+        assert report == InstanceDiscovery(0, 0.0, 0.0, 0.0)

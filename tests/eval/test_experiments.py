@@ -1,0 +1,58 @@
+"""Smoke + shape tests for the experiment runners (oracle mode, small)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    ablation_normalization,
+    ablation_window,
+    ablation_z,
+    mil_algorithms,
+    other_events,
+)
+
+
+class TestAblationZ:
+    def test_series_per_z(self):
+        res = ablation_z(zs=(0.0, 0.05), seed=1)
+        assert set(res.series) == {"z=0", "z=0.05"}
+        for accs in res.series.values():
+            assert len(accs) == 5
+
+    def test_nu_changes_with_z(self):
+        res = ablation_z(zs=(0.0, 0.2), seed=1)
+        nus = [p.extras["last_nu"] for p in res.protocols.values()]
+        assert nus[0] != nus[1]
+
+
+class TestAblationNormalization:
+    def test_three_variants(self):
+        res = ablation_normalization(seed=1)
+        assert set(res.series) == {"percentage", "linear", "none"}
+
+
+class TestAblationWindow:
+    def test_window_sizes_run(self):
+        res = ablation_window(windows=(2, 3), seed=3)
+        assert set(res.series) == {"window=2", "window=3"}
+
+
+class TestOtherEvents:
+    def test_uturn_and_speeding_learnable(self):
+        res = other_events(seed=2)
+        assert set(res.series) == {"u_turn", "speeding"}
+        for event, accs in res.series.items():
+            assert max(accs) > 0.0, f"{event} never retrieved anything"
+
+    def test_speeding_improves_or_holds(self):
+        res = other_events(seed=2)
+        accs = res.series["speeding"]
+        assert accs[-1] >= accs[0]
+
+
+class TestMilAlgorithms:
+    @pytest.mark.slow
+    def test_all_engines_complete(self):
+        res = mil_algorithms(seed=1)
+        assert set(res.series) == {"OCSVM", "DD", "EM-DD", "Weighted_RF"}
+        for accs in res.series.values():
+            assert len(accs) == 5

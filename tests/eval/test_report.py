@@ -1,0 +1,62 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.report import REPORT_SUITE, generate_report
+
+
+class TestGenerateReport:
+    def test_subset_report(self, tmp_path):
+        out = tmp_path / "report.md"
+        seen = []
+        text = generate_report(names=["other_events"], out_path=out,
+                               progress=seen.append)
+        assert out.exists()
+        assert out.read_text() == text
+        assert "# Reproduction report" in text
+        assert "## other_events" in text
+        assert "Paper expectation" in text
+        assert seen == ["running other_events ..."]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown experiments"):
+            generate_report(names=["figure42"])
+
+    def test_suite_covers_all_figures_and_claims(self):
+        names = {name for name, _ in REPORT_SUITE}
+        assert {"figure8", "figure9", "ablation_z",
+                "ablation_normalization", "ablation_window",
+                "other_events", "mil_algorithms",
+                "cross_camera"} <= names
+
+    def test_sections_contain_charts(self):
+        text = generate_report(names=["other_events"])
+        assert "r0" in text  # chart x-axis
+        assert "%" in text
+
+
+class TestReportCLI:
+    def test_cli_report_subset(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "--only", "other_events",
+                     "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "running other_events" in stdout
+        assert out.exists()
+
+    def test_cli_report_stdout(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--only", "other_events"]) == 0
+        assert "## other_events" in capsys.readouterr().out
+
+    def test_cli_experiment_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "--name", "other_events",
+                     "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "r0" in out  # the chart axis is present

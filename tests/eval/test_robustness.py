@@ -1,0 +1,88 @@
+"""Tests for failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.robustness import (
+    inject_detection_dropout,
+    inject_occlusion_band,
+    robustness_label_noise,
+)
+from repro.vision.blobs import Blob
+from repro.vision.pipeline import Detection
+
+
+def _det(frame, x, y=50.0):
+    blob = Blob(cx=float(x), cy=float(y), x0=int(x) - 5, y0=int(y) - 3,
+                x1=int(x) + 5, y1=int(y) + 3, area=60, mean_intensity=200.0)
+    return Detection(frame=frame, blob=blob)
+
+
+@pytest.fixture()
+def detections():
+    return [[_det(f, 10.0 + 3 * f)] for f in range(50)]
+
+
+class TestDetectionDropout:
+    def test_zero_prob_is_identity(self, detections):
+        out = inject_detection_dropout(detections, 0.0)
+        assert all(len(a) == len(b) for a, b in zip(out, detections))
+
+    def test_one_prob_blanks_everything(self, detections):
+        out = inject_detection_dropout(detections, 1.0)
+        assert all(dets == [] for dets in out)
+
+    def test_rate_roughly_matches_prob(self, detections):
+        out = inject_detection_dropout(detections * 10, 0.3, seed=1)
+        rate = np.mean([len(d) == 0 for d in out])
+        assert rate == pytest.approx(0.3, abs=0.08)
+
+    def test_deterministic_given_seed(self, detections):
+        a = inject_detection_dropout(detections, 0.4, seed=5)
+        b = inject_detection_dropout(detections, 0.4, seed=5)
+        assert [len(x) for x in a] == [len(x) for x in b]
+
+    def test_original_untouched(self, detections):
+        inject_detection_dropout(detections, 1.0)
+        assert all(len(d) == 1 for d in detections)
+
+    def test_bad_prob_rejected(self, detections):
+        with pytest.raises(ConfigurationError):
+            inject_detection_dropout(detections, 1.5)
+
+
+class TestOcclusionBand:
+    def test_band_removes_only_inside(self, detections):
+        out = inject_occlusion_band(detections, 50.0, 100.0)
+        for dets_in, dets_out in zip(detections, out):
+            x = dets_in[0].blob.cx
+            if 50.0 <= x < 100.0:
+                assert dets_out == []
+            else:
+                assert len(dets_out) == 1
+
+    def test_degenerate_band_rejected(self, detections):
+        with pytest.raises(ConfigurationError):
+            inject_occlusion_band(detections, 100.0, 100.0)
+
+    def test_tracker_survives_band(self, detections):
+        from repro.tracking import CentroidTracker
+
+        out = inject_occlusion_band(detections, 60.0, 90.0)
+        tracks = CentroidTracker(max_misses=4,
+                                 min_track_length=4).track(out)
+        # The ~10-frame hole either gets coasted (1 track) or splits the
+        # vehicle into two tracks; it must not vanish.
+        assert 1 <= len(tracks) <= 2
+
+
+class TestLabelNoiseSweep:
+    def test_sweep_runs_and_clean_is_best(self, small_tunnel):
+        result = robustness_label_noise(small_tunnel,
+                                        flip_probs=(0.0, 0.35),
+                                        top_k=10, rounds=3)
+        clean = result.series["flip=0"]
+        noisy = result.series["flip=0.35"]
+        assert len(clean) == 3
+        assert clean[-1] >= noisy[-1] - 0.21  # noisy may get lucky once

@@ -1,0 +1,64 @@
+"""Tests for the SVG figure writer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.svg import save_chart, svg_line_chart
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestSvgLineChart:
+    def test_valid_xml_with_one_polyline_per_series(self):
+        svg = svg_line_chart({"MIL": [0.4, 0.6, 0.8],
+                              "WRF": [0.4, 0.45, 0.5]})
+        root = _parse(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_title_and_legend_text(self):
+        svg = svg_line_chart({"MIL_OCSVM": [0.5]}, title="figure8")
+        root = _parse(svg)
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "figure8" in texts
+        assert "MIL_OCSVM" in texts
+
+    def test_round_names_on_axis(self):
+        svg = svg_line_chart({"m": [0.1, 0.2]})
+        texts = [t.text for t in _parse(svg).findall(f"{SVG_NS}text")]
+        assert "Initial" in texts and "First" in texts
+
+    def test_higher_accuracy_is_higher_on_canvas(self):
+        svg = svg_line_chart({"m": [0.2, 0.9]})
+        polyline = _parse(svg).find(f"{SVG_NS}polyline")
+        points = [tuple(map(float, p.split(",")))
+                  for p in polyline.attrib["points"].split()]
+        assert points[1][1] < points[0][1]  # SVG y grows downward
+
+    def test_values_clamped_to_y_max(self):
+        svg = svg_line_chart({"m": [2.0]})
+        assert _parse(svg) is not None  # no crash, valid document
+
+    def test_escaping(self):
+        svg = svg_line_chart({"a<b&c": [0.5]}, title="x<y>")
+        root = _parse(svg)  # would raise on unescaped text
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "a<b&c" in texts
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            svg_line_chart({})
+        with pytest.raises(ConfigurationError):
+            svg_line_chart({"m": [0.5]}, y_max=0)
+
+    def test_save_chart(self, tmp_path):
+        path = save_chart({"m": [0.3, 0.4]}, tmp_path / "fig.svg",
+                          title="t")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")

@@ -1,0 +1,176 @@
+"""Tests for checkpoint feature extraction (paper Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.events import CHANNEL_NAMES, SamplingConfig, extract_series
+from repro.tracking import Track
+from repro.vision.blobs import Blob
+
+
+def _track(track_id, positions, first_frame=0, step=1):
+    track = Track(track_id)
+    for i, (x, y) in enumerate(positions):
+        blob = Blob(cx=float(x), cy=float(y), x0=0, y0=0, x1=5, y1=5,
+                    area=25, mean_intensity=100.0)
+        track.add(first_frame + i * step, blob)
+    return track
+
+
+def _straight_track(track_id=0, n=60, v=2.0, y=50.0, first_frame=0):
+    return _track(track_id, [(v * i, y) for i in range(n)], first_frame)
+
+
+def _config(smooth=1):
+    return SamplingConfig(smooth_window=smooth)
+
+
+class TestGridAlignment:
+    def test_checkpoints_on_global_grid(self):
+        series = extract_series([_straight_track(first_frame=3)], _config())
+        assert len(series) == 1
+        frames = series[0].checkpoint_frames
+        assert np.all(frames % 5 == 0)
+        assert frames[0] == 5  # first grid point after frame 3
+
+    def test_short_track_skipped(self):
+        series = extract_series([_straight_track(n=6)], _config())
+        # Only one grid checkpoint (frame 5) fits in [0, 5] fully... at
+        # least two checkpoints are required for kinematics.
+        assert all(len(s) >= 2 for s in series)
+
+    def test_track_starting_mid_clip(self):
+        series = extract_series([_straight_track(first_frame=103, n=30)],
+                                _config())
+        frames = series[0].checkpoint_frames
+        assert frames[0] == 105
+        assert frames[-1] <= 132
+
+
+class TestKinematicChannels:
+    def test_constant_velocity(self):
+        series = extract_series([_straight_track(v=2.0)], _config())[0]
+        v = series.channels["velocity"]
+        assert np.allclose(v, 2.0, atol=1e-9)
+        assert np.allclose(series.channels["vdiff"], 0.0, atol=1e-9)
+        assert np.allclose(series.channels["theta"], 0.0, atol=1e-9)
+
+    def test_sudden_stop_spikes_vdiff_negative(self):
+        # 3 px/frame for 30 frames, then parked: vdiff is signed, so a
+        # stop is a *negative* spike (paper Section 4 subtracts the
+        # previous velocity from the current one).
+        positions = [(3.0 * min(i, 30), 50.0) for i in range(60)]
+        series = extract_series([_track(0, positions)], _config())[0]
+        vdiff = series.channels["vdiff"]
+        assert vdiff.min() < -1.0
+        assert vdiff.max() <= 0.0 + 1e-9  # no re-acceleration anywhere
+        # The spike is localized around checkpoint of frame 30.
+        spike_frame = series.checkpoint_frames[int(np.argmin(vdiff))]
+        assert 30 <= spike_frame <= 45
+
+    def test_brake_and_resume_has_both_signs(self):
+        # Brake to a stop for 10 frames, then resume: the V-shaped
+        # pattern shows a negative then a positive vdiff spike, which is
+        # what lets the window-level learner tell it from an incident.
+        xs, x = [], 0.0
+        for i in range(70):
+            v = 3.0 if i < 25 or i >= 35 else 0.0
+            x += v
+            xs.append((x, 50.0))
+        series = extract_series([_track(0, xs)], _config())[0]
+        vdiff = series.channels["vdiff"]
+        assert vdiff.min() < -1.0
+        assert vdiff.max() > 1.0
+
+    def test_right_angle_turn_gives_theta(self):
+        positions = [(2.0 * i, 50.0) for i in range(20)]
+        positions += [(38.0, 50.0 + 2.0 * i) for i in range(1, 20)]
+        series = extract_series([_track(0, positions)], _config())[0]
+        theta = series.channels["theta"]
+        assert theta.max() > np.pi / 4
+        assert theta.max() <= np.pi + 1e-9
+
+    def test_u_turn_accumulates_theta_cum(self):
+        # Half-circle: heading rotates by pi overall.
+        t = np.linspace(0, np.pi, 40)
+        positions = list(zip(50 + 30 * np.sin(t), 80 - 30 * np.cos(t)))
+        series = extract_series([_track(0, positions)], _config())[0]
+        assert series.channels["theta_cum"].max() > 1.2
+        # A straight track accumulates almost nothing.
+        straight = extract_series([_straight_track()], _config())[0]
+        assert straight.channels["theta_cum"].max() < 0.1
+
+    def test_theta_zero_when_stopped(self):
+        positions = [(10.0, 50.0)] * 40  # parked the whole time
+        series = extract_series([_track(0, positions)], _config())[0]
+        assert np.allclose(series.channels["theta"], 0.0)
+        assert np.allclose(series.channels["velocity"], 0.0)
+
+    def test_all_channels_present(self):
+        series = extract_series([_straight_track()], _config())[0]
+        assert set(series.channels) == set(CHANNEL_NAMES)
+        for name in CHANNEL_NAMES:
+            assert len(series.channels[name]) == len(series)
+
+
+class TestInvMdist:
+    def test_lone_vehicle_has_zero(self):
+        series = extract_series([_straight_track()], _config())[0]
+        assert np.allclose(series.channels["inv_mdist"], 0.0)
+
+    def test_two_close_vehicles(self):
+        a = _straight_track(0, y=50.0)
+        b = _straight_track(1, y=58.0)
+        series = extract_series([a, b], _config())
+        for s in series:
+            assert np.allclose(s.channels["inv_mdist"], 1.0 / 8.0, atol=1e-6)
+
+    def test_mdist_floor_caps_blowup(self):
+        a = _straight_track(0, y=50.0)
+        b = _straight_track(1, y=50.2)  # virtually touching
+        cfg = SamplingConfig(smooth_window=1, mdist_floor=2.0)
+        series = extract_series([a, b], cfg)
+        for s in series:
+            assert s.channels["inv_mdist"].max() <= 0.5 + 1e-9
+
+    def test_nearest_of_several(self):
+        a = _straight_track(0, y=50.0)
+        b = _straight_track(1, y=60.0)
+        c = _straight_track(2, y=90.0)
+        series = {s.track_id: s for s in extract_series([a, b, c], _config())}
+        assert np.allclose(series[0].channels["inv_mdist"], 0.1, atol=1e-6)
+        assert np.allclose(series[1].channels["inv_mdist"], 0.1, atol=1e-6)
+
+    def test_disjoint_time_ranges_do_not_interact(self):
+        a = _straight_track(0, n=40, first_frame=0)
+        b = _straight_track(1, n=40, first_frame=200)
+        series = extract_series([a, b], _config())
+        for s in series:
+            assert np.allclose(s.channels["inv_mdist"], 0.0)
+
+
+class TestChannelMatrix:
+    def test_selects_named_columns(self):
+        series = extract_series([_straight_track()], _config())[0]
+        matrix = series.channel_matrix(("velocity", "theta"))
+        assert matrix.shape == (len(series), 2)
+        assert np.allclose(matrix[:, 0], series.channels["velocity"])
+
+    def test_unknown_channel_rejected(self):
+        series = extract_series([_straight_track()], _config())[0]
+        with pytest.raises(ConfigurationError, match="unknown feature"):
+            series.channel_matrix(("velocity", "nonsense"))
+
+
+class TestSamplingConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"sampling_rate": 0},
+        {"smooth_window": 2},
+        {"smooth_window": -1},
+        {"mdist_floor": 0.0},
+        {"theta_cum_horizon": 0},
+    ])
+    def test_bad_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SamplingConfig(**kwargs)

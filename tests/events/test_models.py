@@ -1,0 +1,120 @@
+"""Tests for event models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.events import (
+    AccidentModel,
+    SpeedingModel,
+    UTurnModel,
+    event_model_for,
+    extract_series,
+)
+from repro.events.features import SamplingConfig
+from tests.events.test_features import _straight_track
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(event_model_for("accident"), AccidentModel)
+        assert isinstance(event_model_for("speeding"), SpeedingModel)
+        assert isinstance(event_model_for("u_turn"), UTurnModel)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown event model"):
+            event_model_for("meteor_strike")
+
+
+class TestAccidentModel:
+    def test_paper_feature_vector(self):
+        """Section 4: alpha_i = [1/mdist_i, vdiff_i, theta_i]."""
+        model = AccidentModel()
+        assert model.feature_names == ("inv_mdist", "vdiff", "theta")
+        assert model.n_features == 3
+
+    def test_relevant_kinds_cover_all_accidents(self):
+        model = AccidentModel()
+        assert model.relevant_kinds == {"wall_crash", "sudden_stop",
+                                        "collision"}
+
+    def test_feature_matrix_shape(self):
+        series = extract_series([_straight_track()],
+                                SamplingConfig(smooth_window=1))[0]
+        matrix = AccidentModel().feature_matrix(series)
+        assert matrix.shape == (len(series), 3)
+
+
+class TestOtherModels:
+    def test_speeding_uses_velocity(self):
+        assert "velocity" in SpeedingModel().feature_names
+        assert SpeedingModel().relevant_kinds == {"speeding"}
+
+    def test_uturn_uses_cumulative_heading(self):
+        assert "theta_cum" in UTurnModel().feature_names
+        assert UTurnModel().relevant_kinds == {"u_turn"}
+
+    def test_subclass_with_bad_channel_rejected(self):
+        from repro.events.models import EventModel
+
+        with pytest.raises(ConfigurationError, match="unknown channels"):
+            class Broken(EventModel):
+                name = "broken"
+                feature_names = ("no_such_channel",)
+
+
+class TestRegistration:
+    def _fresh_model(self, name="tailgating"):
+        from repro.events.models import EventModel
+
+        class Custom(EventModel):
+            feature_names = ("inv_mdist", "velocity")
+            relevant_kinds = frozenset({"tailgating"})
+
+        Custom.name = name
+        return Custom
+
+    def test_register_and_lookup(self):
+        from repro.events.models import (
+            _REGISTRY,
+            register_event_model,
+            registered_event_models,
+        )
+
+        model_cls = self._fresh_model("tailgating-test")
+        try:
+            register_event_model(model_cls)
+            assert "tailgating-test" in registered_event_models()
+            instance = event_model_for("tailgating-test")
+            assert instance.feature_names == ("inv_mdist", "velocity")
+        finally:
+            _REGISTRY.pop("tailgating-test", None)
+
+    def test_duplicate_rejected_unless_replace(self):
+        from repro.events.models import _REGISTRY, register_event_model
+
+        model_cls = self._fresh_model("dup-test")
+        try:
+            register_event_model(model_cls)
+            with pytest.raises(ConfigurationError, match="already"):
+                register_event_model(model_cls)
+            register_event_model(model_cls, replace=True)
+        finally:
+            _REGISTRY.pop("dup-test", None)
+
+    def test_invalid_registrations(self):
+        from repro.events.models import EventModel, register_event_model
+
+        with pytest.raises(ConfigurationError):
+            register_event_model(object)  # type: ignore[arg-type]
+
+        class NoName(EventModel):
+            feature_names = ("velocity",)
+
+        with pytest.raises(ConfigurationError, match="name"):
+            register_event_model(NoName)
+
+        class NoFeatures(EventModel):
+            name = "no-features"
+
+        with pytest.raises(ConfigurationError, match="feature"):
+            register_event_model(NoFeatures)

@@ -1,0 +1,122 @@
+"""Tests for sliding-window VS/TS extraction (paper Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.events import AccidentModel, build_dataset, extract_series
+from repro.events.features import SamplingConfig
+from repro.events.windows import window_frame_span
+from tests.events.test_features import _straight_track
+
+
+def _series(tracks):
+    return extract_series(tracks, SamplingConfig(smooth_window=1))
+
+
+class TestWindowFrameSpan:
+    def test_paper_example(self):
+        """Window of 3 checkpoints at rate 5 covers 15 frames."""
+        lo, hi = window_frame_span(20, 3, 5)
+        assert hi - lo + 1 == 15
+        assert hi == 30
+
+    def test_clamped_at_clip_start(self):
+        lo, hi = window_frame_span(0, 3, 5)
+        assert lo == 0
+        assert hi == 10
+
+
+class TestBuildDataset:
+    def test_non_overlapping_default_step(self):
+        # 100 frames -> checkpoints 0..100 (21) -> 7 windows of 3.
+        dataset = build_dataset(_series([_straight_track(n=101)]),
+                                AccidentModel(), window_size=3)
+        assert len(dataset) == 7
+        frame_ranges = dataset.frame_windows()
+        for (lo1, hi1), (lo2, hi2) in zip(frame_ranges, frame_ranges[1:]):
+            assert lo2 > hi1 - 5  # windows advance a full stride
+
+    def test_overlapping_step_one(self):
+        dataset = build_dataset(_series([_straight_track(n=101)]),
+                                AccidentModel(), window_size=3, step=1)
+        assert len(dataset) == 19  # 21 checkpoints -> 19 sliding windows
+
+    def test_instance_matrix_shape(self):
+        dataset = build_dataset(_series([_straight_track(n=101)]),
+                                AccidentModel(), window_size=3)
+        inst = dataset.bags[0].instances[0]
+        assert inst.matrix.shape == (3, 3)
+        assert inst.vector.shape == (9,)
+
+    def test_track_must_cover_full_window(self):
+        # Track covers frames 30..70: checkpoints 30..70.
+        short = _straight_track(0, n=41, first_frame=30)
+        long = _straight_track(1, n=101)
+        dataset = build_dataset(_series([short, long]), AccidentModel(),
+                                window_size=3)
+        for bag in dataset.bags:
+            for inst in bag.instances:
+                if inst.track_id == 0:
+                    assert bag.frame_lo >= 20
+                    assert bag.frame_hi <= 70
+
+    def test_paper_scale_ts_counts(self, small_tunnel):
+        """The default windowing yields TS counts of the paper's order."""
+        from repro.tracking.oracle import tracks_from_simulation
+
+        tracks = tracks_from_simulation(small_tunnel)
+        dataset = build_dataset(_series(tracks), AccidentModel(),
+                                clip_id="tunnel")
+        assert dataset.n_instances > 5
+        assert all(b.n_instances >= 1 for b in dataset.bags)
+
+    def test_keep_empty_windows(self):
+        track = _straight_track(n=31, first_frame=100)
+        dataset = build_dataset(_series([track]), AccidentModel(),
+                                keep_empty=True)
+        assert any(b.n_instances == 0 for b in dataset.bags) is False
+        # Single track: grid spans only its own range, no empty bags.
+
+    def test_bag_and_instance_ids_consistent(self):
+        tracks = [_straight_track(0, n=101),
+                  _straight_track(1, n=101, y=80.0)]
+        dataset = build_dataset(_series(tracks), AccidentModel())
+        seen_instances = set()
+        for bag in dataset.bags:
+            for inst in bag.instances:
+                assert inst.bag_id == bag.bag_id
+                assert inst.instance_id not in seen_instances
+                seen_instances.add(inst.instance_id)
+
+    def test_two_tracks_same_window_share_bag(self):
+        tracks = [_straight_track(0, n=101),
+                  _straight_track(1, n=101, y=80.0)]
+        dataset = build_dataset(_series(tracks), AccidentModel())
+        assert all(b.n_instances == 2 for b in dataset.bags)
+
+    def test_empty_series_gives_empty_dataset(self):
+        dataset = build_dataset([], AccidentModel())
+        assert len(dataset) == 0
+        with pytest.raises(ConfigurationError):
+            dataset.instance_matrix()
+
+    def test_bad_window_size(self):
+        with pytest.raises(ConfigurationError):
+            build_dataset(_series([_straight_track()]), AccidentModel(),
+                          window_size=0)
+
+    def test_off_grid_series_rejected(self):
+        series = _series([_straight_track(n=60)])
+        series[0].checkpoint_frames = series[0].checkpoint_frames + 2
+        with pytest.raises(ConfigurationError, match="global"):
+            build_dataset(series, AccidentModel())
+
+    def test_dataset_metadata(self):
+        dataset = build_dataset(_series([_straight_track(n=60)]),
+                                AccidentModel(), clip_id="clip-7")
+        assert dataset.clip_id == "clip-7"
+        assert dataset.event_name == "accident"
+        assert dataset.feature_names == ("inv_mdist", "vdiff", "theta")
+        assert dataset.window_size == 3
+        assert dataset.sampling_rate == 5

@@ -1,0 +1,134 @@
+"""Tests for the camera model (homographies, projection, rendering)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.camera import CameraModel
+
+
+class TestConstruction:
+    def test_identity(self):
+        cam = CameraModel.identity()
+        pts = np.array([[10.0, 20.0], [0.0, 0.0]])
+        assert np.allclose(cam.project(pts), pts)
+
+    def test_overhead_scale_and_offset(self):
+        cam = CameraModel.overhead(scale=2.0, offset=(5.0, -3.0))
+        out = cam.project([[10.0, 10.0]])
+        assert out[0] == pytest.approx([25.0, 17.0])
+
+    def test_rejects_bad_matrix(self):
+        with pytest.raises(ConfigurationError):
+            CameraModel(np.zeros((3, 3)))
+        with pytest.raises(ConfigurationError):
+            CameraModel(np.eye(4))
+
+    def test_tilted_validations(self):
+        with pytest.raises(ConfigurationError):
+            CameraModel.tilted(tilt_deg=90.0)
+        with pytest.raises(ConfigurationError):
+            CameraModel.tilted(height=0.0)
+
+    def test_tilted_keeps_scene_in_frame(self):
+        cam = CameraModel.tilted()
+        corners = np.array([[0.0, 0], [320, 0], [0, 240], [320, 240]])
+        projected = cam.project(corners)
+        assert projected[:, 0].min() > -10 and projected[:, 0].max() < 330
+        assert projected[:, 1].min() > -10 and projected[:, 1].max() < 250
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cam", [
+        CameraModel.identity(),
+        CameraModel.overhead(scale=1.4, offset=(10, 5)),
+        CameraModel.tilted(),
+        CameraModel.tilted(tilt_deg=35.0, height=400.0),
+    ])
+    def test_project_unproject_identity(self, cam):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform([0, 0], [320, 240], size=(50, 2))
+        back = cam.unproject(cam.project(pts))
+        assert np.allclose(back, pts, atol=1e-8)
+
+    @given(x=st.floats(0, 320), y=st.floats(0, 240),
+           tilt=st.floats(0, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip_any_point(self, x, y, tilt):
+        cam = CameraModel.tilted(tilt_deg=tilt)
+        back = cam.unproject(cam.project([[x, y]]))
+        assert np.allclose(back, [[x, y]], atol=1e-6)
+
+
+class TestLocalScale:
+    def test_overhead_scale_is_uniform(self):
+        cam = CameraModel.overhead(scale=1.7)
+        assert cam.local_scale([10.0, 10.0]) == pytest.approx(1.7)
+        assert cam.local_scale([300.0, 200.0]) == pytest.approx(1.7)
+
+    def test_tilted_scale_varies_with_depth(self):
+        cam = CameraModel.tilted()
+        near = cam.local_scale([160.0, 10.0])
+        far = cam.local_scale([160.0, 230.0])
+        assert near != pytest.approx(far, rel=0.05)
+
+    def test_scale_matches_finite_differences(self):
+        cam = CameraModel.tilted()
+        p = np.array([120.0, 100.0])
+        eps = 1e-4
+        j = np.zeros((2, 2))
+        base = cam.project([p])[0]
+        for axis in range(2):
+            step = p.copy()
+            step[axis] += eps
+            j[:, axis] = (cam.project([step])[0] - base) / eps
+        expected = np.sqrt(abs(np.linalg.det(j)))
+        assert cam.local_scale(p) == pytest.approx(expected, rel=1e-3)
+
+
+class TestCameraRendering:
+    def test_renderer_with_camera(self, small_tunnel):
+        from repro.sim import Renderer
+
+        cam = CameraModel.tilted()
+        renderer = Renderer(small_tunnel, camera=cam, seed=0)
+        frame = renderer.render(100)
+        assert frame.shape == (small_tunnel.height, small_tunnel.width)
+        assert frame.dtype == np.uint8
+
+    def test_vehicle_appears_at_projected_position(self, small_tunnel):
+        from repro.sim import Renderer
+
+        cam = CameraModel.tilted()
+        renderer = Renderer(small_tunnel, camera=cam, noise_sigma=0.0,
+                            flicker_sigma=0.0)
+        frame_idx = next(i for i, fs in enumerate(small_tunnel.states)
+                         if fs and 20 < fs[0].x < 300)
+        state = small_tunnel.states[frame_idx][0]
+        u, v = cam.project([[state.x, state.y]])[0]
+        frame = renderer.render(frame_idx).astype(float)
+        clean = renderer.background
+        ui, vi = int(round(u)), int(round(v))
+        if 0 <= ui < 320 and 0 <= vi < 240:
+            assert abs(frame[vi, ui] - clean[vi, ui]) > 20
+
+    def test_identity_camera_matches_plain_render(self, small_tunnel):
+        from repro.sim import Renderer
+
+        plain = Renderer(small_tunnel, noise_sigma=0.0, flicker_sigma=0.0)
+        through = Renderer(small_tunnel, camera=CameraModel.identity(),
+                           noise_sigma=0.0, flicker_sigma=0.0)
+        a, b = plain.render(60), through.render(60)
+        # Same geometry; warped background sampling may differ by a pixel
+        # at region borders.
+        assert np.mean(np.abs(a.astype(int) - b.astype(int)) > 2) < 0.02
+
+    def test_clip_from_simulation_with_camera(self, small_tunnel):
+        from repro.vision import VideoClip
+
+        cam = CameraModel.tilted()
+        clip = VideoClip.from_simulation(small_tunnel, camera=cam)
+        assert "camera_matrix" in clip.metadata
+        assert clip.get(10).shape == (240, 320)

@@ -1,0 +1,67 @@
+"""Tests for the curved-road scenario (theta stress case)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MILRetrievalEngine
+from repro.errors import ConfigurationError
+from repro.eval import build_artifacts, run_protocol
+from repro.events import extract_series
+from repro.sim import curve, traffic_statistics
+
+
+@pytest.fixture(scope="module")
+def curve_sim():
+    return curve(seed=3)
+
+
+class TestCurveScenario:
+    def test_traffic_stays_in_frame(self, curve_sim):
+        for states in curve_sim.states:
+            for s in states:
+                assert -45 < s.x < curve_sim.width + 45
+                assert -45 < s.y < curve_sim.height + 45
+
+    def test_vehicles_actually_turn(self, curve_sim):
+        """Headings rotate continuously along the arc."""
+        vid = curve_sim.vehicle_ids()[0]
+        traj = curve_sim.trajectory_of(vid)
+        motion = np.diff(traj[:, 1:], axis=0)
+        headings = np.arctan2(motion[:, 1], motion[:, 0])
+        swept = np.abs(np.unwrap(headings)[-1] - np.unwrap(headings)[0])
+        assert swept > 1.0  # more than ~60 degrees over the transit
+
+    def test_normal_theta_is_steady_not_spiky(self, curve_sim):
+        art = build_artifacts(curve_sim, mode="oracle")
+        normal_tracks = [
+            t for t in art.tracks
+            if not any(r.involves(t.track_id) for r in curve_sim.incidents)
+        ]
+        series = extract_series(normal_tracks)
+        thetas = np.concatenate([s.channels["theta"] for s in series])
+        assert thetas.mean() > 0.02           # curvature registers...
+        # ...but stays small almost everywhere (the tail belongs to the
+        # benign lane-change/brake distractors, not to the bend itself).
+        assert np.percentile(thetas, 90) < 0.35
+
+    def test_incidents_are_sudden_stops(self, curve_sim):
+        kinds = {r.kind for r in curve_sim.incidents}
+        assert kinds == {"sudden_stop"}
+
+    def test_retrieval_survives_curvature(self, curve_sim):
+        """The accident query keys on vdiff conjunctions, so constant
+        road curvature must not drown it."""
+        art = build_artifacts(curve_sim, mode="oracle")
+        protocol = run_protocol(art, MILRetrievalEngine, method="MIL",
+                                top_k=10)
+        assert protocol.initial >= 0.5
+        assert protocol.final >= protocol.initial
+
+    def test_too_many_stops_rejected(self):
+        with pytest.raises(ConfigurationError, match="too short"):
+            curve(n_frames=400, seed=0, n_sudden_stops=50)
+
+    def test_stats_shape(self, curve_sim):
+        stats = traffic_statistics(curve_sim)
+        assert 1.0 < stats.mean_concurrency < 6.0
+        assert stats.incident_kinds == ("sudden_stop",)

@@ -1,0 +1,110 @@
+"""Renderer tests: frame format, vehicle visibility, noise behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Renderer, render_clip
+from repro.sim.render import build_background
+
+
+class TestBackground:
+    def test_tunnel_layout_has_walls(self):
+        bg = build_background(320, 240, {"scenario": "tunnel"})
+        assert bg.shape == (240, 320)
+        road = bg[120, 160]
+        wall = bg[120 - 30, 160]
+        assert road > wall  # walls darker than road
+
+    def test_intersection_has_crossing_roads(self):
+        bg = build_background(320, 240, {"scenario": "intersection"})
+        assert bg[120, 10] > 90      # horizontal road
+        assert bg[10, 160] > 90      # vertical road
+        assert bg[10, 10] < 90       # off-road corner
+
+    def test_unknown_scenario_falls_back_to_road(self):
+        bg = build_background(100, 80, {"scenario": "nonsense"})
+        assert bg[40, 50] > bg[5, 50]
+
+
+class TestRenderer:
+    def test_frame_is_uint8_with_right_shape(self, small_tunnel):
+        renderer = Renderer(small_tunnel, seed=0)
+        frame = renderer.render(100)
+        assert frame.dtype == np.uint8
+        assert frame.shape == (small_tunnel.height, small_tunnel.width)
+
+    def test_vehicle_pixels_differ_from_background(self, small_tunnel):
+        renderer = Renderer(small_tunnel, noise_sigma=0.0,
+                            flicker_sigma=0.0, seed=0)
+        frame_idx = next(i for i, fs in enumerate(small_tunnel.states) if fs)
+        state = small_tunnel.states[frame_idx][0]
+        frame = renderer.render(frame_idx)
+        x, y = int(state.x), int(state.y)
+        if 0 <= x < small_tunnel.width and 0 <= y < small_tunnel.height:
+            assert abs(float(frame[y, x]) - renderer.background[y, x]) > 20
+
+    def test_empty_frame_close_to_background(self, small_tunnel):
+        renderer = Renderer(small_tunnel, noise_sigma=1.0,
+                            flicker_sigma=0.0, seed=0)
+        empty_idx = next(
+            (i for i, fs in enumerate(small_tunnel.states) if not fs), None)
+        if empty_idx is None:
+            pytest.skip("no empty frame in fixture")
+        frame = renderer.render(empty_idx)
+        diff = np.abs(frame.astype(float) - renderer.background)
+        assert np.mean(diff) < 3.0
+
+    def test_noise_changes_between_frames(self, small_tunnel):
+        renderer = Renderer(small_tunnel, noise_sigma=2.0, seed=0)
+        empties = [i for i, fs in enumerate(small_tunnel.states) if not fs]
+        if len(empties) < 2:
+            pytest.skip("need two empty frames")
+        a = renderer.render(empties[0]).astype(int)
+        b = renderer.render(empties[1]).astype(int)
+        assert np.any(a != b)
+
+    def test_zero_noise_is_deterministic(self, small_tunnel):
+        r1 = Renderer(small_tunnel, noise_sigma=0.0, flicker_sigma=0.0)
+        r2 = Renderer(small_tunnel, noise_sigma=0.0, flicker_sigma=0.0)
+        assert np.array_equal(r1.render(50), r2.render(50))
+
+    def test_negative_noise_rejected(self, small_tunnel):
+        with pytest.raises(ValueError):
+            Renderer(small_tunnel, noise_sigma=-1.0)
+
+    def test_render_clip_stacks_frames(self, small_intersection):
+        clip = render_clip(small_intersection, seed=1)
+        assert clip.shape == (small_intersection.n_frames,
+                              small_intersection.height,
+                              small_intersection.width)
+        assert clip.dtype == np.uint8
+
+    def test_illumination_drift_modulates_brightness(self, small_tunnel):
+        renderer = Renderer(small_tunnel, noise_sigma=0.0,
+                            flicker_sigma=0.0, illumination_drift=0.3,
+                            drift_period=200)
+        bright = renderer.clean_frame(50).mean()   # sin peak
+        dark = renderer.clean_frame(150).mean()    # sin trough
+        assert bright > dark * 1.3
+
+    def test_gain_is_periodic(self, small_tunnel):
+        renderer = Renderer(small_tunnel, illumination_drift=0.2,
+                            drift_period=100)
+        assert renderer.gain(0) == pytest.approx(renderer.gain(100))
+        assert renderer.gain(25) == pytest.approx(1.2)
+        assert renderer.gain(75) == pytest.approx(0.8)
+
+    def test_zero_drift_gain_is_one(self, small_tunnel):
+        renderer = Renderer(small_tunnel)
+        assert renderer.gain(123) == 1.0
+
+    def test_bad_drift_rejected(self, small_tunnel):
+        with pytest.raises(ValueError):
+            Renderer(small_tunnel, illumination_drift=1.5)
+
+    def test_frames_iterator_matches_render(self, small_tunnel):
+        renderer = Renderer(small_tunnel, noise_sigma=0.0, flicker_sigma=0.0)
+        for i, frame in enumerate(renderer.frames()):
+            assert np.array_equal(frame, renderer.render(i))
+            if i >= 3:
+                break

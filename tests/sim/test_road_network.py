@@ -1,0 +1,102 @@
+"""Tests for the road-network scenario (networkx routing)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.road_network import RoadNetwork, city_grid
+
+
+class TestRoadNetwork:
+    def test_grid_geometry(self):
+        network = RoadNetwork.grid(4, 3, width=320, height=240)
+        assert network.graph.number_of_nodes() == 12
+        for node in network.graph.nodes:
+            x, y = network.position(node)
+            assert 0 < x < 320 and 0 < y < 240
+
+    def test_boundary_vs_interior(self):
+        network = RoadNetwork.grid(4, 3)
+        assert len(network.interior_nodes()) == 2  # (1,1) and (2,1)
+        assert len(network.boundary_nodes()) == 10
+
+    def test_path_waypoints_follow_edges(self):
+        network = RoadNetwork.grid(4, 3)
+        waypoints = network.path_waypoints((0, 0), (3, 2))
+        # Consecutive waypoints are graph neighbours: one axis at a time.
+        for a, b in zip(waypoints, waypoints[1:]):
+            moved = np.abs(b - a) > 1e-9
+            assert moved.sum() == 1
+
+    def test_via_routing_passes_through(self):
+        network = RoadNetwork.grid(4, 3)
+        via = (1, 1)
+        waypoints = network.path_waypoints((0, 0), (3, 2), via=via)
+        via_pos = network.position(via)
+        assert any(np.allclose(w, via_pos) for w in waypoints)
+
+    def test_random_transit_endpoints_on_boundary(self):
+        network = RoadNetwork.grid(4, 3)
+        rng = np.random.default_rng(0)
+        boundary_positions = [tuple(network.position(n))
+                              for n in network.boundary_nodes()]
+        for _ in range(10):
+            waypoints = network.random_transit(rng)
+            assert tuple(waypoints[0]) in boundary_positions
+            assert tuple(waypoints[-1]) in boundary_positions
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RoadNetwork.grid(1, 3)
+        graph = nx.Graph()
+        graph.add_node("a")
+        graph.add_node("b")
+        with pytest.raises(ConfigurationError, match="pos"):
+            RoadNetwork(graph)
+
+
+class TestCityGridScenario:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return city_grid(seed=4)
+
+    def test_traffic_turns_at_junctions(self, sim):
+        """Routed vehicles change heading mid-transit (grid turns)."""
+        turned = 0
+        for vid in sim.vehicle_ids()[:12]:
+            traj = sim.trajectory_of(vid)
+            if len(traj) < 30:
+                continue
+            motion = np.diff(traj[:, 1:], axis=0)
+            headings = np.arctan2(motion[:, 1], motion[:, 0])
+            moving = np.hypot(motion[:, 0], motion[:, 1]) > 0.5
+            if moving.sum() < 10:
+                continue
+            spread = np.ptp(np.unwrap(headings[moving]))
+            if spread > 0.8:
+                turned += 1
+        assert turned >= 3
+
+    def test_incidents_scheduled(self, sim):
+        kinds = {r.kind for r in sim.incidents}
+        assert "sudden_stop" in kinds
+        assert "collision" in kinds
+
+    def test_retrieval_works_on_grid(self, sim):
+        from repro.core import MILRetrievalEngine
+        from repro.eval import build_artifacts, run_protocol
+
+        artifacts = build_artifacts(sim, mode="oracle")
+        assert len(artifacts.relevant_bag_ids) >= 4
+        protocol = run_protocol(artifacts, MILRetrievalEngine,
+                                method="MIL", top_k=10)
+        assert protocol.initial >= 0.3
+        assert protocol.final >= protocol.initial - 1e-9
+
+    def test_deterministic(self):
+        a = city_grid(n_frames=400, seed=7, n_collisions=1,
+                      n_sudden_stops=1)
+        b = city_grid(n_frames=400, seed=7, n_collisions=1,
+                      n_sudden_stops=1)
+        assert a.incidents == b.incidents

@@ -1,0 +1,147 @@
+"""Scenario-level tests: workload shape, determinism, ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import GroundTruth, highway, intersection, tunnel
+from repro.sim.incidents import ACCIDENT_KINDS
+
+
+class TestTunnelScenario:
+    def test_default_scale_matches_paper_clip1(self):
+        """Clip 1: 2504 frames, sparse traffic, single-vehicle accidents."""
+        result = tunnel(seed=0)
+        assert result.n_frames == 2500
+        kinds = {r.kind for r in result.incidents}
+        assert kinds <= {"wall_crash", "sudden_stop"}
+        assert len(result.incidents) >= 9
+        for rec in result.incidents:
+            assert len(rec.vehicle_ids) == 1
+
+    def test_traffic_is_sparse(self, small_tunnel):
+        assert small_tunnel.max_concurrency() <= 6
+
+    def test_deterministic_given_seed(self):
+        a = tunnel(n_frames=700, seed=11, spawn_interval=(60.0, 90.0),
+                   n_wall_crashes=1, n_sudden_stops=1)
+        b = tunnel(n_frames=700, seed=11, spawn_interval=(60.0, 90.0),
+                   n_wall_crashes=1, n_sudden_stops=1)
+        assert a.incidents == b.incidents
+        for fa, fb in zip(a.states, b.states):
+            assert [s.vid for s in fa] == [s.vid for s in fb]
+            assert np.allclose([s.x for s in fa], [s.x for s in fb])
+
+    def test_different_seeds_differ(self):
+        a = tunnel(n_frames=400, seed=1, n_wall_crashes=1, n_sudden_stops=0)
+        b = tunnel(n_frames=400, seed=2, n_wall_crashes=1, n_sudden_stops=0)
+        flat_a = [s.x for fs in a.states for s in fs]
+        flat_b = [s.x for fs in b.states for s in fs]
+        assert flat_a != flat_b
+
+    def test_incident_frames_within_clip(self, small_tunnel):
+        for rec in small_tunnel.incidents:
+            assert 0 <= rec.frame_start < small_tunnel.n_frames
+            assert rec.frame_end > rec.frame_start
+
+    def test_too_many_incidents_rejected(self):
+        with pytest.raises(ConfigurationError, match="too short"):
+            tunnel(n_frames=300, seed=0, n_wall_crashes=50, n_sudden_stops=50)
+
+
+class TestIntersectionScenario:
+    def test_default_scale_matches_paper_clip2(self):
+        """Clip 2: ~592 frames, denser traffic, multi-vehicle accidents."""
+        result = intersection(seed=1)
+        assert result.n_frames == 600
+        collisions = [r for r in result.incidents if r.kind == "collision"]
+        assert len(collisions) >= 4  # most scheduled pairs must trigger
+        for rec in collisions:
+            assert len(rec.vehicle_ids) >= 2
+
+    def test_denser_than_tunnel(self, small_intersection, small_tunnel):
+        assert (small_intersection.max_concurrency()
+                > small_tunnel.max_concurrency())
+
+    def test_collisions_trigger(self, small_intersection):
+        assert any(r.kind == "collision"
+                   for r in small_intersection.incidents)
+
+    def test_deterministic_given_seed(self):
+        a = intersection(n_frames=300, seed=5, n_collisions=2)
+        b = intersection(n_frames=300, seed=5, n_collisions=2)
+        assert a.incidents == b.incidents
+
+
+class TestHighwayScenario:
+    def test_contains_uturn_and_speeding(self):
+        result = highway(seed=2)
+        kinds = {r.kind for r in result.incidents}
+        assert "u_turn" in kinds
+        assert "speeding" in kinds
+
+    def test_no_accident_kinds(self):
+        result = highway(seed=2)
+        assert not ({r.kind for r in result.incidents} & ACCIDENT_KINDS)
+
+
+class TestGroundTruth:
+    def test_label_window_overlap(self, small_tunnel):
+        gt = GroundTruth.from_result(small_tunnel)
+        rec = gt.of_kinds(None)[0]
+        assert gt.label_window(rec.frame_start, rec.frame_end)
+        assert gt.label_window(rec.frame_end, rec.frame_end + 100)
+        assert not gt.label_window(small_tunnel.n_frames + 10,
+                                   small_tunnel.n_frames + 20)
+
+    def test_of_kinds_filters(self, small_tunnel):
+        gt = GroundTruth.from_result(small_tunnel)
+        stops = gt.of_kinds(["sudden_stop"])
+        assert all(r.kind == "sudden_stop" for r in stops)
+        assert not gt.of_kinds(["u_turn"])
+
+    def test_involved_vehicles(self, small_intersection):
+        gt = GroundTruth.from_result(small_intersection)
+        vids = gt.involved_vehicles(["collision"])
+        assert len(vids) >= 2
+
+    def test_n_relevant_windows(self, small_tunnel):
+        gt = GroundTruth.from_result(small_tunnel)
+        windows = [(i * 15, i * 15 + 14)
+                   for i in range(small_tunnel.n_frames // 15)]
+        n_rel = gt.n_relevant_windows(windows)
+        assert 0 < n_rel < len(windows)
+
+
+class TestTrackMatcher:
+    def test_true_trajectory_matches_itself(self, small_tunnel):
+        from repro.sim.ground_truth import TrackMatcher
+
+        matcher = TrackMatcher(small_tunnel)
+        vid = small_tunnel.vehicle_ids()[0]
+        traj = small_tunnel.trajectory_of(vid)
+        assert matcher.match(traj[:, 0], traj[:, 1:]) == vid
+
+    def test_noisy_trajectory_still_matches(self, small_tunnel, rng):
+        from repro.sim.ground_truth import TrackMatcher
+
+        matcher = TrackMatcher(small_tunnel)
+        vid = small_tunnel.vehicle_ids()[1]
+        traj = small_tunnel.trajectory_of(vid)
+        noisy = traj[:, 1:] + rng.normal(0, 1.5, size=(len(traj), 2))
+        assert matcher.match(traj[:, 0], noisy) == vid
+
+    def test_far_away_track_matches_nothing(self, small_tunnel):
+        from repro.sim.ground_truth import TrackMatcher
+
+        matcher = TrackMatcher(small_tunnel)
+        frames = np.arange(10, 40)
+        points = np.full((30, 2), 1e5)
+        assert matcher.match(frames, points) is None
+
+    def test_length_mismatch_rejected(self, small_tunnel):
+        from repro.sim.ground_truth import TrackMatcher
+
+        matcher = TrackMatcher(small_tunnel)
+        with pytest.raises(ValueError):
+            matcher.match(np.arange(3), np.zeros((4, 2)))

@@ -1,0 +1,164 @@
+"""Unit tests for the kinematic traffic world."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Route, TrafficWorld, Vehicle, VehicleSpec
+from repro.sim.world import VEHICLE_TEMPLATES, VehicleState
+
+
+class TestVehicleSpec:
+    def test_of_kind_uses_template(self):
+        spec = VehicleSpec.of_kind(3, "truck")
+        length, width, intensity = VEHICLE_TEMPLATES["truck"]
+        assert (spec.length, spec.width, spec.intensity) == (
+            length, width, intensity)
+        assert spec.vid == 3
+
+    def test_of_kind_rejects_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown vehicle kind"):
+            VehicleSpec.of_kind(0, "bicycle")
+
+
+class TestVehicleState:
+    def test_half_extents_follow_dominant_axis(self):
+        horizontal = VehicleState(0, "car", 0, 0, 2.0, 0.1, 14, 7, 200)
+        vertical = VehicleState(0, "car", 0, 0, 0.1, 2.0, 14, 7, 200)
+        assert horizontal.half_extents() == (7.0, 3.5)
+        assert vertical.half_extents() == (3.5, 7.0)
+
+    def test_speed(self):
+        s = VehicleState(0, "car", 0, 0, 3.0, 4.0, 14, 7, 200)
+        assert s.speed == pytest.approx(5.0)
+
+
+class TestRoute:
+    def test_straight_route_drives_toward_end(self):
+        route = Route.straight((0.0, 0.0), (100.0, 0.0), speed=2.0)
+        v = route.desired_velocity(np.array([0.0, 0.0]))
+        assert v == pytest.approx([2.0, 0.0])
+
+    def test_route_finishes_at_last_waypoint(self):
+        route = Route.straight((0.0, 0.0), (10.0, 0.0), speed=2.0)
+        route.desired_velocity(np.array([0.0, 0.0]))  # consumes waypoint 0
+        v = route.desired_velocity(np.array([9.0, 0.0]))  # within reach of end
+        assert route.finished
+        assert v == pytest.approx([0.0, 0.0])
+
+    def test_multi_waypoint_route_advances(self):
+        route = Route([(0, 0), (10, 0), (10, 10)], speed=1.0)
+        route.desired_velocity(np.array([0.0, 0.0]))   # consumes waypoint 0
+        route.desired_velocity(np.array([9.5, 0.0]))   # consumes waypoint 1
+        assert route.target == pytest.approx([10.0, 10.0])
+
+    def test_rejects_bad_waypoints(self):
+        with pytest.raises(ConfigurationError):
+            Route([(0.0, 0.0, 0.0)], speed=1.0)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ConfigurationError):
+            Route.straight((0, 0), (1, 0), speed=0.0)
+
+
+def _world(**kwargs):
+    defaults = dict(width=200, height=100, seed=0, speed_jitter=0.0)
+    defaults.update(kwargs)
+    return TrafficWorld(**defaults)
+
+
+class TestTrafficWorld:
+    def test_vehicle_travels_route(self):
+        world = _world()
+        route = Route.straight((0.0, 50.0), (150.0, 50.0), speed=3.0)
+        world.add_vehicle(Vehicle(VehicleSpec(0), route))
+        for _ in range(40):
+            world.step()
+        traj = world.vehicles[0].pos
+        assert traj[0] > 100.0
+        assert traj[1] == pytest.approx(50.0, abs=1.0)
+
+    def test_duplicate_vid_rejected(self):
+        world = _world()
+        route = Route.straight((0, 0), (10, 0), 1.0)
+        world.add_vehicle(Vehicle(VehicleSpec(1), route))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            world.add_vehicle(
+                Vehicle(VehicleSpec(1), Route.straight((0, 0), (5, 0), 1.0))
+            )
+
+    def test_vehicle_not_active_before_spawn(self):
+        world = _world()
+        route = Route.straight((0.0, 50.0), (150.0, 50.0), speed=3.0)
+        world.add_vehicle(Vehicle(VehicleSpec(0), route, spawn_frame=5))
+        states = world.step()
+        assert states == []
+        for _ in range(5):
+            states = world.step()
+        assert len(states) == 1
+
+    def test_vehicle_retires_outside_bounds(self):
+        world = _world()
+        route = Route.straight((180.0, 50.0), (400.0, 50.0), speed=5.0)
+        world.add_vehicle(Vehicle(VehicleSpec(0), route))
+        for _ in range(30):
+            world.step()
+        assert world.vehicles[0].retired
+        assert world.step() == []
+
+    def test_acceleration_is_bounded(self):
+        world = _world(max_accel=0.5)
+        route = Route.straight((0.0, 50.0), (190.0, 50.0), speed=4.0)
+        vehicle = Vehicle(VehicleSpec(0), route)
+        vehicle.vel = np.zeros(2)  # force a standing start
+        world.add_vehicle(vehicle)
+        prev_speed = 0.0
+        for _ in range(10):
+            states = world.step()
+            if not states:
+                break
+            speed = states[0].speed
+            assert speed - prev_speed <= 0.5 + 1e-9
+            prev_speed = speed
+
+    def test_car_following_prevents_overlap(self):
+        world = _world(max_accel=1.0)
+        lead = Vehicle(
+            VehicleSpec(0), Route.straight((40.0, 50.0), (190.0, 50.0), 1.0)
+        )
+        chaser = Vehicle(
+            VehicleSpec(1), Route.straight((10.0, 50.0), (190.0, 50.0), 3.5)
+        )
+        world.add_vehicles([lead, chaser])
+        min_gap = np.inf
+        for _ in range(60):
+            world.step()
+            if lead.retired or chaser.retired:
+                break
+            min_gap = min(min_gap, abs(lead.pos[0] - chaser.pos[0]))
+        assert min_gap > 3.0
+
+    def test_run_returns_result_with_all_frames(self):
+        world = _world()
+        route = Route.straight((0.0, 50.0), (150.0, 50.0), speed=3.0)
+        world.add_vehicle(Vehicle(VehicleSpec(0), route))
+        result = world.run(20, name="t", metadata={"a": 1})
+        assert result.n_frames == 20
+        assert len(result.states) == 20
+        assert result.name == "t"
+        assert result.metadata == {"a": 1}
+
+    def test_trajectory_of_is_monotone_in_frames(self):
+        world = _world()
+        route = Route.straight((0.0, 50.0), (150.0, 50.0), speed=3.0)
+        world.add_vehicle(Vehicle(VehicleSpec(0), route))
+        result = world.run(30)
+        traj = result.trajectory_of(0)
+        assert traj.shape[1] == 3
+        assert np.all(np.diff(traj[:, 0]) == 1)
+        assert np.all(np.diff(traj[:, 1]) > 0)  # moves right
+
+    def test_trajectory_of_unknown_vehicle_is_empty(self):
+        world = _world()
+        result = world.run(5)
+        assert result.trajectory_of(99).shape == (0, 3)

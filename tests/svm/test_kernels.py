@@ -1,0 +1,111 @@
+"""Kernel tests: values, symmetry, positive semi-definiteness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError
+from repro.svm import LinearKernel, PolynomialKernel, RBFKernel, resolve_kernel
+
+
+def _points(seed=0, n=12, d=3):
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+class TestLinearKernel:
+    def test_matches_dot_products(self):
+        x = _points()
+        gram = LinearKernel()(x, x)
+        assert np.allclose(gram, x @ x.T)
+
+    def test_rectangular(self):
+        a, b = _points(0, 5, 3), _points(1, 7, 3)
+        assert LinearKernel()(a, b).shape == (5, 7)
+
+
+class TestRBFKernel:
+    def test_diagonal_is_one(self):
+        x = _points()
+        gram = RBFKernel(0.5)(x, x)
+        assert np.allclose(np.diag(gram), 1.0)
+
+    def test_value_formula(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        gram = RBFKernel(0.1)(a, b)
+        assert gram[0, 0] == pytest.approx(np.exp(-0.1 * 25.0))
+
+    def test_from_sigma_matches_paper_parameterisation(self):
+        a = np.array([[0.0]])
+        b = np.array([[2.0]])
+        sigma = 1.5
+        gram = RBFKernel.from_sigma(sigma)(a, b)
+        assert gram[0, 0] == pytest.approx(np.exp(-4.0 / (2 * sigma**2)))
+
+    def test_scale_gamma_resolved_by_prepare(self):
+        x = _points()
+        kernel = RBFKernel("scale").prepare(x)
+        expected = 1.0 / (x.shape[1] * x.var())
+        assert kernel.gamma == pytest.approx(expected)
+
+    def test_auto_gamma(self):
+        x = _points(d=4)
+        kernel = RBFKernel("auto").prepare(x)
+        assert kernel.gamma == pytest.approx(0.25)
+
+    def test_symbolic_gamma_unprepared_raises(self):
+        with pytest.raises(ConfigurationError, match="symbolic"):
+            RBFKernel("scale")(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RBFKernel("bogus")
+        with pytest.raises(ConfigurationError):
+            RBFKernel(-1.0)
+
+    @given(hnp.arrays(np.float64, (6, 3),
+                      elements=st.floats(-5, 5, allow_nan=False)))
+    @settings(max_examples=40, deadline=None)
+    def test_property_gram_is_psd(self, x):
+        gram = RBFKernel(0.7)(x, x)
+        assert np.allclose(gram, gram.T)
+        eigvals = np.linalg.eigvalsh(gram)
+        assert eigvals.min() > -1e-8
+
+    @given(hnp.arrays(np.float64, (5, 2),
+                      elements=st.floats(-3, 3, allow_nan=False)))
+    @settings(max_examples=40, deadline=None)
+    def test_property_values_in_unit_interval(self, x):
+        gram = RBFKernel(1.0)(x, x)
+        assert gram.min() >= 0.0
+        assert gram.max() <= 1.0 + 1e-12
+
+
+class TestPolynomialKernel:
+    def test_value_formula(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 1.0]])
+        gram = PolynomialKernel(degree=2, gamma=0.5, coef0=1.0)(a, b)
+        assert gram[0, 0] == pytest.approx((0.5 * 5.0 + 1.0) ** 2)
+
+    def test_psd_on_random_points(self):
+        x = _points()
+        gram = PolynomialKernel(degree=3)(x, x)
+        assert np.linalg.eigvalsh(gram).min() > -1e-6
+
+
+class TestResolveKernel:
+    def test_by_name(self):
+        assert isinstance(resolve_kernel("rbf"), RBFKernel)
+        assert isinstance(resolve_kernel("linear"), LinearKernel)
+        assert isinstance(resolve_kernel("poly"), PolynomialKernel)
+
+    def test_pass_through_instance(self):
+        k = RBFKernel(2.0)
+        assert resolve_kernel(k) is k
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_kernel("sigmoid")

@@ -1,0 +1,128 @@
+"""Estimator-level tests for the one-class SVM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.svm import OneClassSVM, RBFKernel
+
+
+def _blob(n=80, d=2, seed=0, center=0.0):
+    return np.random.default_rng(seed).normal(center, 1.0, size=(n, d))
+
+
+class TestFitPredict:
+    def test_inliers_accepted_outliers_rejected(self):
+        x = _blob(n=150)
+        model = OneClassSVM(nu=0.1, gamma=0.2).fit(x)
+        inside = model.predict(np.zeros((1, 2)))
+        outside = model.predict(np.array([[15.0, 15.0]]))
+        assert inside[0] == 1
+        assert outside[0] == -1
+
+    def test_decision_monotone_with_distance(self):
+        x = _blob(seed=1)
+        model = OneClassSVM(nu=0.2).fit(x)
+        radii = np.array([0.0, 2.0, 5.0, 10.0])
+        points = np.column_stack([radii, np.zeros_like(radii)])
+        scores = model.decision_function(points)
+        assert np.all(np.diff(scores) < 0)
+
+    @pytest.mark.parametrize("nu", [0.1, 0.3, 0.5])
+    def test_training_outlier_fraction_close_to_nu(self, nu):
+        x = _blob(n=300, seed=2)
+        model = OneClassSVM(nu=nu).fit(x)
+        fraction = float(np.mean(model.predict(x) == -1))
+        # nu is an asymptotic bound; allow generous slack.
+        assert fraction == pytest.approx(nu, abs=0.12)
+
+    def test_support_vector_fraction_at_least_nu(self):
+        x = _blob(n=200, seed=3)
+        nu = 0.4
+        model = OneClassSVM(nu=nu).fit(x)
+        assert len(model.support_) / len(x) >= nu - 0.05
+
+    def test_decision_function_on_training_support(self):
+        """Free support vectors sit on the decision boundary."""
+        x = _blob(n=60, seed=4)
+        model = OneClassSVM(nu=0.3, tol=1e-6).fit(x)
+        scores = model.decision_function(model.support_vectors_)
+        c = 1.0 / (model.nu * len(x))
+        free = (model.dual_coef_ > 1e-8) & (model.dual_coef_ < c - 1e-8)
+        if free.any():
+            assert np.abs(scores[free]).max() < 1e-3
+
+    def test_two_clusters_both_covered(self):
+        rng = np.random.default_rng(5)
+        x = np.vstack([
+            rng.normal(-5, 0.5, size=(60, 2)),
+            rng.normal(5, 0.5, size=(60, 2)),
+        ])
+        model = OneClassSVM(nu=0.1, gamma=0.5).fit(x)
+        probes = np.array([[-5.0, -5.0], [5.0, 5.0], [0.0, 0.0]])
+        preds = model.predict(probes)
+        assert preds[0] == 1 and preds[1] == 1
+        assert preds[2] == -1  # the gap between clusters is outside
+
+
+class TestKernels:
+    def test_linear_kernel_works(self):
+        x = _blob(seed=6) + 5.0
+        model = OneClassSVM(nu=0.3, kernel="linear").fit(x)
+        scores = model.decision_function(x)
+        assert np.isfinite(scores).all()
+
+    def test_poly_kernel_works(self):
+        x = _blob(seed=7)
+        model = OneClassSVM(nu=0.3, kernel="poly", gamma=0.5).fit(x)
+        assert np.isfinite(model.decision_function(x)).all()
+
+    def test_custom_kernel_instance(self):
+        x = _blob(seed=8)
+        model = OneClassSVM(nu=0.2, kernel=RBFKernel(0.3)).fit(x)
+        assert model.predict(np.zeros((1, 2)))[0] == 1
+
+    def test_paper_sigma_parameterisation(self):
+        x = _blob(seed=9)
+        model = OneClassSVM(nu=0.2,
+                            kernel=RBFKernel.from_sigma(1.0)).fit(x)
+        assert model.is_fitted
+
+
+class TestValidation:
+    @pytest.mark.parametrize("nu", [0.0, -0.1, 1.0001])
+    def test_bad_nu(self, nu):
+        with pytest.raises(ConfigurationError):
+            OneClassSVM(nu=nu)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            OneClassSVM().decision_function(np.zeros((1, 2)))
+
+    def test_dimension_mismatch(self):
+        model = OneClassSVM().fit(_blob())
+        with pytest.raises(ConfigurationError, match="features"):
+            model.decision_function(np.zeros((1, 5)))
+
+    def test_1d_input_promoted_to_row(self):
+        model = OneClassSVM(nu=0.3).fit(_blob())
+        assert model.decision_function(np.zeros(2)).shape == (1,)
+
+
+class TestDeterminism:
+    def test_fit_is_deterministic(self):
+        x = _blob(seed=10)
+        a = OneClassSVM(nu=0.25).fit(x)
+        b = OneClassSVM(nu=0.25).fit(x)
+        assert np.array_equal(a.support_, b.support_)
+        assert a.rho_ == pytest.approx(b.rho_)
+
+    @given(nu=st.floats(0.05, 0.95), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_property_scores_finite_anywhere(self, nu, seed):
+        x = _blob(n=40, seed=seed)
+        model = OneClassSVM(nu=nu).fit(x)
+        probes = np.random.default_rng(seed + 1).normal(0, 20, size=(10, 2))
+        assert np.isfinite(model.decision_function(probes)).all()

@@ -1,0 +1,121 @@
+"""Solver tests: feasibility, KKT conditions, scipy-QP cross-check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import minimize
+
+from repro.errors import ConfigurationError
+from repro.svm import RBFKernel, solve_one_class_smo
+
+
+def _gram(n=20, d=2, seed=0, gamma=0.5):
+    x = np.random.default_rng(seed).normal(size=(n, d))
+    return RBFKernel(gamma)(x, x)
+
+
+def _reference_qp(q, nu):
+    """Small-scale reference solution via SLSQP."""
+    n = q.shape[0]
+    c = 1.0 / (nu * n)
+    x0 = np.full(n, 1.0 / n)
+    res = minimize(
+        lambda a: 0.5 * a @ q @ a,
+        x0,
+        jac=lambda a: q @ a,
+        bounds=[(0.0, c)] * n,
+        constraints=[{"type": "eq", "fun": lambda a: a.sum() - 1.0,
+                      "jac": lambda a: np.ones(n)}],
+        method="SLSQP",
+        options={"maxiter": 500, "ftol": 1e-12},
+    )
+    assert res.success, res.message
+    return res.x
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("nu", [0.05, 0.2, 0.5, 0.9, 1.0])
+    def test_constraints_hold(self, nu):
+        q = _gram()
+        result = solve_one_class_smo(q, nu)
+        c = 1.0 / (nu * q.shape[0])
+        assert result.alpha.sum() == pytest.approx(1.0, abs=1e-9)
+        assert result.alpha.min() >= -1e-12
+        assert result.alpha.max() <= c + 1e-12
+
+    def test_single_point(self):
+        q = np.array([[1.0]])
+        result = solve_one_class_smo(q, 0.5)
+        assert result.alpha == pytest.approx([1.0])
+
+    def test_tiny_nu_spreads_mass(self):
+        q = _gram(n=10)
+        result = solve_one_class_smo(q, 0.05)
+        # C = 2.0 > 1, a single alpha can carry everything if optimal.
+        assert result.alpha.sum() == pytest.approx(1.0)
+
+
+class TestKKT:
+    @pytest.mark.parametrize("nu", [0.2, 0.5, 0.8])
+    def test_gradient_structure(self, nu):
+        q = _gram(n=25, seed=3)
+        result = solve_one_class_smo(q, nu, tol=1e-6)
+        assert result.converged
+        c = 1.0 / (nu * q.shape[0])
+        gradient = q @ result.alpha
+        free = (result.alpha > 1e-8) & (result.alpha < c - 1e-8)
+        at_zero = result.alpha <= 1e-8
+        at_c = result.alpha >= c - 1e-8
+        if free.any():
+            assert np.allclose(gradient[free], result.rho, atol=1e-4)
+        if at_zero.any():
+            assert gradient[at_zero].min() >= result.rho - 1e-4
+        if at_c.any():
+            assert gradient[at_c].max() <= result.rho + 1e-4
+
+    def test_objective_matches_reference_qp(self):
+        for nu in (0.3, 0.6):
+            q = _gram(n=15, seed=7)
+            smo = solve_one_class_smo(q, nu, tol=1e-8)
+            ref = _reference_qp(q, nu)
+            obj_smo = 0.5 * smo.alpha @ q @ smo.alpha
+            obj_ref = 0.5 * ref @ q @ ref
+            assert obj_smo == pytest.approx(obj_ref, abs=1e-6)
+
+    @given(seed=st.integers(0, 100), nu=st.floats(0.1, 0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_property_feasible_and_no_worse_than_uniform(self, seed, nu):
+        q = _gram(n=12, seed=seed)
+        result = solve_one_class_smo(q, nu, tol=1e-6)
+        n = q.shape[0]
+        c = 1.0 / (nu * n)
+        assert result.alpha.sum() == pytest.approx(1.0, abs=1e-8)
+        assert -1e-10 <= result.alpha.min()
+        assert result.alpha.max() <= c + 1e-10
+        uniform = np.full(n, 1.0 / n)
+        if np.all(uniform <= c + 1e-12):
+            assert (0.5 * result.alpha @ q @ result.alpha
+                    <= 0.5 * uniform @ q @ uniform + 1e-8)
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_one_class_smo(np.zeros((2, 3)), 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_one_class_smo(np.zeros((0, 0)), 0.5)
+
+    @pytest.mark.parametrize("nu", [0.0, -0.5, 1.5])
+    def test_bad_nu_rejected(self, nu):
+        with pytest.raises(ConfigurationError):
+            solve_one_class_smo(np.eye(3), nu)
+
+    def test_strict_convergence_error(self):
+        from repro.errors import ConvergenceError
+
+        q = _gram(n=30, seed=5)
+        with pytest.raises(ConvergenceError):
+            solve_one_class_smo(q, 0.5, tol=1e-14, max_iter=2, strict=True)

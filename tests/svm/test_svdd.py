@@ -1,0 +1,111 @@
+"""Tests for Support Vector Data Description (the paper's "ball")."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.svm import SVDD, OneClassSVM
+
+
+def _blob(n=80, d=2, seed=0, center=0.0):
+    return np.random.default_rng(seed).normal(center, 1.0, size=(n, d))
+
+
+class TestFitPredict:
+    def test_ball_contains_inliers_excludes_outliers(self):
+        x = _blob(n=150)
+        model = SVDD(nu=0.1, gamma=0.2).fit(x)
+        assert model.predict(np.zeros((1, 2)))[0] == 1
+        assert model.predict(np.array([[20.0, 20.0]]))[0] == -1
+
+    def test_radius_positive(self):
+        model = SVDD(nu=0.3).fit(_blob())
+        assert model.radius2_ > 0
+
+    def test_training_outlier_fraction_close_to_nu(self):
+        x = _blob(n=300, seed=2)
+        model = SVDD(nu=0.3, gamma=0.2).fit(x)
+        fraction = float(np.mean(model.predict(x) == -1))
+        assert fraction == pytest.approx(0.3, abs=0.12)
+
+    def test_decision_decreases_with_distance(self):
+        model = SVDD(nu=0.2, gamma=0.2).fit(_blob(seed=1))
+        radii = np.array([0.0, 1.0, 3.0, 8.0])
+        points = np.column_stack([radii, np.zeros_like(radii)])
+        scores = model.decision_function(points)
+        assert np.all(np.diff(scores) < 0)
+
+    def test_linear_kernel_minimal_sphere(self):
+        """With a hard margin (nu -> 1/n) and a linear kernel, SVDD is the
+        minimal enclosing ball of the data in input space."""
+        x = np.array([[-1.0, 0.0], [1.0, 0.0], [0.0, 0.5], [0.0, -0.5]])
+        model = SVDD(nu=1.0 / len(x) + 1e-9, kernel="linear").fit(x)
+        # Ball centre ~ origin, radius ~ 1.
+        assert model.radius2_ == pytest.approx(1.0, abs=0.1)
+        inside = model.decision_function(np.array([[0.0, 0.0]]))
+        assert inside[0] > 0
+
+    def test_single_point(self):
+        model = SVDD(nu=0.5).fit(np.array([[1.0, 2.0]]))
+        assert model.predict(np.array([[1.0, 2.0]]))[0] == 1
+
+
+class TestEquivalenceWithOCSVM:
+    @given(seed=st.integers(0, 40), nu=st.floats(0.1, 0.8))
+    @settings(max_examples=20, deadline=None)
+    def test_rbf_rankings_match_ocsvm(self, seed, nu):
+        """Known identity: for kernels with constant K(x,x), SVDD and the
+        nu-OCSVM produce the same ranking (affine-related decisions)."""
+        x = _blob(n=40, seed=seed)
+        probes = np.random.default_rng(seed + 1).normal(0, 3, size=(25, 2))
+        svdd = SVDD(nu=nu, gamma=0.3, tol=1e-7).fit(x)
+        ocsvm = OneClassSVM(nu=nu, gamma=0.3, tol=1e-7).fit(x)
+        a = svdd.decision_function(probes)
+        b = ocsvm.decision_function(probes)
+        assert np.array_equal(np.argsort(a), np.argsort(b))
+
+    def test_linear_kernel_differs_from_ocsvm(self):
+        """Off-origin data: the hyperplane and the ball disagree."""
+        x = _blob(n=60, seed=3) + np.array([5.0, 0.0])
+        probes = np.array([[10.0, 0.0], [0.0, 0.0]])
+        svdd = SVDD(nu=0.2, kernel="linear").fit(x)
+        ocsvm = OneClassSVM(nu=0.2, kernel="linear").fit(x)
+        # The ball rejects both far points; the hyperplane machine keeps
+        # the far-along-the-mean-direction one.
+        assert svdd.predict(probes)[0] == -1
+        assert ocsvm.predict(probes)[0] == 1
+
+
+class TestValidationAndEngine:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SVDD().decision_function(np.zeros((1, 2)))
+
+    def test_dimension_mismatch(self):
+        model = SVDD().fit(_blob())
+        with pytest.raises(ConfigurationError):
+            model.decision_function(np.zeros((1, 5)))
+
+    def test_bad_nu(self):
+        with pytest.raises(ConfigurationError):
+            SVDD(nu=0.0)
+
+    def test_engine_with_svdd_learner(self):
+        from repro.core import MILRetrievalEngine, OracleUser, RetrievalSession
+        from tests.core.conftest import make_toy
+
+        ds, gt = make_toy()
+        engine = MILRetrievalEngine(ds, learner="svdd")
+        session = RetrievalSession(engine, OracleUser(gt), top_k=10)
+        accs = [r.accuracy() for r in session.run(3)]
+        assert accs[-1] >= accs[0]
+
+    def test_engine_rejects_unknown_learner(self):
+        from repro.core import MILRetrievalEngine
+        from tests.core.conftest import make_toy
+
+        ds, _ = make_toy()
+        with pytest.raises(ConfigurationError):
+            MILRetrievalEngine(ds, learner="forest")

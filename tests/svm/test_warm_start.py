@@ -1,0 +1,103 @@
+"""Tests for warm-started SMO solves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError
+from repro.svm import OneClassSVM, RBFKernel, solve_one_class_smo
+from repro.svm.smo import project_feasible
+
+
+def _gram(n=40, seed=0):
+    x = np.random.default_rng(seed).normal(size=(n, 2))
+    return RBFKernel(0.5)(x, x), x
+
+
+class TestProjectFeasible:
+    def test_already_feasible_kept(self):
+        alpha = np.array([0.5, 0.3, 0.2])
+        out = project_feasible(alpha, c=0.6)
+        assert np.allclose(out, alpha)
+
+    def test_clips_and_renormalizes(self):
+        out = project_feasible(np.array([2.0, 0.0, 0.0]), c=0.6)
+        assert out.sum() == pytest.approx(1.0)
+        assert out.max() <= 0.6 + 1e-12
+        assert out.min() >= -1e-12
+
+    def test_zero_guess_becomes_feasible(self):
+        out = project_feasible(np.zeros(5), c=0.3)
+        assert out.sum() == pytest.approx(1.0)
+        assert out.max() <= 0.3 + 1e-12
+
+    @given(guess=hnp.arrays(np.float64, 8,
+                            elements=st.floats(-2, 2, allow_nan=False)),
+           c_mult=st.floats(1.05, 4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_property_always_feasible(self, guess, c_mult):
+        c = c_mult / len(guess)  # guarantees n*c > 1
+        out = project_feasible(guess, c)
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+        assert out.min() >= -1e-12
+        assert out.max() <= c + 1e-12
+
+
+class TestWarmStartSolver:
+    def test_same_objective_as_cold(self):
+        q, _ = _gram()
+        cold = solve_one_class_smo(q, 0.3, tol=1e-8)
+        warm = solve_one_class_smo(q, 0.3, tol=1e-8, alpha0=cold.alpha)
+        obj_cold = 0.5 * cold.alpha @ q @ cold.alpha
+        obj_warm = 0.5 * warm.alpha @ q @ warm.alpha
+        assert obj_warm == pytest.approx(obj_cold, abs=1e-9)
+
+    def test_warm_start_from_solution_is_instant(self):
+        q, _ = _gram()
+        cold = solve_one_class_smo(q, 0.3, tol=1e-8)
+        warm = solve_one_class_smo(q, 0.3, tol=1e-8, alpha0=cold.alpha)
+        assert warm.n_iter <= max(1, cold.n_iter // 10)
+
+    def test_warm_start_on_grown_problem(self):
+        """Previous alphas padded with zeros still speed up the solve."""
+        q_big, x = _gram(n=60, seed=3)
+        q_small = q_big[:50, :50]
+        small = solve_one_class_smo(q_small, 0.3, tol=1e-8)
+        guess = np.concatenate([small.alpha, np.zeros(10)])
+        warm = solve_one_class_smo(q_big, 0.3, tol=1e-8, alpha0=guess)
+        cold = solve_one_class_smo(q_big, 0.3, tol=1e-8)
+        obj_warm = 0.5 * warm.alpha @ q_big @ warm.alpha
+        obj_cold = 0.5 * cold.alpha @ q_big @ cold.alpha
+        assert obj_warm == pytest.approx(obj_cold, abs=1e-7)
+        assert warm.n_iter <= cold.n_iter
+
+    def test_wrong_length_rejected(self):
+        q, _ = _gram(n=10)
+        with pytest.raises(ConfigurationError, match="length"):
+            solve_one_class_smo(q, 0.3, alpha0=np.zeros(5))
+
+
+class TestWarmStartEstimatorAndEngine:
+    def test_estimator_accepts_alpha0(self):
+        _, x = _gram()
+        cold = OneClassSVM(nu=0.3, gamma=0.5).fit(x)
+        warm = OneClassSVM(nu=0.3, gamma=0.5).fit(x, alpha0=cold.alpha_)
+        assert warm.rho_ == pytest.approx(cold.rho_, abs=1e-6)
+        probes = x[:5]
+        assert np.allclose(warm.decision_function(probes),
+                           cold.decision_function(probes), atol=1e-6)
+
+    def test_engine_warm_start_same_rankings(self):
+        from repro.core import MILRetrievalEngine, OracleUser, RetrievalSession
+        from tests.core.conftest import make_toy
+
+        ds, gt = make_toy()
+        runs = []
+        for warm in (False, True):
+            engine = MILRetrievalEngine(ds, warm_start=warm)
+            session = RetrievalSession(engine, OracleUser(gt), top_k=10)
+            session.run(4)
+            runs.append(session.accuracies())
+        assert runs[0] == runs[1]

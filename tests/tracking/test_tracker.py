@@ -1,0 +1,161 @@
+"""Tests for Hungarian data association."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tracking import CentroidTracker, smooth_points
+from repro.vision.blobs import Blob
+from repro.vision.pipeline import Detection
+
+
+def _det(frame, x, y):
+    blob = Blob(cx=float(x), cy=float(y), x0=int(x) - 5, y0=int(y) - 3,
+                x1=int(x) + 5, y1=int(y) + 3, area=60, mean_intensity=200.0)
+    return Detection(frame=frame, blob=blob)
+
+
+def _linear_detections(n_frames, starts_and_vels):
+    """Per-frame detections for vehicles moving at constant velocity."""
+    per_frame = []
+    for f in range(n_frames):
+        dets = []
+        for (x0, y0), (vx, vy) in starts_and_vels:
+            dets.append(_det(f, x0 + vx * f, y0 + vy * f))
+        per_frame.append(dets)
+    return per_frame
+
+
+class TestSingleTarget:
+    def test_one_track_per_vehicle(self):
+        dets = _linear_detections(20, [((0, 50), (3, 0))])
+        tracks = CentroidTracker().track(dets)
+        assert len(tracks) == 1
+        assert len(tracks[0]) == 20
+
+    def test_track_points_match_detections(self):
+        dets = _linear_detections(10, [((0, 50), (3, 0))])
+        track = CentroidTracker().track(dets)[0]
+        assert track.point_array()[4] == pytest.approx([12.0, 50.0])
+
+
+class TestMultiTarget:
+    def test_two_parallel_vehicles_stay_separate(self):
+        dets = _linear_detections(
+            25, [((0, 40), (3, 0)), ((0, 80), (3, 0))])
+        tracks = CentroidTracker().track(dets)
+        assert len(tracks) == 2
+        ys = sorted(t.point_array()[:, 1].mean() for t in tracks)
+        assert ys[0] == pytest.approx(40.0)
+        assert ys[1] == pytest.approx(80.0)
+
+    def test_crossing_vehicles_keep_identity(self):
+        """Two fast vehicles crossing paths: prediction should keep ids."""
+        dets = _linear_detections(
+            30, [((0, 0), (4, 4)), ((0, 120), (4, -4))])
+        tracks = CentroidTracker(max_match_dist=20).track(dets)
+        assert len(tracks) == 2
+        for t in tracks:
+            ys = t.point_array()[:, 1]
+            # Each track should be monotone in y, not bouncing at the cross.
+            diffs = np.diff(ys)
+            assert np.all(diffs > 0) or np.all(diffs < 0)
+
+
+class TestTrackLifecycle:
+    def test_gap_is_coasted(self):
+        dets = _linear_detections(20, [((0, 50), (3, 0))])
+        dets[10] = []  # one-frame dropout
+        tracks = CentroidTracker(max_misses=3).track(dets)
+        assert len(tracks) == 1
+        assert len(tracks[0]) == 19
+        assert tracks[0].covers(10)
+
+    def test_long_gap_splits_track(self):
+        dets = _linear_detections(30, [((0, 50), (3, 0))])
+        for f in range(10, 18):
+            dets[f] = []
+        tracks = CentroidTracker(max_misses=2, min_track_length=3).track(dets)
+        assert len(tracks) == 2
+
+    def test_short_tracks_dropped(self):
+        dets = [[_det(0, 10, 10)], [_det(1, 12, 10)], [], [], [], [], []]
+        tracks = CentroidTracker(max_misses=1, min_track_length=5).track(dets)
+        assert tracks == []
+
+    def test_new_vehicle_mid_clip(self):
+        dets = _linear_detections(20, [((0, 40), (3, 0))])
+        for f in range(8, 20):
+            dets[f].append(_det(f, 3 * (f - 8), 100))
+        tracks = CentroidTracker().track(dets)
+        assert len(tracks) == 2
+        assert min(t.first_frame for t in tracks) == 0
+        assert max(t.first_frame for t in tracks) == 8
+
+    def test_track_ids_unique_and_ordered(self):
+        dets = _linear_detections(
+            15, [((0, 30), (3, 0)), ((0, 60), (3, 0)), ((0, 90), (3, 0))])
+        tracks = CentroidTracker().track(dets)
+        ids = [t.track_id for t in tracks]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_match_dist": 0},
+        {"max_misses": -1},
+        {"min_track_length": 0},
+    ])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CentroidTracker(**kwargs)
+
+
+class TestSmoothing:
+    def test_smooth_reduces_jitter(self):
+        rng = np.random.default_rng(0)
+        clean = np.column_stack([np.arange(50.0), np.zeros(50)])
+        noisy = clean + rng.normal(0, 1.0, clean.shape)
+        smooth = smooth_points(noisy, window=5)
+        assert np.abs(smooth[:, 1]).mean() < np.abs(noisy[:, 1]).mean()
+
+    def test_endpoints_preserved(self):
+        pts = np.array([[0.0, 0.0], [1.0, 5.0], [2.0, 0.0], [3.0, 5.0]])
+        out = smooth_points(pts, window=3)
+        assert out[0] == pytest.approx(pts[0])
+        assert out[-1] == pytest.approx(pts[-1])
+
+    def test_window_one_is_identity(self):
+        pts = np.random.default_rng(1).normal(size=(10, 2))
+        assert np.array_equal(smooth_points(pts, window=1), pts)
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            smooth_points(np.zeros((5, 2)), window=4)
+
+
+class TestEndToEndTracking:
+    def test_tracks_recover_simulated_vehicles(self, small_tunnel):
+        """Vision pipeline + tracker vs simulator ground truth."""
+        from repro.sim.ground_truth import TrackMatcher
+        from repro.vision import SegmentationPipeline, VideoClip
+
+        clip = VideoClip.from_simulation(small_tunnel, render_seed=2)
+        detections = SegmentationPipeline(use_spcpe=False).process(clip)
+        tracks = CentroidTracker().track(detections)
+        assert tracks, "no tracks recovered"
+
+        matcher = TrackMatcher(small_tunnel)
+        matched = [
+            matcher.match(t.frame_array(), t.point_array()) for t in tracks
+        ]
+        match_rate = np.mean([m is not None for m in matched])
+        assert match_rate > 0.8
+        # Most true vehicles that spend enough time in frame are covered.
+        covered = {m for m in matched if m is not None}
+        long_lived = {
+            vid for vid in small_tunnel.vehicle_ids()
+            if len(small_tunnel.trajectory_of(vid)) > 40
+        }
+        assert len(covered & long_lived) / max(len(long_lived), 1) > 0.75

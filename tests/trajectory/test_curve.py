@@ -1,0 +1,133 @@
+"""Tests for PolynomialCurve and TrajectoryModel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.trajectory import PolynomialCurve, TrajectoryModel
+
+
+class TestPolynomialCurve:
+    def test_fit_and_evaluate(self):
+        x = np.linspace(0, 10, 30)
+        y = 1.0 + 0.5 * x - 0.2 * x**2
+        curve = PolynomialCurve.fit(x, y, 2)
+        assert curve(np.array([2.0]))[0] == pytest.approx(1.0 + 1.0 - 0.8)
+        assert curve(5.0) == pytest.approx(1.0 + 2.5 - 5.0)
+
+    def test_derivative_of_quadratic(self):
+        x = np.linspace(-3, 3, 40)
+        y = 2.0 + 3.0 * x + 4.0 * x**2
+        deriv = PolynomialCurve.fit(x, y, 2).derivative()
+        for point in (-2.0, 0.0, 1.5):
+            assert deriv(point) == pytest.approx(3.0 + 8.0 * point, rel=1e-6)
+
+    def test_derivative_of_constant_is_zero(self):
+        curve = PolynomialCurve([5.0])
+        deriv = curve.derivative()
+        assert deriv(123.0) == pytest.approx(0.0)
+
+    def test_large_frame_numbers_stay_conditioned(self):
+        """Frame indices in the thousands must not blow up a degree-4 fit."""
+        t = np.arange(2000, 2100, dtype=float)
+        y = 100.0 + 0.01 * (t - 2050) ** 2
+        curve = PolynomialCurve.fit(t, y, 4)
+        err = np.abs(curve(t) - y)
+        assert err.max() < 1e-6 * np.abs(y).max()
+
+    def test_rejects_empty_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialCurve(np.array([]))
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialCurve([1.0], scale=0.0)
+
+    @given(
+        a=st.floats(-5, 5), b=st.floats(-5, 5), c=st.floats(-5, 5),
+        x0=st.floats(-100, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_derivative_matches_finite_difference(self, a, b, c, x0):
+        x = np.linspace(-10, 10, 50)
+        y = a + b * x + c * x**2
+        curve = PolynomialCurve.fit(x, y, 2)
+        deriv = curve.derivative()
+        h = 1e-5
+        numeric = (curve(x0 + h) - curve(x0 - h)) / (2 * h)
+        assert deriv(x0) == pytest.approx(numeric, rel=1e-3, abs=1e-4)
+
+
+class TestTrajectoryModel:
+    def _straight(self, n=40, v=(2.0, 0.5), start=(10.0, 20.0)):
+        frames = np.arange(n, dtype=float)
+        points = np.array(start) + frames[:, None] * np.array(v)
+        return frames, points
+
+    def test_positions_match_straight_motion(self):
+        frames, points = self._straight()
+        model = TrajectoryModel(frames, points, degree=4)
+        assert model.rms_error < 1e-6
+        assert model.position(10.0) == pytest.approx(points[10], abs=1e-6)
+
+    def test_velocity_of_straight_motion(self):
+        frames, points = self._straight(v=(3.0, -1.0))
+        model = TrajectoryModel(frames, points, degree=3)
+        assert model.velocity(20.0) == pytest.approx([3.0, -1.0], abs=1e-6)
+        assert model.speed(20.0) == pytest.approx(np.hypot(3, 1), abs=1e-6)
+
+    def test_models_a_stop(self):
+        """Position holds and velocity drops to ~0 after a braking event."""
+        frames = np.arange(60, dtype=float)
+        x = np.where(frames < 30, 3.0 * frames, 90.0)
+        points = np.column_stack([x, np.full(60, 50.0)])
+        model = TrajectoryModel(frames, points, degree=6)
+        assert abs(model.velocity(50.0)[0]) < 0.7
+        assert model.velocity(10.0)[0] > 2.0
+
+    def test_paper_figure2_shape(self):
+        """4th-degree fit of a gently curving trail, like paper Figure 2."""
+        frames = np.linspace(0, 50, 26)
+        points = np.column_stack([
+            frames * 3.0,
+            60 + 0.05 * (frames - 25) ** 2,
+        ])
+        model = TrajectoryModel(frames, points, degree=4)
+        assert model.rms_error < 1e-6
+
+    def test_from_track(self):
+        from repro.tracking import Track
+        from repro.vision.blobs import Blob
+
+        track = Track(0)
+        for f in range(10):
+            blob = Blob(cx=2.0 * f, cy=30.0, x0=0, y0=0, x1=4, y1=4,
+                        area=16, mean_intensity=100.0)
+            track.add(f, blob)
+        model = TrajectoryModel.from_track(track, degree=2)
+        assert model.velocity(5.0) == pytest.approx([2.0, 0.0], abs=1e-6)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            TrajectoryModel(np.array([0.0]), np.array([[1.0, 2.0]]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            TrajectoryModel(np.arange(3), np.zeros((4, 2)))
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ConfigurationError):
+            TrajectoryModel(np.arange(4), np.zeros((4, 2)), degree=0)
+
+    def test_noise_is_smoothed(self):
+        rng = np.random.default_rng(0)
+        frames, points = self._straight(n=60)
+        noisy = points + rng.normal(0, 1.0, points.shape)
+        model = TrajectoryModel(frames, noisy, degree=4)
+        recon = model.positions(frames)
+        # The fitted curve should be closer to the truth than the noise.
+        err_fit = np.linalg.norm(recon - points, axis=1).mean()
+        err_noise = np.linalg.norm(noisy - points, axis=1).mean()
+        assert err_fit < err_noise

@@ -1,0 +1,82 @@
+"""Tests for the Vandermonde least-squares fit (paper Eq. 1-2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.trajectory import fit_polynomial, vandermonde
+
+
+class TestVandermonde:
+    def test_shape_and_columns(self):
+        x = np.array([1.0, 2.0, 3.0])
+        m = vandermonde(x, 2)
+        assert m.shape == (3, 3)
+        assert np.allclose(m[:, 0], 1.0)
+        assert np.allclose(m[:, 1], x)
+        assert np.allclose(m[:, 2], x**2)
+
+    def test_degree_zero(self):
+        m = vandermonde(np.array([5.0, 7.0]), 0)
+        assert m.shape == (2, 1)
+        assert np.allclose(m, 1.0)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            vandermonde(np.array([1.0]), -1)
+
+
+class TestFitPolynomial:
+    def test_exact_line(self):
+        x = np.linspace(0, 10, 20)
+        y = 3.0 + 2.0 * x
+        coeffs, rms = fit_polynomial(x, y, 1)
+        assert coeffs == pytest.approx([3.0, 2.0])
+        assert rms < 1e-9
+
+    def test_exact_cubic(self):
+        x = np.linspace(-2, 2, 30)
+        y = 1.0 - x + 0.5 * x**2 + 2.0 * x**3
+        coeffs, rms = fit_polynomial(x, y, 3)
+        assert coeffs == pytest.approx([1.0, -1.0, 0.5, 2.0])
+        assert rms < 1e-8
+
+    def test_overparameterized_degree_capped(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([1.0, 3.0])
+        coeffs, rms = fit_polynomial(x, y, 5)
+        assert len(coeffs) == 6
+        # Degrees beyond the data are zero-padded, and the fit is exact.
+        assert coeffs[2:] == pytest.approx(np.zeros(4))
+        assert rms < 1e-9
+
+    def test_noise_reduces_with_least_squares(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 5, 100)
+        y = 2.0 * x + rng.normal(0, 0.5, 100)
+        coeffs, _ = fit_polynomial(x, y, 1)
+        assert coeffs[1] == pytest.approx(2.0, abs=0.1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_polynomial(np.zeros(3), np.zeros(4), 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_polynomial(np.array([]), np.array([]), 1)
+
+    @given(
+        coeffs=st.lists(st.floats(-3, 3), min_size=1, max_size=5),
+        n=st.integers(6, 40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_recovers_any_polynomial(self, coeffs, n):
+        """Fitting noise-free samples of a polynomial recovers it exactly."""
+        x = np.linspace(-1, 1, n)
+        truth = np.asarray(coeffs)
+        y = vandermonde(x, len(truth) - 1) @ truth
+        fitted, rms = fit_polynomial(x, y, len(truth) - 1)
+        assert rms < 1e-6
+        assert np.allclose(fitted, truth, atol=1e-5)

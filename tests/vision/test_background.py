@@ -1,0 +1,109 @@
+"""Tests for background learning and subtraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, PipelineError
+from repro.vision import BackgroundModel
+
+
+def _scene(n=30, h=20, w=30, object_frames=(), seed=0):
+    """Static gray scene with an optional bright square in some frames."""
+    rng = np.random.default_rng(seed)
+    frames = np.full((n, h, w), 100.0) + rng.normal(0, 1.5, (n, h, w))
+    for i in object_frames:
+        frames[i, 5:12, 10:18] = 220.0
+    return np.clip(frames, 0, 255).astype(np.uint8)
+
+
+class TestLearn:
+    def test_median_bootstrap_recovers_static_scene(self):
+        frames = _scene()
+        model = BackgroundModel().learn(frames)
+        assert model.is_fitted
+        assert np.abs(model.background - 100.0).max() < 6.0
+
+    def test_bootstrap_robust_to_transient_objects(self):
+        # Object present in under half of the sampled frames.
+        frames = _scene(n=30, object_frames=range(0, 10))
+        model = BackgroundModel(bootstrap_frames=30).learn(frames)
+        assert abs(model.background[8, 14] - 100.0) < 10.0
+
+    def test_learn_empty_rejected(self):
+        with pytest.raises(PipelineError):
+            BackgroundModel().learn(np.zeros((0, 4, 4)))
+
+
+class TestSubtract:
+    def test_object_pixels_flagged(self):
+        frames = _scene(object_frames=[29])
+        model = BackgroundModel().learn(frames[:25])
+        mask = model.subtract(frames[29])
+        assert mask[8, 14]
+        assert not mask[1, 1]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            BackgroundModel().subtract(np.zeros((4, 4)))
+
+    def test_shape_mismatch_raises(self):
+        model = BackgroundModel().learn(_scene())
+        with pytest.raises(PipelineError):
+            model.subtract(np.zeros((4, 4)))
+
+    def test_threshold_controls_sensitivity(self):
+        frames = _scene()
+        strict = BackgroundModel(threshold=60.0).learn(frames)
+        loose = BackgroundModel(threshold=3.0).learn(frames)
+        noisy = frames[0].astype(float) + 10.0
+        assert not strict.subtract(noisy).any()
+        assert loose.subtract(noisy).mean() > 0.95
+
+
+class TestUpdate:
+    def test_stationary_object_absorbed_slowly(self):
+        frames = _scene()
+        model = BackgroundModel(learning_rate=0.1).learn(frames)
+        still = frames[0].copy()
+        still[5:12, 10:18] = 220
+        # Feed the same parked object many times, updating everywhere
+        # (simulate it being missed by the detector).
+        for _ in range(200):
+            model.update(still, np.zeros_like(still, dtype=bool))
+        assert abs(model.background[8, 14] - 220.0) < 2.0
+
+    def test_foreground_pixels_protected(self):
+        frames = _scene()
+        model = BackgroundModel(learning_rate=0.5).learn(frames)
+        before = model.background.copy()
+        moving = frames[0].copy()
+        moving[5:12, 10:18] = 220
+        mask = model.subtract(moving)
+        model.update(moving, mask)
+        assert abs(model.background[8, 14] - before[8, 14]) < 1e-6
+
+    def test_zero_learning_rate_freezes(self):
+        frames = _scene()
+        model = BackgroundModel(learning_rate=0.0).learn(frames)
+        before = model.background.copy()
+        model.update(np.full_like(before, 250.0),
+                     np.zeros_like(before, dtype=bool))
+        assert np.array_equal(model.background, before)
+
+    def test_apply_combines_subtract_and_update(self):
+        frames = _scene(object_frames=[29])
+        model = BackgroundModel().learn(frames[:25])
+        mask = model.apply(frames[29])
+        assert mask[8, 14]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold": 0.0},
+        {"learning_rate": -0.1},
+        {"learning_rate": 1.5},
+        {"bootstrap_frames": 0},
+    ])
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(Exception):
+            BackgroundModel(**kwargs)

@@ -1,0 +1,99 @@
+"""Tests for homography estimation and trajectory normalization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.camera import CameraModel
+from repro.vision.calibration import (
+    PlaneNormalizedTrack,
+    estimate_homography,
+    normalize_tracks,
+)
+from tests.events.test_features import _track
+
+
+def _correspondences(cam, n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    world = rng.uniform([20, 20], [300, 220], size=(n, 2))
+    return world, cam.project(world)
+
+
+class TestEstimateHomography:
+    def test_recovers_known_camera(self):
+        cam = CameraModel.tilted()
+        world, image = _correspondences(cam)
+        estimated = estimate_homography(world, image)
+        probe = np.array([[50.0, 60.0], [250.0, 180.0], [160.0, 120.0]])
+        assert np.allclose(estimated.project(probe), cam.project(probe),
+                           atol=1e-6)
+
+    def test_four_points_exact(self):
+        cam = CameraModel.overhead(scale=1.5, offset=(3, 4))
+        world = np.array([[0.0, 0], [100, 0], [100, 100], [0, 100]])
+        estimated = estimate_homography(world, cam.project(world))
+        assert np.allclose(estimated.project([[50.0, 50.0]]),
+                           cam.project([[50.0, 50.0]]), atol=1e-8)
+
+    def test_noisy_correspondences_still_close(self):
+        cam = CameraModel.tilted()
+        world, image = _correspondences(cam, n=20, seed=1)
+        noisy = image + np.random.default_rng(2).normal(0, 0.3, image.shape)
+        estimated = estimate_homography(world, noisy)
+        probe = np.array([[160.0, 120.0]])
+        err = np.linalg.norm(estimated.project(probe) - cam.project(probe))
+        assert err < 2.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 4"):
+            estimate_homography(np.zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_collinear_points_rejected(self):
+        world = np.column_stack([np.arange(6.0), np.arange(6.0)])
+        with pytest.raises(ConfigurationError, match="degenerate"):
+            estimate_homography(world, world * 2.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_homography(np.zeros((5, 2)), np.zeros((4, 2)))
+
+
+class TestPlaneNormalizedTrack:
+    def test_positions_back_projected(self):
+        cam = CameraModel.tilted()
+        world_positions = [(40.0 + 3 * i, 120.0) for i in range(30)]
+        image_positions = cam.project(world_positions)
+        track = _track(7, [tuple(p) for p in image_positions])
+        normalized = PlaneNormalizedTrack(track, cam)
+        assert normalized.track_id == 7
+        assert normalized.first_frame == track.first_frame
+        assert np.allclose(normalized.position_at(10), world_positions[10],
+                           atol=1e-6)
+        assert np.allclose(normalized.point_array(), world_positions,
+                           atol=1e-6)
+
+    def test_normalization_restores_constant_speed(self):
+        """A vehicle at constant world speed has varying image speed
+        through a tilted camera; normalization makes it constant again."""
+        from repro.events import SamplingConfig, extract_series
+
+        # Drive along the camera's depth axis so foreshortening varies.
+        cam = CameraModel.tilted()
+        world_positions = [(160.0, 20.0 + 3 * i) for i in range(60)]
+        image_track = _track(0, [tuple(p) for p in
+                                 cam.project(world_positions)])
+        cfg = SamplingConfig(smooth_window=1)
+        image_series = extract_series([image_track], cfg)[0]
+        norm_series = extract_series(
+            [PlaneNormalizedTrack(image_track, cam)], cfg)[0]
+        assert np.std(norm_series.channels["velocity"]) \
+            < np.std(image_series.channels["velocity"])
+        assert np.allclose(norm_series.channels["velocity"], 3.0, atol=0.05)
+
+    def test_normalize_tracks_batch(self):
+        cam = CameraModel.overhead(scale=2.0)
+        tracks = [_track(i, [(10.0 * j, 5.0) for j in range(10)])
+                  for i in range(3)]
+        normalized = normalize_tracks(tracks, cam)
+        assert [t.track_id for t in normalized] == [0, 1, 2]
+        assert np.allclose(normalized[0].position_at(2), [10.0, 2.5])

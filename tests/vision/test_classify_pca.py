@@ -1,0 +1,86 @@
+"""Tests for the PCA-based vehicle classifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.vision import PCAVehicleClassifier, resize_patch
+from repro.vision.classify_pca import training_set_from_sim
+
+
+class TestResizePatch:
+    def test_identity_resize(self):
+        patch = np.arange(16.0).reshape(4, 4)
+        assert np.array_equal(resize_patch(patch, (4, 4)), patch)
+
+    def test_upscale_shape(self):
+        patch = np.arange(4.0).reshape(2, 2)
+        out = resize_patch(patch, (8, 8))
+        assert out.shape == (8, 8)
+        assert out[0, 0] == patch[0, 0]
+        assert out[-1, -1] == patch[-1, -1]
+
+    def test_downscale_shape(self):
+        patch = np.arange(400.0).reshape(20, 20)
+        assert resize_patch(patch, (5, 7)).shape == (5, 7)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            resize_patch(np.zeros((0, 4)))
+
+
+class TestPCAVehicleClassifier:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return training_set_from_sim(per_class=30, seed=0)
+
+    @pytest.fixture(scope="class")
+    def fitted(self, dataset):
+        patches, labels = dataset
+        return PCAVehicleClassifier(n_components=10).fit(patches, labels)
+
+    def test_training_set_balanced(self, dataset):
+        _, labels = dataset
+        counts = {k: labels.count(k) for k in set(labels)}
+        assert set(counts) == {"car", "suv", "truck"}
+        assert all(v == 30 for v in counts.values())
+
+    def test_high_training_accuracy(self, dataset, fitted):
+        patches, labels = dataset
+        predictions = fitted.predict(patches)
+        accuracy = np.mean([p == t for p, t in zip(predictions, labels)])
+        assert accuracy > 0.9
+
+    def test_generalizes_to_fresh_renders(self, fitted):
+        patches, labels = training_set_from_sim(per_class=20, seed=99)
+        predictions = fitted.predict(patches)
+        accuracy = np.mean([p == t for p, t in zip(predictions, labels)])
+        assert accuracy > 0.8
+
+    def test_transform_dimension(self, dataset, fitted):
+        patches, _ = dataset
+        projected = fitted.transform(patches[:5])
+        assert projected.shape == (5, 10)
+
+    def test_robust_to_brightness_shift(self, dataset, fitted):
+        patches, labels = dataset
+        shifted = [p + 30.0 for p in patches[:20]]
+        predictions = fitted.predict(shifted)
+        accuracy = np.mean([p == t for p, t in zip(predictions, labels[:20])])
+        assert accuracy > 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            PCAVehicleClassifier().predict([np.zeros((8, 8))])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCAVehicleClassifier().fit([np.zeros((8, 8))], ["car", "suv"])
+
+    def test_single_class_rejected(self):
+        patches = [np.zeros((8, 8))] * 4
+        with pytest.raises(ConfigurationError):
+            PCAVehicleClassifier().fit(patches, ["car"] * 4)
+
+    def test_classes_sorted(self, fitted):
+        assert fitted.classes == ["car", "suv", "truck"]

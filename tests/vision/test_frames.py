@@ -1,0 +1,73 @@
+"""Tests for the VideoClip abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.vision import VideoClip
+
+
+def _toy_frames(n=5, h=8, w=10):
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 255, size=(n, h, w), dtype=np.uint8)
+
+
+class TestFromArray:
+    def test_basic_access(self):
+        frames = _toy_frames()
+        clip = VideoClip.from_array("c1", frames)
+        assert len(clip) == 5
+        assert clip.shape == (8, 10)
+        assert np.array_equal(clip.get(2), frames[2])
+
+    def test_iteration_order(self):
+        frames = _toy_frames()
+        clip = VideoClip.from_array("c1", frames)
+        for i, frame in enumerate(clip):
+            assert np.array_equal(frame, frames[i])
+
+    def test_out_of_range_raises(self):
+        clip = VideoClip.from_array("c1", _toy_frames())
+        with pytest.raises(IndexError):
+            clip.get(5)
+        with pytest.raises(IndexError):
+            clip.get(-1)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(PipelineError):
+            VideoClip.from_array("c1", np.zeros((5, 5)))
+
+    def test_rejects_zero_frames(self):
+        with pytest.raises(PipelineError):
+            VideoClip("c1", 0, lambda i: np.zeros((2, 2)))
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(PipelineError):
+            VideoClip.from_array("c1", _toy_frames(), fps=0.0)
+
+    def test_inconsistent_frame_shapes_detected(self):
+        shapes = {0: np.zeros((4, 4), dtype=np.uint8),
+                  1: np.zeros((5, 5), dtype=np.uint8)}
+        clip = VideoClip("c1", 2, lambda i: shapes[i])
+        clip.get(0)
+        with pytest.raises(PipelineError, match="differs"):
+            clip.get(1)
+
+
+class TestFromSimulation:
+    def test_lazy_render_matches_scale(self, small_tunnel):
+        clip = VideoClip.from_simulation(small_tunnel)
+        assert len(clip) == small_tunnel.n_frames
+        assert clip.shape == (small_tunnel.height, small_tunnel.width)
+        assert clip.get(0).dtype == np.uint8
+
+    def test_random_access_is_deterministic(self, small_tunnel):
+        clip = VideoClip.from_simulation(small_tunnel, render_seed=9)
+        a = clip.get(40)
+        b = clip.get(40)
+        assert np.array_equal(a, b)
+
+    def test_metadata_carries_scenario(self, small_tunnel):
+        clip = VideoClip.from_simulation(small_tunnel)
+        assert clip.metadata["scenario"] == "tunnel"
+        assert clip.metadata["width"] == small_tunnel.width

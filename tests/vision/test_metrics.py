@@ -1,0 +1,143 @@
+"""Tests for detection/tracking quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Route, TrafficWorld, Vehicle, VehicleSpec
+from repro.tracking import CentroidTracker, Track
+from repro.tracking.oracle import tracks_from_simulation
+from repro.vision.blobs import Blob
+from repro.vision.metrics import evaluate_detections, evaluate_tracking
+from repro.vision.pipeline import Detection
+
+
+def _sim(n_frames=120, lanes=((0.0, 60.0), (0.0, 120.0))):
+    world = TrafficWorld(320, 240, seed=0, speed_jitter=0.0)
+    for vid, (x0, y) in enumerate(lanes):
+        route = Route.straight((x0, y), (350.0, y), speed=2.5)
+        world.add_vehicle(Vehicle(VehicleSpec(vid), route))
+    return world.run(n_frames)
+
+
+def _perfect_detections(result, jitter=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for frame, states in enumerate(result.states):
+        dets = []
+        for s in states:
+            x = s.x + (rng.normal(0, jitter) if jitter else 0.0)
+            y = s.y + (rng.normal(0, jitter) if jitter else 0.0)
+            blob = Blob(cx=x, cy=y, x0=int(x) - 7, y0=int(y) - 4,
+                        x1=int(x) + 7, y1=int(y) + 4, area=98,
+                        mean_intensity=200.0)
+            dets.append(Detection(frame=frame, blob=blob))
+        out.append(dets)
+    return out
+
+
+class TestEvaluateDetections:
+    def test_perfect_detections_score_perfectly(self):
+        result = _sim()
+        quality = evaluate_detections(result, _perfect_detections(result),
+                                      start_frame=10)
+        assert quality.recall == pytest.approx(1.0)
+        assert quality.precision == pytest.approx(1.0)
+        assert quality.false_positives_per_frame == 0.0
+        assert quality.mean_position_error < 0.5
+
+    def test_missing_detections_reduce_recall(self):
+        result = _sim()
+        dets = _perfect_detections(result)
+        for frame in range(20, 60):
+            dets[frame] = []
+        quality = evaluate_detections(result, dets, start_frame=10)
+        assert quality.recall < 0.8
+
+    def test_spurious_detections_reduce_precision(self):
+        result = _sim()
+        dets = _perfect_detections(result)
+        for frame in range(10, len(dets)):
+            blob = Blob(cx=300.0, cy=200.0, x0=295, y0=195, x1=305,
+                        y1=205, area=100, mean_intensity=50.0)
+            dets[frame].append(Detection(frame=frame, blob=blob))
+        quality = evaluate_detections(result, dets, start_frame=10)
+        assert quality.precision < 0.8
+        assert quality.false_positives_per_frame == pytest.approx(1.0)
+
+    def test_jitter_raises_position_error(self):
+        result = _sim()
+        clean = evaluate_detections(result, _perfect_detections(result),
+                                    start_frame=10)
+        noisy = evaluate_detections(
+            result, _perfect_detections(result, jitter=2.0),
+            start_frame=10)
+        assert noisy.mean_position_error > clean.mean_position_error
+
+    def test_frame_count_mismatch_rejected(self):
+        result = _sim()
+        with pytest.raises(ConfigurationError):
+            evaluate_detections(result, [[]])
+
+
+class TestEvaluateTracking:
+    def test_oracle_tracks_score_perfectly(self):
+        result = _sim()
+        tracks = tracks_from_simulation(result)
+        quality = evaluate_tracking(result, tracks, start_frame=10)
+        assert quality.coverage == pytest.approx(1.0)
+        assert quality.fragments_per_vehicle == pytest.approx(1.0)
+        assert quality.purity == pytest.approx(1.0)
+
+    def test_fragmented_track_detected(self):
+        result = _sim()
+        dets = _perfect_detections(result)
+        for frame in range(50, 62):
+            dets[frame] = []  # long dropout splits the tracks
+        tracks = CentroidTracker(max_misses=3,
+                                 min_track_length=4).track(dets)
+        quality = evaluate_tracking(result, tracks, start_frame=10)
+        assert quality.fragments_per_vehicle > 1.5
+
+    def test_identity_swap_reduces_purity(self):
+        result = _sim(lanes=((0.0, 60.0), (0.0, 70.0)))
+        # One deliberately swapped track: first half vehicle 0, second
+        # half vehicle 1.
+        swapped = Track(0)
+        other = Track(1)
+        for frame, states in enumerate(result.states):
+            if len(states) < 2:
+                continue
+            a, b = states[0], states[1]
+            first, second = (a, b) if frame < 60 else (b, a)
+            swapped.add(frame, Blob(cx=first.x, cy=first.y, x0=0, y0=0,
+                                    x1=4, y1=4, area=16,
+                                    mean_intensity=0.0))
+            other.add(frame, Blob(cx=second.x, cy=second.y, x0=0, y0=0,
+                                  x1=4, y1=4, area=16,
+                                  mean_intensity=0.0))
+        quality = evaluate_tracking(result, [swapped, other],
+                                    start_frame=10)
+        assert quality.purity < 1.0
+
+    def test_empty_tracks(self):
+        result = _sim()
+        quality = evaluate_tracking(result, [], start_frame=10)
+        assert quality.coverage == 0.0
+        assert quality.n_tracks == 0
+
+
+class TestEndToEndQuality:
+    def test_vision_pipeline_meets_quality_bar(self, small_tunnel):
+        from repro.vision import SegmentationPipeline, VideoClip
+
+        clip = VideoClip.from_simulation(small_tunnel, render_seed=2)
+        detections = SegmentationPipeline(use_spcpe=False).process(clip)
+        det_quality = evaluate_detections(small_tunnel, detections)
+        assert det_quality.recall > 0.9
+        assert det_quality.false_positives_per_frame < 0.2
+
+        tracks = CentroidTracker().track(detections)
+        track_quality = evaluate_tracking(small_tunnel, tracks)
+        assert track_quality.coverage > 0.85
+        assert track_quality.purity > 0.8

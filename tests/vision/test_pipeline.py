@@ -1,0 +1,96 @@
+"""Integration tests: segmentation pipeline on rendered simulator frames."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Renderer
+from repro.vision import SegmentationPipeline, VideoClip
+
+
+@pytest.fixture(scope="module")
+def tunnel_clip(small_tunnel):
+    return VideoClip.from_simulation(small_tunnel, render_seed=3)
+
+
+@pytest.fixture(scope="module")
+def detections(small_tunnel, tunnel_clip):
+    pipeline = SegmentationPipeline()
+    return pipeline.process(tunnel_clip)
+
+
+class TestSegmentationPipeline:
+    def test_one_detection_list_per_frame(self, small_tunnel, detections):
+        assert len(detections) == small_tunnel.n_frames
+
+    def test_detects_most_visible_vehicles(self, small_tunnel, detections):
+        """Recall of true in-frame vehicles, frame by frame."""
+        hits = total = 0
+        margin = 8
+        for frame_idx in range(40, small_tunnel.n_frames):
+            truths = [
+                s for s in small_tunnel.states[frame_idx]
+                if margin < s.x < small_tunnel.width - margin
+                and margin < s.y < small_tunnel.height - margin
+            ]
+            dets = detections[frame_idx]
+            for s in truths:
+                total += 1
+                if any(
+                    np.hypot(d.blob.cx - s.x, d.blob.cy - s.y) < 10.0
+                    for d in dets
+                ):
+                    hits += 1
+        assert total > 0
+        assert hits / total > 0.9
+
+    def test_few_false_positives(self, small_tunnel, detections):
+        false_pos = 0
+        n_frames = 0
+        for frame_idx in range(40, small_tunnel.n_frames):
+            truths = small_tunnel.states[frame_idx]
+            n_frames += 1
+            for d in detections[frame_idx]:
+                if not any(
+                    np.hypot(d.blob.cx - s.x, d.blob.cy - s.y) < 14.0
+                    for s in truths
+                ):
+                    false_pos += 1
+        assert false_pos / n_frames < 0.2
+
+    def test_centroids_close_to_truth(self, small_tunnel, detections):
+        errors = []
+        for frame_idx in range(40, small_tunnel.n_frames, 5):
+            for s in small_tunnel.states[frame_idx]:
+                if not (10 < s.x < small_tunnel.width - 10):
+                    continue
+                dists = [
+                    np.hypot(d.blob.cx - s.x, d.blob.cy - s.y)
+                    for d in detections[frame_idx]
+                ]
+                if dists and min(dists) < 10:
+                    errors.append(min(dists))
+        assert errors
+        assert np.median(errors) < 3.0
+
+    def test_detection_frame_index_matches(self, detections):
+        for frame_idx, dets in enumerate(detections):
+            for det in dets:
+                assert det.frame == frame_idx
+
+    def test_spcpe_refinement_optional(self, small_tunnel, tunnel_clip):
+        fast = SegmentationPipeline(use_spcpe=False)
+        dets = fast.process(tunnel_clip)
+        assert len(dets) == small_tunnel.n_frames
+        assert any(len(d) > 0 for d in dets)
+
+    def test_process_accepts_plain_arrays(self, small_tunnel):
+        renderer = Renderer(small_tunnel, seed=5)
+        frames = [renderer.render(i) for i in range(60)]
+        dets = SegmentationPipeline(use_spcpe=False).process(frames)
+        assert len(dets) == 60
+
+    def test_min_area_must_be_positive(self):
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError):
+            SegmentationPipeline(min_area=0)

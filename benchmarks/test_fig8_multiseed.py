@@ -9,22 +9,21 @@ import pytest
 
 from benchmarks.conftest import record_experiment
 from repro.core import MILRetrievalEngine, WeightedRFEngine
-from repro.eval import build_artifacts
+from repro.eval import artifacts_for_seeds
 from repro.eval.experiments import ExperimentResult
 from repro.eval.protocol import run_protocol_multi
-from repro.sim import tunnel
-
-
-def _artifacts_for(seed):
-    return build_artifacts(tunnel(seed=seed), mode="oracle")
 
 
 def test_figure8_mean_over_seeds(benchmark):
     def run():
         seeds = (0, 1, 2)
-        mil = run_protocol_multi(_artifacts_for, MILRetrievalEngine,
+        # Parallel fan-out ingestion; falls back to serial (identical
+        # artifacts) where process pools are unavailable.
+        prebuilt = artifacts_for_seeds("tunnel", seeds, mode="oracle",
+                                       max_workers=None)
+        mil = run_protocol_multi(prebuilt.__getitem__, MILRetrievalEngine,
                                  seeds=seeds, method="MIL_OCSVM")
-        wrf = run_protocol_multi(_artifacts_for, WeightedRFEngine,
+        wrf = run_protocol_multi(prebuilt.__getitem__, WeightedRFEngine,
                                  seeds=seeds, method="Weighted_RF")
         result = ExperimentResult(
             name="figure8_multiseed",

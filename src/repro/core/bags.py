@@ -116,10 +116,22 @@ class MILDataset:
         return sum(b.n_instances for b in self.bags)
 
     def bag_by_id(self, bag_id: int) -> Bag:
-        for bag in self.bags:
-            if bag.bag_id == bag_id:
-                return bag
-        raise ConfigurationError(f"no bag with id {bag_id}")
+        """O(1) lookup via a lazily built id index.
+
+        The index is rebuilt whenever the bag count changed since it was
+        built (``merge_datasets`` appends after construction), so plain
+        list mutation stays supported.
+        """
+        index = self.__dict__.get("_bag_index")
+        if index is None or len(index) != len(self.bags):
+            index = {}
+            for bag in self.bags:
+                index.setdefault(bag.bag_id, bag)
+            self.__dict__["_bag_index"] = index
+        try:
+            return index[bag_id]
+        except KeyError:
+            raise ConfigurationError(f"no bag with id {bag_id}") from None
 
     def all_instances(self) -> list[Instance]:
         return [inst for bag in self.bags for inst in bag.instances]

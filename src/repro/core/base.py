@@ -74,6 +74,14 @@ class RetrievalEngine(ABC):
         self._heuristic_bag_scores, self._heuristic_instance_scores = (
             heuristic_scores(dataset, matrices=self._matrices)
         )
+        # Bag layout for the vectorized instance-max reduction: instances
+        # are stored bag-contiguously, so each bag is one reduceat segment.
+        self._instance_order = [
+            inst.instance_id for bag in dataset.bags for inst in bag.instances
+        ]
+        self._bag_sizes = np.array([b.n_instances for b in dataset.bags])
+        self._bag_starts = np.concatenate(
+            ([0], np.cumsum(self._bag_sizes)))[:-1].astype(int)
 
     # -- feedback ---------------------------------------------------------
     def feed(self, labels: Mapping[int, bool]) -> None:
@@ -109,15 +117,35 @@ class RetrievalEngine(ABC):
         return self.has_relevant_feedback
 
     # -- ranking ----------------------------------------------------------
+    def _instance_score_values(self) -> np.ndarray:
+        """Instance scores aligned with bag-contiguous instance order.
+
+        Default adapts the :meth:`_instance_scores` dict; engines that
+        already hold scores as an aligned array override this to skip
+        the dict round-trip on the ranking hot path.
+        """
+        scores = self._instance_scores()
+        return np.fromiter((scores[i] for i in self._instance_order),
+                           dtype=float, count=len(self._instance_order))
+
     def bag_scores(self) -> np.ndarray:
-        """Scores aligned with ``dataset.bags`` (higher = more relevant)."""
+        """Scores aligned with ``dataset.bags`` (higher = more relevant).
+
+        A bag's score is the max over its instances (the Eq. 3 bag
+        semantics), computed segment-wise over the bag-contiguous
+        instance layout; empty bags score ``-inf``.
+        """
         if not self.is_trained:
             return self._heuristic_bag_scores.copy()
-        instance_scores = self._instance_scores()
+        values = self._instance_score_values()
         scores = np.full(len(self.dataset.bags), -np.inf)
-        for b, bag in enumerate(self.dataset.bags):
-            for inst in bag.instances:
-                scores[b] = max(scores[b], instance_scores[inst.instance_id])
+        non_empty = self._bag_sizes > 0
+        if non_empty.any():
+            # reduceat over non-empty starts: each segment runs to the
+            # next non-empty start, and the empty bags in between
+            # contribute no values, so segments match bags exactly.
+            scores[non_empty] = np.maximum.reduceat(
+                values, self._bag_starts[non_empty])
         return scores
 
     def instance_relevance(self) -> dict[int, float]:

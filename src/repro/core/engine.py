@@ -20,7 +20,8 @@ import numpy as np
 from repro.core.bags import Bag, MILDataset
 from repro.core.base import RetrievalEngine
 from repro.errors import ConfigurationError
-from repro.svm.kernels import Kernel
+from repro.svm.gram_cache import GramCache
+from repro.svm.kernels import Kernel, resolve_kernel
 from repro.svm.one_class import OneClassSVM
 from repro.svm.scaling import StandardScaler
 from repro.utils import check_in_range
@@ -77,6 +78,18 @@ class MILRetrievalEngine(RetrievalEngine):
         learner) or ``"svdd"`` (Tax & Duin's hypersphere — the "ball" of
         the paper's Figure 5).  Equivalent rankings under RBF kernels;
         they differ for linear/polynomial kernels.
+    use_cache:
+        Reuse kernel columns between the database matrix and training
+        instances across feedback rounds (:class:`GramCache`).  Since
+        labels accumulate, a warm round only evaluates the kernel
+        against *newly* labelled instances; scores agree with the
+        uncached path to floating point tolerance.  Disable to force a
+        full kernel evaluation every round.
+
+    The engine materializes one contiguous ``(n_instances, d)`` float64
+    matrix and an ``instance_id -> row`` index at construction; training
+    and scoring slice rows of the standardized database matrix (computed
+    exactly once) instead of re-stacking per-instance vectors per round.
     """
 
     def __init__(
@@ -90,6 +103,7 @@ class MILRetrievalEngine(RetrievalEngine):
         nu_bounds: tuple[float, float] = (0.05, 0.95),
         warm_start: bool = False,
         learner: str = "ocsvm",
+        use_cache: bool = True,
     ) -> None:
         super().__init__(dataset)
         check_in_range("z", z, 0.0, 0.5)
@@ -108,12 +122,20 @@ class MILRetrievalEngine(RetrievalEngine):
         self.nu_bounds = (float(lo), float(hi))
         self.learner = learner
 
-        self._scaler = StandardScaler()
         instances = dataset.all_instances()
-        self._vectors = {
-            inst.instance_id: inst.vector for inst in instances
-        }
-        self._scaler.fit(np.stack([v for v in self._vectors.values()]))
+        self._instance_ids = [inst.instance_id for inst in instances]
+        self._row_of = {iid: r for r, iid in enumerate(self._instance_ids)}
+        matrix = np.ascontiguousarray(
+            np.stack([inst.vector for inst in instances]), dtype=np.float64)
+        self._scaler = StandardScaler().fit(matrix)
+        self._database = np.ascontiguousarray(
+            self._scaler.transform(matrix))
+        self.use_cache = bool(use_cache)
+        self._gram_cache = GramCache(self._database) if use_cache else None
+        self._round_training_ids: list[int] | None = None
+        self._round_kernel: Kernel | None = None
+        self._bag_ranked_ids: dict[int, tuple[int, ...]] = {}
+        self._rebuild_bag_rankings()
         self._model: OneClassSVM | None = None
         self.warm_start = bool(warm_start)
         self._previous_alpha: dict[int, float] = {}
@@ -121,19 +143,33 @@ class MILRetrievalEngine(RetrievalEngine):
         self.training_size_: int = 0
 
     # -- training set construction ----------------------------------------
+    def _rebuild_bag_rankings(self) -> None:
+        """Precompute each bag's instances in descending heuristic order.
+
+        The training-set policy ("the highest scored TSs in the relevant
+        VSs") needs every relevant bag's instances ranked by heuristic
+        score; those scores are fixed after construction, so the sort
+        happens once here instead of once per bag per feedback round.
+        Subclasses that replace ``_heuristic_instance_scores`` (e.g. the
+        query-by-example engines) must call this again afterwards.
+        """
+        scores = self._heuristic_instance_scores
+        self._bag_ranked_ids = {
+            bag.bag_id: tuple(
+                inst.instance_id
+                for inst in sorted(bag.instances,
+                                   key=lambda i: scores[i.instance_id],
+                                   reverse=True)
+            )
+            for bag in self.dataset.bags
+        }
+
     def _training_instance_ids(self, relevant_bags: list[Bag]) -> list[int]:
         ids: list[int] = []
         for bag in relevant_bags:
-            if not bag.instances:
-                continue
-            ranked = sorted(
-                bag.instances,
-                key=lambda i:
-                    self._heuristic_instance_scores[i.instance_id],
-                reverse=True,
-            )
+            ranked = self._bag_ranked_ids[bag.bag_id]
             take = len(ranked) if self._top_m is None else self._top_m
-            ids.extend(inst.instance_id for inst in ranked[:take])
+            ids.extend(ranked[:take])
         return ids
 
     def _compute_nu(self, n_relevant_bags: int, n_training: int) -> float:
@@ -152,18 +188,30 @@ class MILRetrievalEngine(RetrievalEngine):
         training_ids = self._training_instance_ids(relevant)
         if not training_ids:
             self._model = None
+            self._round_training_ids = None
             return
-        x = self._scaler.transform(
-            np.stack([self._vectors[i] for i in training_ids])
-        )
+        rows = np.asarray([self._row_of[i] for i in training_ids])
+        x = self._database[rows]
         nu = self._compute_nu(len(relevant), len(training_ids))
         self.last_nu_ = nu
         self.training_size_ = len(training_ids)
+        gram = None
+        self._round_training_ids = None
+        self._round_kernel = None
+        if self._gram_cache is not None:
+            # Resolve + prepare exactly as the learner will, so the cached
+            # columns and the learner's kernel carry identical parameters.
+            kernel = resolve_kernel(self.kernel,
+                                    gamma=self.gamma).prepare(x)
+            self._gram_cache.ensure(kernel, training_ids, rows)
+            gram = self._gram_cache.gram(training_ids, rows)
+            self._round_training_ids = training_ids
+            self._round_kernel = kernel
         if self.learner == "svdd":
             from repro.svm.svdd import SVDD
 
             self._model = SVDD(nu=nu, kernel=self.kernel,
-                               gamma=self.gamma).fit(x)
+                               gamma=self.gamma).fit(x, gram=gram)
             return
         alpha0 = None
         if self.warm_start and self._previous_alpha:
@@ -171,16 +219,35 @@ class MILRetrievalEngine(RetrievalEngine):
                 self._previous_alpha.get(i, 0.0) for i in training_ids
             ])
         self._model = OneClassSVM(nu=nu, kernel=self.kernel,
-                                  gamma=self.gamma).fit(x, alpha0=alpha0)
+                                  gamma=self.gamma).fit(x, alpha0=alpha0,
+                                                        gram=gram)
         if self.warm_start:
             assert self._model.alpha_ is not None
             self._previous_alpha = dict(
                 zip(training_ids, self._model.alpha_)
             )
 
-    def _instance_scores(self) -> dict[int, float]:
+    def _instance_score_values(self) -> np.ndarray:
+        """Database decision values, aligned with the instance row order."""
         assert self._model is not None, "scored before any relevant feedback"
-        ids = list(self._vectors)
-        x = self._scaler.transform(np.stack([self._vectors[i] for i in ids]))
-        decisions = self._model.decision_function(x)
-        return dict(zip(ids, decisions.astype(float)))
+        if self._round_training_ids is not None:
+            assert (self._model.support_ is not None
+                    and self._gram_cache is not None)
+            support_ids = [self._round_training_ids[s]
+                           for s in self._model.support_]
+            cross = self._gram_cache.cross(support_ids)
+            if self.learner == "svdd":
+                assert (self._gram_cache is not None
+                        and self._round_kernel is not None)
+                assert self._round_kernel is not None
+                decisions = self._model.decision_function(
+                    cross=cross,
+                    self_sim=self._gram_cache.diag(self._round_kernel))
+            else:
+                decisions = self._model.decision_function(cross=cross)
+        else:
+            decisions = self._model.decision_function(self._database)
+        return decisions.astype(float)
+
+    def _instance_scores(self) -> dict[int, float]:
+        return dict(zip(self._instance_ids, self._instance_score_values()))

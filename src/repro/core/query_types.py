@@ -109,6 +109,8 @@ class ExampleQueryEngine(MILRetrievalEngine):
             scaler=self._scaler if use_scaler else None)
         self._heuristic_bag_scores = bag_scores
         self._heuristic_instance_scores = instance_scores
+        # The per-bag training order follows the (replaced) initial scores.
+        self._rebuild_bag_rankings()
 
 
 def sketch_to_example(
@@ -201,6 +203,7 @@ class CombinedQueryEngine(MILRetrievalEngine):
         self._heuristic_instance_scores = {
             k: v / weight_sum for k, v in total_inst.items()
         }
+        self._rebuild_bag_rankings()
 
 
 def _unit_scale(values: np.ndarray) -> np.ndarray:

@@ -11,6 +11,11 @@ from repro.eval.metrics import (
     average_precision,
     overall_gain,
 )
+from repro.eval.parallel import (
+    IngestTask,
+    artifacts_for_seeds,
+    build_artifacts_parallel,
+)
 from repro.eval.pipeline import ClipArtifacts, build_artifacts
 from repro.eval.protocol import ProtocolResult, run_protocol
 from repro.eval.experiments import (
@@ -32,6 +37,9 @@ __all__ = [
     "overall_gain",
     "ClipArtifacts",
     "build_artifacts",
+    "IngestTask",
+    "artifacts_for_seeds",
+    "build_artifacts_parallel",
     "ProtocolResult",
     "run_protocol",
     "ExperimentResult",

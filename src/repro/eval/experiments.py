@@ -14,6 +14,7 @@ from repro.core.diverse_density import DiverseDensityEngine
 from repro.core.emdd import EMDDEngine
 from repro.core.engine import MILRetrievalEngine
 from repro.core.weighted_rf import WeightedRFEngine
+from repro.eval.parallel import artifacts_for_seeds
 from repro.eval.pipeline import ClipArtifacts, build_artifacts
 from repro.eval.protocol import ProtocolResult, run_protocol
 from repro.events.features import SamplingConfig
@@ -183,7 +184,8 @@ def ablation_z(*, zs: tuple[float, ...] = (0.0, 0.01, 0.05, 0.1, 0.2),
 
 def ablation_normalization(*, seed: int = 1, seeds: tuple[int, ...] | None = None,
                            mode: str = "oracle",
-                           scenario: str = "intersection"
+                           scenario: str = "intersection",
+                           max_workers: int | None = 1,
                            ) -> ExperimentResult:
     """Section 6.2: percentage weight normalization vs linear vs none.
 
@@ -192,9 +194,12 @@ def ablation_normalization(*, seed: int = 1, seeds: tuple[int, ...] | None = Non
     to rescaling all weights, so "percentage" and "none" produce
     identical rankings by construction — only "linear" (which zeroes the
     smallest weight, the paper's own criticism of it) can differ.  Pass
-    ``seeds`` to average the accuracy series over several workloads.
+    ``seeds`` to average the accuracy series over several workloads and
+    ``max_workers`` > 1 (or ``None`` for auto) to ingest them in
+    parallel.
     """
-    builder = _clip2 if scenario == "intersection" else _clip1
+    scenario_name = ("intersection" if scenario == "intersection"
+                     else "tunnel")
     seed_list = seeds if seeds is not None else (seed,)
     result = ExperimentResult(
         name="ablation_normalization",
@@ -206,8 +211,10 @@ def ablation_normalization(*, seed: int = 1, seeds: tuple[int, ...] | None = Non
     per_norm: dict[str, list[list[float]]] = {
         "percentage": [], "linear": [], "none": []}
     last_protocols = {}
+    artifacts_by_seed = artifacts_for_seeds(
+        scenario_name, seed_list, mode=mode, max_workers=max_workers)
     for s in seed_list:
-        artifacts = builder(s, mode)
+        artifacts = artifacts_by_seed[s]
         for norm in per_norm:
             protocol = run_protocol(artifacts, WeightedRFEngine,
                                     method=norm, normalization=norm)

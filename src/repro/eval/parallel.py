@@ -1,0 +1,135 @@
+"""Parallel multi-clip ingestion: fan out ``build_artifacts`` over clips.
+
+The eval pipeline ingests clips strictly serially (simulate, render,
+segment, track, window — per clip), yet the clips are independent; the
+multi-seed experiments and benchmarks pay the full per-clip cost times
+the number of seeds.  This module fans the per-clip work over a
+``ProcessPoolExecutor``.
+
+Determinism contract: a worker receives the *complete* recipe for its
+clip — scenario name, scenario seed, and build kwargs — as one
+:class:`IngestTask`, so every random draw is seeded from the task spec
+and never from worker identity, scheduling order, or shared state.
+Results are returned in task order regardless of completion order.
+Parallel and serial ingestion therefore produce identical artifacts,
+which the test suite asserts.
+
+The pool is a best-effort accelerator: with ``max_workers=1``, a single
+task, or an environment where process pools are unavailable (sandboxes
+without semaphores, restricted platforms), ingestion silently falls
+back to the serial path with the same results.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.eval.pipeline import ClipArtifacts, build_artifacts
+
+__all__ = ["IngestTask", "build_artifacts_parallel", "artifacts_for_seeds"]
+
+
+def _scenario_registry() -> dict[str, Callable]:
+    # Imported lazily so a worker process resolves the scenario by name
+    # (callables inside task specs would drag closures through pickle).
+    from repro.sim.scenarios import highway, intersection, tunnel
+
+    return {"tunnel": tunnel, "intersection": intersection,
+            "highway": highway}
+
+
+@dataclass(frozen=True)
+class IngestTask:
+    """Self-contained recipe for ingesting one clip.
+
+    ``scenario`` names a builder from :mod:`repro.sim.scenarios`
+    (``"tunnel"``, ``"intersection"``, ``"highway"``); ``seed`` is the
+    scenario seed; ``sim_kwargs`` go to the scenario builder and
+    ``build_kwargs`` to :func:`~repro.eval.pipeline.build_artifacts`.
+    Everything must be picklable — tasks cross a process boundary.
+    """
+
+    scenario: str
+    seed: int
+    sim_kwargs: dict = field(default_factory=dict)
+    build_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.scenario not in ("tunnel", "intersection", "highway"):
+            raise ConfigurationError(
+                f"unknown scenario {self.scenario!r}; expected 'tunnel', "
+                f"'intersection' or 'highway'"
+            )
+
+
+def run_ingest_task(task: IngestTask) -> ClipArtifacts:
+    """Build one clip's artifacts from its task spec (worker entry point)."""
+    builder = _scenario_registry()[task.scenario]
+    sim = builder(seed=task.seed, **task.sim_kwargs)
+    return build_artifacts(sim, **task.build_kwargs)
+
+
+def build_artifacts_parallel(
+    tasks: Sequence[IngestTask],
+    *,
+    max_workers: int | None = None,
+) -> list[ClipArtifacts]:
+    """Ingest many clips, concurrently when a process pool is available.
+
+    ``max_workers=None`` sizes the pool to ``min(n_tasks, cpu_count)``;
+    ``max_workers=1`` (or a single task) forces the serial path.  When
+    the pool cannot be created or dies (sandboxed environments, missing
+    ``/dev/shm``), the remaining work falls back to serial execution —
+    results are identical either way, by the determinism contract.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError(
+            f"max_workers must be >= 1 or None, got {max_workers}"
+        )
+    if max_workers is None:
+        import os
+
+        max_workers = min(len(tasks), os.cpu_count() or 1)
+    workers = min(max_workers, len(tasks))
+    if workers <= 1:
+        return [run_ingest_task(t) for t in tasks]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_ingest_task, tasks))
+    except (OSError, ImportError, PermissionError, BrokenExecutor) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); ingesting serially",
+            RuntimeWarning, stacklevel=2,
+        )
+        return [run_ingest_task(t) for t in tasks]
+
+
+def artifacts_for_seeds(
+    scenario: str,
+    seeds: Iterable[int],
+    *,
+    max_workers: int | None = 1,
+    sim_kwargs: dict | None = None,
+    **build_kwargs,
+) -> dict[int, ClipArtifacts]:
+    """Ingest one scenario under several seeds; returns ``seed -> artifacts``.
+
+    The shape the multi-seed protocols want: build everything up front
+    (optionally in parallel), then hand
+    ``artifacts_for_seed=artifacts.__getitem__`` to
+    :func:`~repro.eval.protocol.run_protocol_multi`.
+    """
+    seeds = tuple(seeds)
+    tasks = [IngestTask(scenario=scenario, seed=s,
+                        sim_kwargs=dict(sim_kwargs or {}),
+                        build_kwargs=dict(build_kwargs))
+             for s in seeds]
+    built = build_artifacts_parallel(tasks, max_workers=max_workers)
+    return dict(zip(seeds, built))

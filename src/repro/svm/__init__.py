@@ -17,6 +17,7 @@ from repro.svm.kernels import (
     RBFKernel,
     resolve_kernel,
 )
+from repro.svm.gram_cache import GramCache
 from repro.svm.scaling import MinMaxScaler, StandardScaler
 from repro.svm.smo import SMOResult, project_feasible, solve_one_class_smo
 from repro.svm.one_class import OneClassSVM
@@ -28,6 +29,7 @@ __all__ = [
     "PolynomialKernel",
     "RBFKernel",
     "resolve_kernel",
+    "GramCache",
     "MinMaxScaler",
     "StandardScaler",
     "SMOResult",

@@ -1,0 +1,180 @@
+"""Cross-kernel column cache for the relevance-feedback hot path.
+
+Every feedback round the MIL engine (a) fits a one-class learner on the
+training instances and (b) scores the *whole* database against the
+fitted model.  Both steps only ever need kernel values between rows of
+one fixed matrix — the standardized database — because the training
+instances are themselves database rows.  :class:`GramCache` exploits
+that: it holds the database matrix once, keeps its per-row squared
+norms, and caches the full database column ``K(X, x_i)`` for every
+training instance ``i`` it has seen.
+
+Across rounds the training set mostly *grows* (labels accumulate, see
+``RetrievalEngine.feed``), so a warm round computes kernel columns only
+for the newly labelled instances; the training Gram block and the
+scoring cross-Gram block are then pure gathers:
+
+* training Gram  ``K(train, train) = columns[train_rows, :]``
+* scoring block  ``K(X, support)   = columns[:, support_positions]``
+
+Cached columns are keyed by ``(instance_id, kernel.params_key())``:
+changing the kernel family or any parameter (e.g. a data-dependent
+``gamma="scale"`` that moves as the training set grows) invalidates the
+cache wholesale, so cached and uncached scores always agree to floating
+point tolerance.  Column evaluation is blockwise
+(:meth:`Kernel.compute_blocked`) to bound peak memory on large
+databases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.svm.kernels import DEFAULT_BLOCK_ROWS, Kernel, RBFKernel
+from repro.utils import check_2d, row_sq_norms
+
+__all__ = ["GramCache"]
+
+
+class GramCache:
+    """Caches kernel columns between a fixed matrix and its rows.
+
+    Parameters
+    ----------
+    x:
+        The (n, d) database matrix (already standardized — the cache
+        never transforms).  A defensive reference is kept, not a copy;
+        callers must treat the matrix as frozen for the cache's lifetime.
+    block_rows:
+        Row-block size for kernel evaluation (peak-memory bound).
+    """
+
+    def __init__(self, x: np.ndarray, *,
+                 block_rows: int = DEFAULT_BLOCK_ROWS) -> None:
+        self._x = check_2d("x", x)
+        self._x_sq = row_sq_norms(self._x)
+        self._block_rows = int(block_rows)
+        self._params: tuple | None = None
+        self._cols: dict[int, np.ndarray] = {}
+        self._diag: np.ndarray | None = None
+        self.hits = 0
+        self.misses = 0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self._x.shape[0]
+
+    @property
+    def n_cached(self) -> int:
+        return len(self._cols)
+
+    @property
+    def params(self) -> tuple | None:
+        """Kernel params key the cached columns belong to."""
+        return self._params
+
+    # -- cache core --------------------------------------------------------
+    def _sync_kernel(self, kernel: Kernel) -> None:
+        key = kernel.params_key()
+        if key != self._params:
+            self._cols.clear()
+            self._diag = None
+            self._params = key
+
+    def _kernel_columns(self, kernel: Kernel, rows: np.ndarray) -> np.ndarray:
+        """(n, len(rows)) kernel block between the database and its rows."""
+        b = self._x[rows]
+        if isinstance(kernel, RBFKernel):
+            return kernel.compute_blocked(
+                self._x, b, block_rows=self._block_rows,
+                a_sq=self._x_sq, b_sq=self._x_sq[rows])
+        return kernel.compute_blocked(self._x, b,
+                                      block_rows=self._block_rows)
+
+    def ensure(self, kernel: Kernel, ids: list[int],
+               rows: np.ndarray) -> int:
+        """Make the columns ``K(X, X[rows])`` for ``ids`` available.
+
+        ``ids`` are the training instance ids, ``rows`` their row indices
+        in the database matrix (aligned).  Only columns for ids not yet
+        cached under the current kernel parameters are computed (in one
+        blockwise batch); returns how many columns that was.
+        """
+        if len(ids) != len(rows):
+            raise ConfigurationError(
+                f"ids and rows must align, got {len(ids)} ids / "
+                f"{len(rows)} rows"
+            )
+        self._sync_kernel(kernel)
+        rows = np.asarray(rows, dtype=int)
+        missing = [k for k, i in enumerate(ids) if i not in self._cols]
+        if missing:
+            fresh = self._kernel_columns(kernel, rows[missing])
+            for j, k in enumerate(missing):
+                self._cols[ids[k]] = np.ascontiguousarray(fresh[:, j])
+        self.misses += len(missing)
+        self.hits += len(ids) - len(missing)
+        return len(missing)
+
+    def gram(self, ids: list[int], rows: np.ndarray) -> np.ndarray:
+        """Training Gram block ``K(X[rows], X[rows])`` from cached columns.
+
+        Requires :meth:`ensure` for ``ids`` first.  This is a (t, t)
+        gather — no kernel evaluation.
+        """
+        rows = np.asarray(rows, dtype=int)
+        out = np.empty((len(rows), len(ids)), dtype=float)
+        for j, i in enumerate(ids):
+            out[:, j] = self._cached_column(i)[rows]
+        return out
+
+    def cross(self, ids: list[int]) -> np.ndarray:
+        """Database-vs-``ids`` block ``K(X, X[rows(ids)])``, (n, len(ids)).
+
+        Requires :meth:`ensure` for ``ids`` first.  Callers gather only
+        the columns they score against (e.g. the support vectors), so
+        the per-round copy is (n, n_sv) instead of (n, n_train).
+        """
+        out = np.empty((self.n_rows, len(ids)), dtype=float)
+        for j, i in enumerate(ids):
+            out[:, j] = self._cached_column(i)
+        return out
+
+    def columns(self, kernel: Kernel, ids: list[int],
+                rows: np.ndarray) -> np.ndarray:
+        """Ensure + gather: the full (n, len(ids)) column matrix."""
+        self.ensure(kernel, ids, rows)
+        return self.cross(ids)
+
+    def _cached_column(self, instance_id: int) -> np.ndarray:
+        try:
+            return self._cols[instance_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"instance {instance_id} has no cached column; call "
+                f"ensure() first"
+            ) from None
+
+    def diag(self, kernel: Kernel) -> np.ndarray:
+        """Per-row self-similarities ``K(x_i, x_i)`` of the database."""
+        self._sync_kernel(kernel)
+        if self._diag is None:
+            self._diag = kernel.diag(self._x)
+        return self._diag
+
+    def drop(self, ids: list[int]) -> None:
+        """Forget cached columns for specific instance ids (if present)."""
+        for i in ids:
+            self._cols.pop(i, None)
+
+    def clear(self) -> None:
+        """Forget everything, including the kernel binding."""
+        self._cols.clear()
+        self._diag = None
+        self._params = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"GramCache(n_rows={self.n_rows}, cached={self.n_cached}, "
+                f"params={self._params!r})")

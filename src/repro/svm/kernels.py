@@ -16,7 +16,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.utils import check_2d, check_positive, pairwise_sq_dists
+from repro.utils import check_2d, check_positive, pairwise_sq_dists, row_sq_norms
 
 __all__ = [
     "Kernel",
@@ -26,9 +26,18 @@ __all__ = [
     "resolve_kernel",
 ]
 
+#: Default row-block size for blockwise Gram evaluation; bounds peak
+#: memory of a (n_db, n_train) evaluation at ~block * n_train floats.
+DEFAULT_BLOCK_ROWS = 8192
+
 
 class Kernel(ABC):
-    """A positive-definite kernel; callable on row matrices."""
+    """A positive-definite kernel; callable on row matrices.
+
+    ``compute`` is the internal entry point — callers that already hold
+    validated 2-D float arrays (the SVM fit/score paths, the Gram cache)
+    use it directly; the public ``__call__`` adds the shape coercion.
+    """
 
     @abstractmethod
     def compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -41,12 +50,53 @@ class Kernel(ABC):
         """Hook for data-dependent parameters (e.g. gamma='scale')."""
         return self
 
+    def params_key(self) -> tuple:
+        """Hashable identity of the kernel family + parameters.
+
+        The Gram cache keys cached columns on this: two kernels with the
+        same key produce identical Gram matrices, any change invalidates.
+        """
+        return (type(self).__name__,)
+
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        """Self-similarities ``K(x_i, x_i)`` per row, without the full Gram."""
+        x = np.asarray(x, dtype=float)
+        return np.array([
+            float(self.compute(row[None, :], row[None, :])[0, 0]) for row in x
+        ])
+
+    def compute_blocked(self, a: np.ndarray, b: np.ndarray, *,
+                        block_rows: int = DEFAULT_BLOCK_ROWS) -> np.ndarray:
+        """Gram matrix evaluated in row blocks of ``a``.
+
+        Same values as :meth:`compute`; peak intermediate memory is
+        bounded by one ``(block_rows, len(b))`` tile, which keeps large
+        database-vs-training evaluations from materialising huge
+        distance buffers.
+        """
+        check_positive("block_rows", block_rows)
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if a.shape[0] <= block_rows:
+            return self.compute(a, b)
+        out = np.empty((a.shape[0], b.shape[0]), dtype=float)
+        for lo in range(0, a.shape[0], block_rows):
+            hi = min(lo + block_rows, a.shape[0])
+            out[lo:hi] = self.compute(a[lo:hi], b)
+        return out
+
 
 class LinearKernel(Kernel):
     """K(u, v) = u . v"""
 
     def compute(self, a, b):
         return a @ b.T
+
+    def params_key(self) -> tuple:
+        return ("linear",)
+
+    def diag(self, x):
+        return row_sq_norms(x)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "LinearKernel()"
@@ -86,12 +136,43 @@ class RBFKernel(Kernel):
         var = float(x.var())
         return RBFKernel(1.0 / (d * var) if var > 1e-12 else 1.0 / d)
 
-    def compute(self, a, b):
+    def compute(self, a, b, *, a_sq=None, b_sq=None):
+        """Gram matrix; ``a_sq`` / ``b_sq`` reuse precomputed row norms."""
         if isinstance(self.gamma, str):
             raise ConfigurationError(
                 "gamma is still symbolic; call prepare(X) first"
             )
-        return np.exp(-self.gamma * pairwise_sq_dists(a, b))
+        return np.exp(-self.gamma * pairwise_sq_dists(a, b, a_sq=a_sq,
+                                                      b_sq=b_sq))
+
+    def compute_blocked(self, a, b, *, block_rows=DEFAULT_BLOCK_ROWS,
+                        a_sq=None, b_sq=None):
+        """Blockwise Gram with the norms-reuse path threaded through."""
+        check_positive("block_rows", block_rows)
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if a_sq is None:
+            a_sq = row_sq_norms(a)
+        if b_sq is None:
+            b_sq = row_sq_norms(b)
+        if a.shape[0] <= block_rows:
+            return self.compute(a, b, a_sq=a_sq, b_sq=b_sq)
+        out = np.empty((a.shape[0], b.shape[0]), dtype=float)
+        for lo in range(0, a.shape[0], block_rows):
+            hi = min(lo + block_rows, a.shape[0])
+            out[lo:hi] = self.compute(a[lo:hi], b, a_sq=a_sq[lo:hi],
+                                      b_sq=b_sq)
+        return out
+
+    def params_key(self) -> tuple:
+        return ("rbf", self.gamma)
+
+    def diag(self, x):
+        if isinstance(self.gamma, str):
+            raise ConfigurationError(
+                "gamma is still symbolic; call prepare(X) first"
+            )
+        return np.ones(np.asarray(x).shape[0])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RBFKernel(gamma={self.gamma!r})"
@@ -110,6 +191,12 @@ class PolynomialKernel(Kernel):
 
     def compute(self, a, b):
         return (self.gamma * (a @ b.T) + self.coef0) ** self.degree
+
+    def params_key(self) -> tuple:
+        return ("poly", self.degree, self.gamma, self.coef0)
+
+    def diag(self, x):
+        return (self.gamma * row_sq_norms(x) + self.coef0) ** self.degree
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"PolynomialKernel(degree={self.degree}, gamma={self.gamma}, "

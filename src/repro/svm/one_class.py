@@ -85,18 +85,28 @@ class OneClassSVM:
         return self.support_vectors_ is not None
 
     def fit(self, x: np.ndarray,
-            alpha0: np.ndarray | None = None) -> "OneClassSVM":
+            alpha0: np.ndarray | None = None,
+            *, gram: np.ndarray | None = None) -> "OneClassSVM":
         """Estimate the support of the distribution of ``x`` (rows).
 
         ``alpha0`` warm-starts the SMO solver (projected to feasibility
         first) — useful when refitting on a slightly grown training set,
-        as the relevance-feedback loop does every round.
+        as the relevance-feedback loop does every round.  ``gram`` is an
+        optional precomputed ``K(x, x)`` (e.g. gathered from a
+        :class:`~repro.svm.gram_cache.GramCache`); it must have been
+        produced by the same kernel this estimator resolves.
         """
         x = check_2d("x", x)
         kernel = resolve_kernel(self._kernel_spec, gamma=self._gamma,
                                 degree=self._degree, coef0=self._coef0)
         kernel = kernel.prepare(x)
-        gram = kernel(x, x)
+        if gram is None:
+            gram = kernel.compute(x, x)
+        elif np.asarray(gram).shape != (x.shape[0], x.shape[0]):
+            raise ConfigurationError(
+                f"precomputed gram has shape {np.asarray(gram).shape}, "
+                f"expected ({x.shape[0]}, {x.shape[0]})"
+            )
         result = solve_one_class_smo(gram, self.nu, tol=self.tol,
                                      max_iter=self.max_iter, alpha0=alpha0)
         mask = result.support_mask
@@ -110,19 +120,38 @@ class OneClassSVM:
         self.converged_ = result.converged
         return self
 
-    def decision_function(self, x: np.ndarray) -> np.ndarray:
-        """Signed distance-like score; positive inside the support."""
+    def decision_function(self, x: np.ndarray | None = None, *,
+                          cross: np.ndarray | None = None) -> np.ndarray:
+        """Signed distance-like score; positive inside the support.
+
+        ``cross`` is an optional precomputed ``K(x, support_vectors_)``
+        block (m, n_sv); when given, ``x`` is not needed — the retrieval
+        engine's Gram cache scores the whole database this way without
+        re-evaluating the kernel.
+        """
         if (self.support_vectors_ is None or self.dual_coef_ is None
                 or self.kernel_ is None or self.rho_ is None):
             raise NotFittedError("OneClassSVM: call fit() first")
-        x = check_2d("x", x)
-        if x.shape[1] != self.support_vectors_.shape[1]:
-            raise ConfigurationError(
-                f"x has {x.shape[1]} features, model was fitted with "
-                f"{self.support_vectors_.shape[1]}"
-            )
-        gram = self.kernel_(x, self.support_vectors_)
-        return gram @ self.dual_coef_ - self.rho_
+        if cross is None:
+            if x is None:
+                raise ConfigurationError(
+                    "decision_function needs x or a precomputed cross block"
+                )
+            x = check_2d("x", x)
+            if x.shape[1] != self.support_vectors_.shape[1]:
+                raise ConfigurationError(
+                    f"x has {x.shape[1]} features, model was fitted with "
+                    f"{self.support_vectors_.shape[1]}"
+                )
+            cross = self.kernel_.compute(x, self.support_vectors_)
+        else:
+            cross = np.asarray(cross, dtype=float)
+            if cross.ndim != 2 or cross.shape[1] != len(self.dual_coef_):
+                raise ConfigurationError(
+                    f"cross block has shape {cross.shape}, expected "
+                    f"(m, {len(self.dual_coef_)})"
+                )
+        return cross @ self.dual_coef_ - self.rho_
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """+1 inside the estimated support, -1 outside."""

@@ -72,13 +72,24 @@ class SVDD:
     def is_fitted(self) -> bool:
         return self.support_vectors_ is not None
 
-    def fit(self, x: np.ndarray) -> "SVDD":
-        """Find the minimal soft hypersphere enclosing ``x`` rows."""
+    def fit(self, x: np.ndarray, *,
+            gram: np.ndarray | None = None) -> "SVDD":
+        """Find the minimal soft hypersphere enclosing ``x`` rows.
+
+        ``gram`` is an optional precomputed ``K(x, x)`` (same contract as
+        :meth:`OneClassSVM.fit`).
+        """
         x = check_2d("x", x)
         kernel = resolve_kernel(self._kernel_spec, gamma=self._gamma,
                                 degree=self._degree, coef0=self._coef0)
         kernel = kernel.prepare(x)
-        gram = kernel(x, x)
+        if gram is None:
+            gram = kernel.compute(x, x)
+        elif np.asarray(gram).shape != (x.shape[0], x.shape[0]):
+            raise ConfigurationError(
+                f"precomputed gram has shape {np.asarray(gram).shape}, "
+                f"expected ({x.shape[0]}, {x.shape[0]})"
+            )
         diag = np.diag(gram).copy()
         result = solve_one_class_smo(
             2.0 * gram, self.nu, linear=-diag,
@@ -105,28 +116,55 @@ class SVDD:
         self.n_iter_ = result.n_iter
         return self
 
-    def _distance2(self, x: np.ndarray) -> np.ndarray:
-        """Squared feature-space distance to the sphere centre."""
+    def _distance2(self, x: np.ndarray | None = None, *,
+                   cross: np.ndarray | None = None,
+                   self_sim: np.ndarray | None = None) -> np.ndarray:
+        """Squared feature-space distance to the sphere centre.
+
+        ``cross`` is an optional precomputed ``K(x, support_vectors_)``
+        block and ``self_sim`` the per-row self-similarities ``K(x, x)``
+        (``Kernel.diag``); the engine's Gram cache supplies both so the
+        database scoring pass never re-evaluates the kernel.
+        """
         assert (self.kernel_ is not None and self.dual_coef_ is not None
                 and self.support_vectors_ is not None
                 and self.center_norm2_ is not None)
-        x = check_2d("x", x)
-        if x.shape[1] != self.support_vectors_.shape[1]:
-            raise ConfigurationError(
-                f"x has {x.shape[1]} features, model was fitted with "
-                f"{self.support_vectors_.shape[1]}"
-            )
-        cross = self.kernel_(x, self.support_vectors_) @ self.dual_coef_
-        self_sim = np.array([
-            float(self.kernel_(row, row)[0, 0]) for row in x
-        ])
-        return self_sim - 2.0 * cross + self.center_norm2_
+        if cross is None:
+            if x is None:
+                raise ConfigurationError(
+                    "SVDD scoring needs x or a precomputed cross block"
+                )
+            x = check_2d("x", x)
+            if x.shape[1] != self.support_vectors_.shape[1]:
+                raise ConfigurationError(
+                    f"x has {x.shape[1]} features, model was fitted with "
+                    f"{self.support_vectors_.shape[1]}"
+                )
+            cross = self.kernel_.compute(x, self.support_vectors_)
+        else:
+            cross = np.asarray(cross, dtype=float)
+            if cross.ndim != 2 or cross.shape[1] != len(self.dual_coef_):
+                raise ConfigurationError(
+                    f"cross block has shape {cross.shape}, expected "
+                    f"(m, {len(self.dual_coef_)})"
+                )
+        if self_sim is None:
+            if x is None:
+                raise ConfigurationError(
+                    "SVDD scoring needs x or precomputed self-similarities"
+                )
+            self_sim = self.kernel_.diag(x)
+        projection = cross @ self.dual_coef_
+        return self_sim - 2.0 * projection + self.center_norm2_
 
-    def decision_function(self, x: np.ndarray) -> np.ndarray:
+    def decision_function(self, x: np.ndarray | None = None, *,
+                          cross: np.ndarray | None = None,
+                          self_sim: np.ndarray | None = None) -> np.ndarray:
         """R^2 - ||phi(x) - center||^2; positive inside the ball."""
         if not self.is_fitted or self.radius2_ is None:
             raise NotFittedError("SVDD: call fit() first")
-        return self.radius2_ - self._distance2(x)
+        return self.radius2_ - self._distance2(x, cross=cross,
+                                               self_sim=self_sim)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         scores = self.decision_function(x)

@@ -13,6 +13,7 @@ __all__ = [
     "check_positive",
     "check_in_range",
     "check_2d",
+    "row_sq_norms",
     "pairwise_sq_dists",
 ]
 
@@ -71,16 +72,31 @@ def check_2d(name: str, array: np.ndarray) -> np.ndarray:
     return arr
 
 
-def pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def row_sq_norms(x: np.ndarray) -> np.ndarray:
+    """Squared Euclidean norm of every row of ``x`` (1-D, length n)."""
+    x = np.asarray(x, dtype=float)
+    return np.einsum("ij,ij->i", x, x)
+
+
+def pairwise_sq_dists(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    a_sq: np.ndarray | None = None,
+    b_sq: np.ndarray | None = None,
+) -> np.ndarray:
     """Squared Euclidean distances between rows of ``a`` and rows of ``b``.
 
     Uses the expansion ``|a-b|^2 = |a|^2 + |b|^2 - 2 a.b`` and clips tiny
-    negative values produced by floating point cancellation.
+    negative values produced by floating point cancellation.  ``a_sq`` /
+    ``b_sq`` are optional precomputed :func:`row_sq_norms` of ``a`` / ``b``
+    — the Gram cache passes them so the database norms are computed once
+    per engine instead of once per kernel evaluation.
     """
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
-    aa = np.sum(a * a, axis=1)[:, None]
-    bb = np.sum(b * b, axis=1)[None, :]
+    aa = (row_sq_norms(a) if a_sq is None else np.asarray(a_sq))[:, None]
+    bb = (row_sq_norms(b) if b_sq is None else np.asarray(b_sq))[None, :]
     d2 = aa + bb - 2.0 * (a @ b.T)
     return np.maximum(d2, 0.0)
 

@@ -1,0 +1,108 @@
+"""Cached vs uncached engine equivalence.
+
+The GramCache is a pure reuse layer: for every kernel family and both
+learners, ``use_cache=True`` must reproduce the ``use_cache=False``
+scores to floating point tolerance across multiple feedback rounds —
+including nu, rankings and explanations."""
+
+import numpy as np
+import pytest
+
+from repro.core import MILRetrievalEngine
+from tests.core.conftest import make_toy
+
+
+def _relevant_ids(dataset, gt):
+    return {b.bag_id for b in dataset.bags
+            if gt.label_window(b.frame_lo, b.frame_hi)}
+
+
+def _rounds(dataset, relevant, n_rounds=3, per_round=14):
+    bag_ids = [b.bag_id for b in dataset.bags]
+    return [
+        {b: (b in relevant)
+         for b in bag_ids[r * per_round:(r + 1) * per_round]}
+        for r in range(n_rounds)
+    ]
+
+
+@pytest.mark.parametrize("kernel", ["rbf", "linear", "poly"])
+@pytest.mark.parametrize("learner", ["ocsvm", "svdd"])
+def test_cached_matches_uncached(kernel, learner):
+    dataset, gt = make_toy(instances_per_bag=3, seed=2)
+    relevant = _relevant_ids(dataset, gt)
+    engines = [
+        MILRetrievalEngine(dataset, kernel=kernel, learner=learner,
+                           training_policy="all", use_cache=use_cache)
+        for use_cache in (True, False)
+    ]
+    for batch in _rounds(dataset, relevant):
+        for engine in engines:
+            engine.feed(batch)
+        cached, plain = engines
+        assert cached.last_nu_ == pytest.approx(plain.last_nu_)
+        sc, sp = cached._instance_scores(), plain._instance_scores()
+        assert sc.keys() == sp.keys()
+        assert max(abs(sc[i] - sp[i]) for i in sc) < 1e-8
+        np.testing.assert_allclose(cached.bag_scores(), plain.bag_scores(),
+                                   atol=1e-8)
+        assert cached.rank() == plain.rank()
+
+
+def test_cache_reuses_columns_across_rounds():
+    dataset, gt = make_toy(instances_per_bag=2, seed=3)
+    relevant = _relevant_ids(dataset, gt)
+    engine = MILRetrievalEngine(dataset, training_policy="all")
+    batches = _rounds(dataset, relevant, n_rounds=2, per_round=16)
+    engine.feed(batches[0])
+    misses_after_cold = engine._gram_cache.misses
+    assert engine._gram_cache.hits == 0
+    engine.feed(batches[1])
+    # Warm round: only newly labelled instances cost kernel columns.
+    assert engine._gram_cache.hits == misses_after_cold
+    assert engine._gram_cache.misses > misses_after_cold
+
+
+def test_gamma_scale_invalidates_per_round():
+    """Data-dependent gamma moves as the training set grows; the cache
+    must not reuse columns across differing gamma values."""
+    dataset, gt = make_toy(instances_per_bag=2, seed=4)
+    relevant = _relevant_ids(dataset, gt)
+    engines = [
+        MILRetrievalEngine(dataset, gamma="scale", training_policy="all",
+                           use_cache=use_cache)
+        for use_cache in (True, False)
+    ]
+    for batch in _rounds(dataset, relevant, n_rounds=2, per_round=16):
+        for engine in engines:
+            engine.feed(batch)
+        cached, plain = engines
+        sc, sp = cached._instance_scores(), plain._instance_scores()
+        assert max(abs(sc[i] - sp[i]) for i in sc) < 1e-8
+
+
+def test_warm_start_composes_with_cache():
+    dataset, gt = make_toy(instances_per_bag=2, seed=5)
+    relevant = _relevant_ids(dataset, gt)
+    warm = MILRetrievalEngine(dataset, warm_start=True, use_cache=True,
+                              training_policy="all")
+    plain = MILRetrievalEngine(dataset, use_cache=False,
+                               training_policy="all")
+    for batch in _rounds(dataset, relevant):
+        warm.feed(batch)
+        plain.feed(batch)
+    # Warm start reaches the same optimum within *solver* tolerance
+    # (looser than the cache's exactness), so compare at that scale.
+    sw, sp = warm._instance_scores(), plain._instance_scores()
+    assert max(abs(sw[i] - sp[i]) for i in sw) < 1e-3
+    # Near-ties can swap adjacent ranks at solver tolerance; the
+    # retrieval outcome (the top-k set) must agree regardless.
+    assert set(warm.top_k(10)) == set(plain.top_k(10))
+
+
+def test_use_cache_false_has_no_cache():
+    dataset, _ = make_toy()
+    engine = MILRetrievalEngine(dataset, use_cache=False)
+    assert engine._gram_cache is None
+    engine.feed({0: True, 1: False})
+    assert engine.is_trained

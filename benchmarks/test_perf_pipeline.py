@@ -1,0 +1,109 @@
+"""Staged-pipeline benchmark: ablation sweeps with artifact reuse.
+
+Times a 4-value ``window_size`` sweep over one vision-mode clip twice —
+cold (no artifact store: every value re-renders, re-segments and
+re-tracks the identical footage, the pre-refactor behaviour) and
+store-backed (the first value populates the content-addressed store,
+the remaining three replay Render/Segment/Track and recompute only
+Series -> Windows).  Vision stages dominate per-clip cost, so the
+store-backed sweep must come in >= 3x faster; datasets must be
+identical either way.  Numbers land in ``BENCH_pipeline.json`` at the
+repo root so they travel with the code.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval import build_artifacts
+from repro.pipeline import DiskArtifactStore
+from repro.sim import tunnel
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+WINDOWS = (2, 3, 5, 7)
+
+
+def _bench_clip():
+    return tunnel(n_frames=400, seed=3, spawn_interval=(60.0, 90.0),
+                  n_wall_crashes=2, n_sudden_stops=1)
+
+
+def _sweep(sim, store):
+    artifacts, times = {}, {}
+    for w in WINDOWS:
+        t0 = time.perf_counter()
+        artifacts[w] = build_artifacts(sim, mode="vision", window_size=w,
+                                       store=store)
+        times[w] = time.perf_counter() - t0
+    return artifacts, times
+
+
+def _merge_bench(section: str, payload: dict) -> None:
+    data = {}
+    if BENCH_PATH.exists():
+        data = json.loads(BENCH_PATH.read_text())
+    data[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_smoke_store_backed_matches_cold():
+    """Store-backed and cold sweeps agree bag-for-bag (fast, oracle)."""
+    import tempfile
+
+    sim = _bench_clip()
+    with tempfile.TemporaryDirectory() as tmp:
+        store = DiskArtifactStore(tmp)
+        for w in WINDOWS[:2]:
+            cold = build_artifacts(sim, mode="oracle", window_size=w)
+            warm = build_artifacts(sim, mode="oracle", window_size=w,
+                                   store=store)
+            assert ([b.bag_id for b in cold.dataset.bags]
+                    == [b.bag_id for b in warm.dataset.bags])
+            np.testing.assert_array_equal(cold.dataset.instance_matrix(),
+                                          warm.dataset.instance_matrix())
+
+
+def test_window_sweep_speedup(benchmark, tmp_path):
+    """4-value vision window sweep: store-backed >= 3x faster than cold."""
+    sim = _bench_clip()
+    store = DiskArtifactStore(tmp_path / "cache")
+
+    def run():
+        cold_art, cold_times = _sweep(sim, store=None)
+        warm_art, warm_times = _sweep(sim, store=store)
+        return cold_art, cold_times, warm_art, warm_times
+
+    cold_art, cold_times, warm_art, warm_times = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    for w in WINDOWS:
+        np.testing.assert_array_equal(cold_art[w].dataset.instance_matrix(),
+                                      warm_art[w].dataset.instance_matrix())
+    # The first store-backed value pays the full vision cost; the rest
+    # replay it.  All three replays must have skipped Segment and Track.
+    for w in WINDOWS[1:]:
+        assert warm_art[w].stage_runs["segment"] == 0
+        assert warm_art[w].stage_runs["track"] == 0
+
+    cold_total = sum(cold_times.values())
+    warm_total = sum(warm_times.values())
+    speedup = cold_total / warm_total
+    _merge_bench("window_sweep", {
+        "scenario": "tunnel-400",
+        "mode": "vision",
+        "windows": list(WINDOWS),
+        "cold_s": {str(w): round(t, 3) for w, t in cold_times.items()},
+        "store_backed_s": {str(w): round(t, 3)
+                           for w, t in warm_times.items()},
+        "cold_total_s": round(cold_total, 3),
+        "store_backed_total_s": round(warm_total, 3),
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= 3.0, (
+        f"store-backed sweep speedup {speedup:.2f}x below the 3x target "
+        f"(cold {cold_total:.2f}s vs store-backed {warm_total:.2f}s)")

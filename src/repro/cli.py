@@ -31,8 +31,37 @@ __all__ = ["main", "build_parser"]
 _SCENARIOS = ("tunnel", "intersection", "highway", "curve", "city_grid")
 _EXPERIMENTS = (
     "figure8", "figure9", "ablation_z", "ablation_normalization",
-    "ablation_window", "other_events", "mil_algorithms", "cross_camera",
+    "ablation_window", "ablation_sampling_rate", "ablation_step",
+    "ablation_learner", "other_events", "mil_algorithms", "cross_camera",
 )
+
+
+def _add_cache_args(parser: "argparse.ArgumentParser") -> None:
+    parser.add_argument(
+        "--artifact-cache", default=None, metavar="DIR",
+        help="directory for the content-addressed pipeline artifact "
+             "store (reuses Render/Segment/Track outputs across runs)")
+    parser.add_argument(
+        "--no-artifact-cache", action="store_true",
+        help="disable artifact reuse entirely (force the cold path)")
+
+
+def _cache_store(args):
+    """Resolve the --artifact-cache/--no-artifact-cache pair.
+
+    Returns ``False`` (reuse disabled), a directory path, or ``None``
+    (command default: no on-disk store; sweeps may still use an
+    ephemeral in-memory one).
+    """
+    from repro.errors import ConfigurationError
+
+    if args.no_artifact_cache:
+        if args.artifact_cache:
+            raise ConfigurationError(
+                "--artifact-cache and --no-artifact-cache are mutually "
+                "exclusive")
+        return False
+    return args.artifact_cache
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="event model for the stored dataset")
     sim.add_argument("--clip-id", default=None,
                      help="override the stored clip id")
+    _add_cache_args(sim)
 
     clips = sub.add_parser("clips", help="list clips in a database")
     clips.add_argument("--db", required=True)
@@ -96,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=None)
     experiment.add_argument("--chart", action="store_true",
                             help="append an ASCII chart of the curves")
+    _add_cache_args(experiment)
 
     report = sub.add_parser(
         "report", help="run the whole experiment suite, emit markdown")
@@ -135,6 +166,9 @@ def _cmd_simulate(args) -> int:
     builders = {"tunnel": tunnel, "intersection": intersection,
                 "highway": highway, "curve": curve,
                 "city_grid": city_grid}
+    store = _cache_store(args)  # validate the flags before simulating
+    if store is False:
+        store = None
     kwargs = {"seed": args.seed}
     if args.frames is not None:
         kwargs["n_frames"] = args.frames
@@ -164,9 +198,18 @@ def _cmd_simulate(args) -> int:
         sim.name = args.clip_id
     print(f"simulated {sim.name!r}: {sim.n_frames} frames, "
           f"{len(sim.incidents)} incidents")
-    artifacts = build_artifacts(sim, event=args.event, mode=args.mode)
+    artifacts = build_artifacts(sim, event=args.event, mode=args.mode,
+                                store=store)
+    replayed = [name for name, runs in artifacts.stage_runs.items()
+                if runs == 0]
+    if replayed:
+        print(f"artifact cache replayed stages: {', '.join(replayed)}")
     with VideoDatabase(args.db) as db:
         db.ingest_simulation(sim, artifacts.tracks, artifacts.dataset)
+        if store is not None:
+            from repro.pipeline import resolve_store
+
+            db.record_artifact_entries(resolve_store(store).entries())
     print(f"ingested into {args.db}: {len(artifacts.tracks)} tracks, "
           f"{len(artifacts.dataset)} video sequences, "
           f"{artifacts.dataset.n_instances} trajectory sequences")
@@ -255,6 +298,9 @@ def _cmd_experiment(args) -> int:
         kwargs["mode"] = args.mode
     if args.seed is not None and "seed" in accepted:
         kwargs["seed"] = args.seed
+    store = _cache_store(args)
+    if store is not None and "store" in accepted:
+        kwargs["store"] = store
     result = runner(**kwargs)
     print(comparison_table(result, with_chart=args.chart))
     return 0

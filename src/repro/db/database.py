@@ -87,6 +87,15 @@ CREATE TABLE IF NOT EXISTS labels (
 );
 CREATE INDEX IF NOT EXISTS idx_labels_query
     ON labels (clip_id, event, user_id);
+CREATE TABLE IF NOT EXISTS artifact_entries (
+    key         TEXT PRIMARY KEY,
+    clip_id     TEXT NOT NULL,
+    stage       TEXT NOT NULL,
+    fingerprint TEXT NOT NULL DEFAULT '',
+    n_bytes     INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_artifact_clip
+    ON artifact_entries (clip_id);
 """
 
 
@@ -349,6 +358,41 @@ class VideoDatabase:
             out[rec.bag_id] = rec.relevant
         return out
 
+    # --------------------------------------------------- artifact store
+    def record_artifact_entries(self, entries) -> None:
+        """Persist artifact-store metadata (pipeline cache provenance).
+
+        ``entries`` is what ``ArtifactStore.entries()`` returns: dicts
+        with ``key`` plus optional ``clip_id``/``stage``/``fingerprint``/
+        ``n_bytes``.  The catalog row makes cache contents queryable next
+        to the clips they derive from (and survives store directory
+        moves).
+        """
+        rows = [
+            (e["key"], str(e.get("clip_id", "")), str(e.get("stage", "")),
+             str(e.get("fingerprint", "")), int(e.get("n_bytes", 0)))
+            for e in entries
+        ]
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO artifact_entries VALUES "
+                "(?,?,?,?,?)", rows)
+
+    def artifact_entries(self, clip_id: str | None = None) -> list[dict]:
+        """Recorded artifact-store entries, optionally for one clip."""
+        sql = ("SELECT key, clip_id, stage, fingerprint, n_bytes "
+               "FROM artifact_entries")
+        params: list = []
+        if clip_id is not None:
+            sql += " WHERE clip_id = ?"
+            params.append(clip_id)
+        sql += " ORDER BY clip_id, stage, key"
+        return [
+            {"key": r[0], "clip_id": r[1], "stage": r[2],
+             "fingerprint": r[3], "n_bytes": r[4]}
+            for r in self._conn.execute(sql, params)
+        ]
+
     # ------------------------------------------------------- maintenance
     def _array_keys_for(self, clip_id: str) -> list[str]:
         prefix = f"{clip_id}/"
@@ -364,7 +408,7 @@ class VideoDatabase:
         self.clip(clip_id)  # existence check
         with self._conn:
             for table in ("labels", "instances", "bags", "datasets",
-                          "tracks"):
+                          "tracks", "artifact_entries"):
                 self._conn.execute(
                     f"DELETE FROM {table} WHERE clip_id = ?", (clip_id,))
             self._conn.execute("DELETE FROM clips WHERE clip_id = ?",

@@ -18,6 +18,7 @@ from repro.eval.parallel import artifacts_for_seeds
 from repro.eval.pipeline import ClipArtifacts, build_artifacts
 from repro.eval.protocol import ProtocolResult, run_protocol
 from repro.events.features import SamplingConfig
+from repro.pipeline import ArtifactStore, MemoryArtifactStore, resolve_store
 from repro.sim.scenarios import highway, intersection, tunnel
 
 __all__ = [
@@ -80,6 +81,21 @@ def _jsonable(value):
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
     return str(value)
+
+
+def _sweep_store(store) -> "ArtifactStore | None":
+    """Store used by ablation sweeps.
+
+    ``None`` (the default) gives every sweep an ephemeral in-memory
+    store, so Render/Segment/Track run once per clip and only the
+    stages downstream of the swept knob recompute per value.  Pass
+    ``False`` to disable reuse entirely (the cold path), or a directory
+    path / :class:`~repro.pipeline.store.ArtifactStore` to share
+    artifacts across sweeps and processes.
+    """
+    if store is None:
+        return MemoryArtifactStore()
+    return resolve_store(store)
 
 
 def _clip1(seed: int, mode: str) -> ClipArtifacts:
@@ -230,9 +246,15 @@ def ablation_normalization(*, seed: int = 1, seeds: tuple[int, ...] | None = Non
 
 
 def ablation_window(*, windows: tuple[int, ...] = (2, 3, 5, 7),
-                    seed: int = 0, mode: str = "oracle") -> ExperimentResult:
-    """Section 5.1: window size = typical event length (3 checkpoints)."""
+                    seed: int = 0, mode: str = "oracle",
+                    store=None) -> ExperimentResult:
+    """Section 5.1: window size = typical event length (3 checkpoints).
+
+    The sweep shares one artifact store, so the vision/oracle front end
+    runs once and only Series -> Windows replays per window size.
+    """
     sim = tunnel(seed=seed)
+    store = _sweep_store(store)
     result = ExperimentResult(
         name="ablation_window",
         series={},
@@ -241,7 +263,8 @@ def ablation_window(*, windows: tuple[int, ...] = (2, 3, 5, 7),
         metadata={"seed": seed, "mode": mode},
     )
     for w in windows:
-        artifacts = build_artifacts(sim, mode=mode, window_size=w)
+        artifacts = build_artifacts(sim, mode=mode, window_size=w,
+                                    store=store)
         result.add(f"window={w}", run_protocol(
             artifacts, MILRetrievalEngine, method=f"window={w}"))
     return result
@@ -249,7 +272,7 @@ def ablation_window(*, windows: tuple[int, ...] = (2, 3, 5, 7),
 
 def ablation_sampling_rate(*, rates: tuple[int, ...] = (3, 5, 8, 12),
                            seed: int = 0, mode: str = "oracle",
-                           top_k: int = 20) -> ExperimentResult:
+                           top_k: int = 20, store=None) -> ExperimentResult:
     """Section 5.1's other constant: 5 frames per checkpoint.
 
     The checkpoint spacing trades temporal resolution against noise
@@ -257,6 +280,7 @@ def ablation_sampling_rate(*, rates: tuple[int, ...] = (3, 5, 8, 12),
     it at 5; the sweep shows the plateau around that choice.
     """
     sim = tunnel(seed=seed)
+    store = _sweep_store(store)
     result = ExperimentResult(
         name="ablation_sampling_rate",
         series={},
@@ -267,7 +291,8 @@ def ablation_sampling_rate(*, rates: tuple[int, ...] = (3, 5, 8, 12),
     )
     for rate in rates:
         config = SamplingConfig(sampling_rate=rate)
-        artifacts = build_artifacts(sim, mode=mode, sampling=config)
+        artifacts = build_artifacts(sim, mode=mode, sampling=config,
+                                    store=store)
         result.add(f"rate={rate}", run_protocol(
             artifacts, MILRetrievalEngine, method=f"rate={rate}",
             top_k=top_k))
@@ -275,7 +300,7 @@ def ablation_sampling_rate(*, rates: tuple[int, ...] = (3, 5, 8, 12),
 
 
 def ablation_learner(*, seed: int = 0, mode: str = "oracle",
-                     top_k: int = 20) -> ExperimentResult:
+                     top_k: int = 20, store=None) -> ExperimentResult:
     """One-class learner: Schoelkopf hyperplane vs SVDD hypersphere.
 
     The paper *describes* a ball (its Figure 5) but cites Schoelkopf's
@@ -285,7 +310,7 @@ def ablation_learner(*, seed: int = 0, mode: str = "oracle",
     immaterial.
     """
     sim = tunnel(seed=seed)
-    artifacts = build_artifacts(sim, mode=mode)
+    artifacts = build_artifacts(sim, mode=mode, store=_sweep_store(store))
     result = ExperimentResult(
         name="ablation_learner",
         series={},
@@ -301,7 +326,7 @@ def ablation_learner(*, seed: int = 0, mode: str = "oracle",
 
 
 def ablation_step(*, seed: int = 0, mode: str = "oracle",
-                  top_k: int = 20) -> ExperimentResult:
+                  top_k: int = 20, store=None) -> ExperimentResult:
     """Window stride: the paper's ambiguity between overlap and not.
 
     Section 5.1 describes the sliding window moving "one step a time",
@@ -311,6 +336,7 @@ def ablation_step(*, seed: int = 0, mode: str = "oracle",
     covered second) without changing the retrieval story.
     """
     sim = tunnel(seed=seed)
+    store = _sweep_store(store)
     result = ExperimentResult(
         name="ablation_step",
         series={},
@@ -321,7 +347,7 @@ def ablation_step(*, seed: int = 0, mode: str = "oracle",
     )
     for label, step in (("step=window (non-overlap)", None),
                         ("step=1 (full overlap)", 1)):
-        artifacts = build_artifacts(sim, mode=mode, step=step)
+        artifacts = build_artifacts(sim, mode=mode, step=step, store=store)
         protocol = run_protocol(artifacts, MILRetrievalEngine,
                                 method=label, top_k=top_k)
         result.add(label, protocol)

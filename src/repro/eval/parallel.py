@@ -50,13 +50,18 @@ class IngestTask:
     (``"tunnel"``, ``"intersection"``, ``"highway"``); ``seed`` is the
     scenario seed; ``sim_kwargs`` go to the scenario builder and
     ``build_kwargs`` to :func:`~repro.eval.pipeline.build_artifacts`.
-    Everything must be picklable — tasks cross a process boundary.
+    ``store_dir`` points every worker at a shared on-disk
+    :class:`~repro.pipeline.store.DiskArtifactStore` (writes are atomic,
+    so concurrent workers are safe); ``None`` disables artifact reuse.
+    Everything must be picklable — tasks cross a process boundary, which
+    is also why the store travels as a path rather than an object.
     """
 
     scenario: str
     seed: int
     sim_kwargs: dict = field(default_factory=dict)
     build_kwargs: dict = field(default_factory=dict)
+    store_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.scenario not in ("tunnel", "intersection", "highway"):
@@ -70,7 +75,7 @@ def run_ingest_task(task: IngestTask) -> ClipArtifacts:
     """Build one clip's artifacts from its task spec (worker entry point)."""
     builder = _scenario_registry()[task.scenario]
     sim = builder(seed=task.seed, **task.sim_kwargs)
-    return build_artifacts(sim, **task.build_kwargs)
+    return build_artifacts(sim, store=task.store_dir, **task.build_kwargs)
 
 
 def build_artifacts_parallel(
@@ -117,6 +122,7 @@ def artifacts_for_seeds(
     *,
     max_workers: int | None = 1,
     sim_kwargs: dict | None = None,
+    store_dir: str | None = None,
     **build_kwargs,
 ) -> dict[int, ClipArtifacts]:
     """Ingest one scenario under several seeds; returns ``seed -> artifacts``.
@@ -124,12 +130,15 @@ def artifacts_for_seeds(
     The shape the multi-seed protocols want: build everything up front
     (optionally in parallel), then hand
     ``artifacts_for_seed=artifacts.__getitem__`` to
-    :func:`~repro.eval.protocol.run_protocol_multi`.
+    :func:`~repro.eval.protocol.run_protocol_multi`.  ``store_dir``
+    threads a shared on-disk artifact store to every worker, so repeated
+    ingestion of the same clips replays stored stage artifacts.
     """
     seeds = tuple(seeds)
     tasks = [IngestTask(scenario=scenario, seed=s,
                         sim_kwargs=dict(sim_kwargs or {}),
-                        build_kwargs=dict(build_kwargs))
+                        build_kwargs=dict(build_kwargs),
+                        store_dir=store_dir)
              for s in seeds]
     built = build_artifacts_parallel(tasks, max_workers=max_workers)
     return dict(zip(seeds, built))

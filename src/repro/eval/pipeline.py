@@ -1,5 +1,13 @@
 """End-to-end plumbing: simulation -> tracks -> MIL dataset.
 
+``build_artifacts`` is now a thin compatibility shim over
+:mod:`repro.pipeline`: the historical keyword surface is translated into
+a :class:`~repro.pipeline.config.PipelineConfig` and executed by a
+:class:`~repro.pipeline.runner.PipelineRunner`.  Pass ``store`` (an
+:class:`~repro.pipeline.store.ArtifactStore` or a directory path) to
+reuse upstream stage artifacts across calls — a sweep over a downstream
+knob then re-runs only Series -> Windows per value.
+
 ``mode="vision"`` runs the honest pipeline (render frames, background
 subtraction, blob tracking); ``mode="oracle"`` reads tracks straight from
 the simulator with optional jitter — an order of magnitude faster and
@@ -8,42 +16,17 @@ used by ablations that only probe the learning stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.core.bags import MILDataset
-from repro.errors import ConfigurationError
-from repro.events.features import SamplingConfig, extract_series
-from repro.events.models import EventModel, event_model_for
-from repro.events.windows import build_dataset
-from repro.sim.ground_truth import GroundTruth
+from repro.events.features import SamplingConfig
+from repro.events.models import EventModel
+from repro.pipeline import (
+    ArtifactStore,
+    ClipArtifacts,
+    PipelineConfig,
+    PipelineRunner,
+)
 from repro.sim.world import SimulationResult
-from repro.tracking.oracle import tracks_from_simulation
-from repro.tracking.track import Track
-from repro.tracking.tracker import CentroidTracker
-from repro.vision.frames import VideoClip
-from repro.vision.pipeline import SegmentationPipeline
 
 __all__ = ["ClipArtifacts", "build_artifacts"]
-
-
-@dataclass
-class ClipArtifacts:
-    """Everything downstream evaluation needs for one clip."""
-
-    result: SimulationResult
-    tracks: list[Track]
-    dataset: MILDataset
-    ground_truth: GroundTruth
-
-    @property
-    def relevant_bag_ids(self) -> set[int]:
-        """Bags a querying user of this dataset's event would confirm."""
-        model = event_model_for(self.dataset.event_name)
-        return {
-            b.bag_id for b in self.dataset.bags
-            if self.ground_truth.label_window(b.frame_lo, b.frame_hi,
-                                              model.relevant_kinds)
-        }
 
 
 def build_artifacts(
@@ -59,35 +42,19 @@ def build_artifacts(
     use_spcpe: bool = False,
     stitch: bool = False,
     seed: int = 0,
+    store: "ArtifactStore | str | None" = None,
 ) -> ClipArtifacts:
-    """Run the pipeline over a simulated clip and bundle the artifacts.
+    """Run the staged pipeline over a simulated clip; bundle the artifacts.
 
     ``stitch`` applies occlusion/dropout track stitching after tracking
-    (vision mode only).
+    (vision mode only; requesting it with ``mode="oracle"`` raises
+    :class:`~repro.errors.ConfigurationError`).  ``store`` enables
+    content-addressed reuse of stage artifacts between calls.
     """
-    model = event_model_for(event) if isinstance(event, str) else event
-    if mode == "vision":
-        from repro.tracking.stitching import stitch_tracks
-
-        clip = VideoClip.from_simulation(result, render_seed=render_seed)
-        detections = SegmentationPipeline(use_spcpe=use_spcpe).process(clip)
-        tracks = CentroidTracker().track(detections)
-        if stitch:
-            tracks = stitch_tracks(tracks)
-    elif mode == "oracle":
-        tracks = tracks_from_simulation(result, jitter=oracle_jitter,
-                                        seed=seed)
-    else:
-        raise ConfigurationError(
-            f"mode must be 'vision' or 'oracle', got {mode!r}"
-        )
-    series = extract_series(tracks, sampling)
-    dataset = build_dataset(series, model, clip_id=result.name,
-                            window_size=window_size, step=step,
-                            config=sampling)
-    return ClipArtifacts(
-        result=result,
-        tracks=tracks,
-        dataset=dataset,
-        ground_truth=GroundTruth.from_result(result),
+    config = PipelineConfig.from_build_kwargs(
+        event=event, mode=mode, window_size=window_size, step=step,
+        sampling=sampling, oracle_jitter=oracle_jitter,
+        render_seed=render_seed, use_spcpe=use_spcpe, stitch=stitch,
+        seed=seed,
     )
+    return PipelineRunner(config, store=store).run(result)

@@ -1,0 +1,172 @@
+"""Content-addressed artifact stores for pipeline stage outputs.
+
+A store maps a *chain key* — the SHA-256 of (clip digest, fingerprints of
+every stage up to and including the producing one) — to a pickled stage
+artifact plus a small metadata record.  Two backends:
+
+* :class:`MemoryArtifactStore` — per-process dict; the default sweep
+  accelerator (one sweep shares one store, nothing touches disk).
+* :class:`DiskArtifactStore` — a directory of ``objects/<k0:2>/<key>.pkl``
+  blobs with one JSON sidecar each.  Writes are atomic (tmp + rename) so
+  several ingestion workers can share a store directory, and the
+  metadata survives across processes/runs (the CLI persists it through
+  :mod:`repro.db`).
+
+Artifacts are pickled Python values; a store directory is a local cache,
+not an interchange format — only load store files you created.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from repro.errors import StorageError
+
+__all__ = [
+    "ArtifactStore",
+    "MemoryArtifactStore",
+    "DiskArtifactStore",
+    "resolve_store",
+]
+
+
+class ArtifactStore(ABC):
+    """Key-value store for stage artifacts, with per-entry metadata."""
+
+    @abstractmethod
+    def has(self, key: str) -> bool:
+        """Whether an artifact is stored under ``key``."""
+
+    @abstractmethod
+    def load(self, key: str):
+        """Return the artifact stored under ``key``."""
+
+    @abstractmethod
+    def save(self, key: str, value, meta: dict | None = None) -> None:
+        """Store ``value`` under ``key`` with optional metadata."""
+
+    @abstractmethod
+    def keys(self) -> list[str]:
+        """All stored keys."""
+
+    @abstractmethod
+    def entries(self) -> list[dict]:
+        """Metadata records (one dict per stored artifact)."""
+
+
+class MemoryArtifactStore(ArtifactStore):
+    """In-process store: the default accelerator for parameter sweeps."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, object] = {}
+        self._meta: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def has(self, key: str) -> bool:
+        found = key in self._objects
+        if found:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return found
+
+    def load(self, key: str):
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise StorageError(f"no artifact stored under {key!r}") from None
+
+    def save(self, key: str, value, meta: dict | None = None) -> None:
+        self._objects[key] = value
+        self._meta[key] = dict(meta or {}, key=key)
+
+    def keys(self) -> list[str]:
+        return sorted(self._objects)
+
+    def entries(self) -> list[dict]:
+        return [self._meta[k] for k in self.keys()]
+
+
+class DiskArtifactStore(ArtifactStore):
+    """On-disk store: ``objects/<key[:2]>/<key>.pkl`` + ``.json`` sidecar."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+
+    def _blob(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.pkl"
+
+    def _sidecar(self, key: str) -> Path:
+        return self._blob(key).with_suffix(".json")
+
+    def has(self, key: str) -> bool:
+        return self._blob(key).exists()
+
+    def load(self, key: str):
+        path = self._blob(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            raise StorageError(f"no artifact stored under {key!r}") from None
+        except (pickle.UnpicklingError, EOFError) as exc:
+            raise StorageError(f"corrupt artifact {path}: {exc}") from exc
+
+    def save(self, key: str, value, meta: dict | None = None) -> None:
+        blob = self._blob(key)
+        blob.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._atomic_write(blob, payload)
+        record = dict(meta or {}, key=key, n_bytes=len(payload))
+        self._atomic_write(
+            self._sidecar(key),
+            (json.dumps(record, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def keys(self) -> list[str]:
+        return sorted(p.stem for p in (self.root / "objects").glob("*/*.pkl"))
+
+    def entries(self) -> list[dict]:
+        records = []
+        for key in self.keys():
+            sidecar = self._sidecar(key)
+            if sidecar.exists():
+                records.append(json.loads(sidecar.read_text()))
+            else:
+                records.append({"key": key})
+        return records
+
+
+def resolve_store(store) -> ArtifactStore | None:
+    """Coerce a store spec: None/False -> no store, path -> disk store."""
+    if store is None or store is False:
+        return None
+    if isinstance(store, ArtifactStore):
+        return store
+    if isinstance(store, (str, Path)):
+        return DiskArtifactStore(store)
+    raise StorageError(
+        f"expected an ArtifactStore, path, or None, got "
+        f"{type(store).__name__}"
+    )

@@ -1,0 +1,65 @@
+"""The build_artifacts compatibility shim and ClipArtifacts caching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval import build_artifacts
+from repro.pipeline import MemoryArtifactStore
+
+
+class TestShim:
+    def test_store_backed_equals_cold(self, small_tunnel):
+        store = MemoryArtifactStore()
+        build_artifacts(small_tunnel, mode="oracle", store=store)
+        warm = build_artifacts(small_tunnel, mode="oracle", window_size=5,
+                               store=store)
+        cold = build_artifacts(small_tunnel, mode="oracle", window_size=5)
+        assert ([b.bag_id for b in warm.dataset.bags]
+                == [b.bag_id for b in cold.dataset.bags])
+        np.testing.assert_array_equal(warm.dataset.instance_matrix(),
+                                      cold.dataset.instance_matrix())
+        assert warm.relevant_bag_ids == cold.relevant_bag_ids
+
+    def test_oracle_stitch_rejected(self, small_tunnel):
+        with pytest.raises(ConfigurationError, match="stitch"):
+            build_artifacts(small_tunnel, mode="oracle", stitch=True)
+
+    def test_bad_mode_rejected(self, small_tunnel):
+        with pytest.raises(ConfigurationError):
+            build_artifacts(small_tunnel, mode="psychic")
+
+    def test_sampling_and_event_forwarded(self, small_tunnel):
+        from repro.events.features import SamplingConfig
+
+        art = build_artifacts(small_tunnel, mode="oracle", event="speeding",
+                              sampling=SamplingConfig(sampling_rate=8))
+        assert art.dataset.event_name == "speeding"
+        assert art.dataset.sampling_rate == 8
+
+
+class TestRelevantBagIdsCache:
+    def test_resolved_once(self, small_tunnel, monkeypatch):
+        import repro.pipeline.artifacts as artifacts_mod
+
+        art = build_artifacts(small_tunnel, mode="oracle")
+        calls = {"n": 0}
+        real = artifacts_mod.event_model_for
+
+        def counting(name):
+            calls["n"] += 1
+            return real(name)
+
+        monkeypatch.setattr(artifacts_mod, "event_model_for", counting)
+        first = art.relevant_bag_ids
+        second = art.relevant_bag_ids
+        assert first is second
+        assert calls["n"] == 1
+
+    def test_contents_unchanged_by_caching(self, small_tunnel):
+        art = build_artifacts(small_tunnel, mode="oracle")
+        model_kinds = {"wall_crash", "sudden_stop", "collision"}
+        for bag_id in art.relevant_bag_ids:
+            bag = art.dataset.bag_by_id(bag_id)
+            assert art.ground_truth.label_window(
+                bag.frame_lo, bag.frame_hi, frozenset(model_kinds))

@@ -1,0 +1,94 @@
+"""Artifact store backends: roundtrip, metadata, resolution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.pipeline import (
+    DiskArtifactStore,
+    MemoryArtifactStore,
+    resolve_store,
+)
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryArtifactStore()
+    return DiskArtifactStore(tmp_path / "cache")
+
+
+class TestStoreContract:
+    def test_roundtrip(self, store):
+        value = {"matrix": np.arange(6.0).reshape(2, 3), "label": "x"}
+        store.save("a" * 64, value, meta={"stage": "segment",
+                                          "clip_id": "clip"})
+        assert store.has("a" * 64)
+        loaded = store.load("a" * 64)
+        np.testing.assert_array_equal(loaded["matrix"], value["matrix"])
+        assert loaded["label"] == "x"
+
+    def test_missing_key(self, store):
+        assert not store.has("b" * 64)
+        with pytest.raises(StorageError):
+            store.load("b" * 64)
+
+    def test_overwrite_wins(self, store):
+        store.save("c" * 64, 1)
+        store.save("c" * 64, 2)
+        assert store.load("c" * 64) == 2
+
+    def test_entries_metadata(self, store):
+        store.save("d" * 64, [1, 2, 3], meta={"stage": "series",
+                                              "clip_id": "tunnel"})
+        entries = store.entries()
+        assert len(entries) == 1
+        assert entries[0]["key"] == "d" * 64
+        assert entries[0]["stage"] == "series"
+        assert entries[0]["clip_id"] == "tunnel"
+
+    def test_keys_sorted(self, store):
+        store.save("f" * 64, 1)
+        store.save("e" * 64, 2)
+        assert store.keys() == ["e" * 64, "f" * 64]
+
+
+class TestDiskStore:
+    def test_persists_across_instances(self, tmp_path):
+        root = tmp_path / "cache"
+        DiskArtifactStore(root).save("a1" + "0" * 62, {"x": 1},
+                                     meta={"stage": "track"})
+        reopened = DiskArtifactStore(root)
+        assert reopened.has("a1" + "0" * 62)
+        assert reopened.load("a1" + "0" * 62) == {"x": 1}
+        assert reopened.entries()[0]["stage"] == "track"
+
+    def test_entry_records_size(self, tmp_path):
+        store = DiskArtifactStore(tmp_path / "cache")
+        store.save("ab" + "0" * 62, list(range(100)))
+        entry = store.entries()[0]
+        assert entry["n_bytes"] > 0
+
+    def test_no_tmp_litter(self, tmp_path):
+        store = DiskArtifactStore(tmp_path / "cache")
+        store.save("cd" + "0" * 62, "value")
+        leftovers = list((tmp_path / "cache").rglob(".tmp-*"))
+        assert leftovers == []
+
+
+class TestResolveStore:
+    def test_none_and_false(self):
+        assert resolve_store(None) is None
+        assert resolve_store(False) is None
+
+    def test_path_becomes_disk_store(self, tmp_path):
+        resolved = resolve_store(tmp_path / "cache")
+        assert isinstance(resolved, DiskArtifactStore)
+
+    def test_store_passthrough(self):
+        store = MemoryArtifactStore()
+        assert resolve_store(store) is store
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(StorageError):
+            resolve_store(42)

@@ -1,0 +1,70 @@
+"""Ported ablation sweeps: identical results, front end runs once."""
+
+import numpy as np
+
+from repro.eval import build_artifacts
+from repro.eval.experiments import ablation_step, ablation_window
+from repro.eval.parallel import artifacts_for_seeds
+from repro.pipeline import MemoryArtifactStore
+
+
+class TestSweepEquivalence:
+    def test_window_sweep_matches_cold_path(self):
+        shared = ablation_window(windows=(2, 3), seed=3)
+        cold = ablation_window(windows=(2, 3), seed=3, store=False)
+        assert shared.series == cold.series
+
+    def test_step_sweep_matches_cold_path(self):
+        shared = ablation_step(seed=3)
+        cold = ablation_step(seed=3, store=False)
+        assert shared.series == cold.series
+
+    def test_track_stage_runs_once_per_sweep(self, small_tunnel,
+                                             monkeypatch):
+        import repro.tracking.oracle as oracle_mod
+
+        calls = {"n": 0}
+        real = oracle_mod.tracks_from_simulation
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(oracle_mod, "tracks_from_simulation", counting)
+        store = MemoryArtifactStore()
+        for w in (2, 3, 5, 7):
+            build_artifacts(small_tunnel, mode="oracle", window_size=w,
+                            store=store)
+        assert calls["n"] == 1
+
+    def test_datasets_identical_across_store_kinds(self, small_tunnel,
+                                                   tmp_path):
+        mem = build_artifacts(small_tunnel, mode="oracle",
+                              store=MemoryArtifactStore())
+        disk = build_artifacts(small_tunnel, mode="oracle",
+                               store=tmp_path / "cache")
+        replay = build_artifacts(small_tunnel, mode="oracle",
+                                 store=tmp_path / "cache")
+        for other in (disk, replay):
+            np.testing.assert_array_equal(mem.dataset.instance_matrix(),
+                                          other.dataset.instance_matrix())
+
+
+class TestParallelStore:
+    def test_store_dir_roundtrip_matches(self, tmp_path):
+        sim_kwargs = dict(n_frames=500, spawn_interval=(60.0, 90.0),
+                          n_wall_crashes=2, n_sudden_stops=1)
+        cold = artifacts_for_seeds("tunnel", (3,), mode="oracle",
+                                   sim_kwargs=sim_kwargs, max_workers=1)
+        store_dir = str(tmp_path / "cache")
+        first = artifacts_for_seeds("tunnel", (3,), mode="oracle",
+                                    sim_kwargs=sim_kwargs, max_workers=1,
+                                    store_dir=store_dir)
+        warm = artifacts_for_seeds("tunnel", (3,), mode="oracle",
+                                   sim_kwargs=sim_kwargs, max_workers=1,
+                                   store_dir=store_dir)
+        for built in (first, warm):
+            np.testing.assert_array_equal(
+                cold[3].dataset.instance_matrix(),
+                built[3].dataset.instance_matrix())
+        assert all(runs == 0 for runs in warm[3].stage_runs.values())

@@ -44,6 +44,12 @@ def _add_cache_args(parser: "argparse.ArgumentParser") -> None:
     parser.add_argument(
         "--no-artifact-cache", action="store_true",
         help="disable artifact reuse entirely (force the cold path)")
+    parser.add_argument(
+        "--resume", default=None, metavar="MANIFEST",
+        help="run-manifest JSON recording completed ingestion tasks; "
+             "work already in the manifest is not re-ingested, so a "
+             "killed run restarts where it died (pair with "
+             "--artifact-cache so completed clips replay from the store)")
 
 
 def _cache_store(args):
@@ -124,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
                             default=None,
                             help="override the experiment's default mode")
     experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument("--seeds", default=None,
+                            help="comma-separated seed list for "
+                                 "multi-seed experiments")
+    experiment.add_argument("--workers", type=int, default=None,
+                            help="parallel ingestion workers for "
+                                 "multi-seed experiments")
     experiment.add_argument("--chart", action="store_true",
                             help="append an ASCII chart of the curves")
     _add_cache_args(experiment)
@@ -193,6 +205,20 @@ def _cmd_simulate(args) -> int:
             factor = args.frames / 900
             kwargs["n_collisions"] = max(1, round(3 * factor))
             kwargs["n_sudden_stops"] = max(1, round(3 * factor))
+    manifest, fingerprint = None, None
+    if args.resume:
+        from repro.reliability import RunManifest, task_fingerprint
+
+        sim_kwargs = {k: v for k, v in kwargs.items() if k != "seed"}
+        fingerprint = task_fingerprint(
+            args.scenario, args.seed, sim_kwargs,
+            {"event": args.event, "mode": args.mode, "db": args.db,
+             "clip_id": args.clip_id})
+        manifest = RunManifest(args.resume)
+        if manifest.is_done(fingerprint):
+            print(f"already completed per manifest {args.resume} "
+                  f"(fingerprint {fingerprint[:12]}); skipping")
+            return 0
     sim = builders[args.scenario](**kwargs)
     if args.clip_id:
         sim.name = args.clip_id
@@ -213,6 +239,12 @@ def _cmd_simulate(args) -> int:
     print(f"ingested into {args.db}: {len(artifacts.tracks)} tracks, "
           f"{len(artifacts.dataset)} video sequences, "
           f"{artifacts.dataset.n_instances} trajectory sequences")
+    if manifest is not None:
+        manifest.mark_done(fingerprint, {"scenario": args.scenario,
+                                         "seed": args.seed,
+                                         "clip_id": sim.name,
+                                         "db": args.db})
+        print(f"recorded completion in {args.resume}")
     return 0
 
 
@@ -286,6 +318,7 @@ def _cmd_label(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    from repro.errors import ConfigurationError
     from repro.eval import experiments
     from repro.eval.reporting import comparison_table
 
@@ -298,6 +331,18 @@ def _cmd_experiment(args) -> int:
         kwargs["mode"] = args.mode
     if args.seed is not None and "seed" in accepted:
         kwargs["seed"] = args.seed
+    if args.seeds is not None:
+        if "seeds" not in accepted:
+            raise ConfigurationError(
+                f"experiment {args.name!r} does not take --seeds")
+        kwargs["seeds"] = tuple(_ids(args.seeds))
+    if args.workers is not None and "max_workers" in accepted:
+        kwargs["max_workers"] = args.workers
+    if args.resume is not None:
+        if "manifest" not in accepted:
+            raise ConfigurationError(
+                f"experiment {args.name!r} does not support --resume")
+        kwargs["manifest"] = args.resume
     store = _cache_store(args)
     if store is not None and "store" in accepted:
         kwargs["store"] = store

@@ -26,5 +26,26 @@ class StorageError(ReproError):
     """A database/storage backend failed or was asked for a missing record."""
 
 
+class IntegrityError(StorageError):
+    """Stored bytes do not match their recorded checksum or size.
+
+    Raised by :class:`~repro.pipeline.store.DiskArtifactStore` when a
+    blob fails verification; the offending files are quarantined first,
+    so catching this error and recomputing is always safe.
+    """
+
+
 class PipelineError(ReproError):
     """A video-processing pipeline stage received unusable input."""
+
+
+class RetryableError(ReproError):
+    """A transient failure: retrying the same operation may succeed.
+
+    Raise (or wrap an external error in) this class to opt an operation
+    into a :class:`~repro.reliability.RetryPolicy`'s retry loop.
+    """
+
+
+class TaskTimeoutError(ReproError):
+    """A batch task exceeded its wall-clock budget and was abandoned."""

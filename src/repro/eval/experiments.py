@@ -98,6 +98,24 @@ def _sweep_store(store) -> "ArtifactStore | None":
     return resolve_store(store)
 
 
+def _store_dir(store) -> str | None:
+    """Coerce a store spec to the directory path worker processes need.
+
+    Parallel ingestion ships the store as a path (objects cannot cross
+    the process boundary), so only disk-backed stores thread through;
+    in-memory stores and ``None``/``False`` disable cross-worker reuse.
+    """
+    from pathlib import Path
+
+    from repro.pipeline import DiskArtifactStore
+
+    if isinstance(store, (str, Path)):
+        return str(store)
+    if isinstance(store, DiskArtifactStore):
+        return str(store.root)
+    return None
+
+
 def _clip1(seed: int, mode: str) -> ClipArtifacts:
     """Paper clip 1 analogue: the tunnel (2500 frames)."""
     return build_artifacts(tunnel(seed=seed), mode=mode)
@@ -202,6 +220,7 @@ def ablation_normalization(*, seed: int = 1, seeds: tuple[int, ...] | None = Non
                            mode: str = "oracle",
                            scenario: str = "intersection",
                            max_workers: int | None = 1,
+                           store=None, manifest=None,
                            ) -> ExperimentResult:
     """Section 6.2: percentage weight normalization vs linear vs none.
 
@@ -212,7 +231,10 @@ def ablation_normalization(*, seed: int = 1, seeds: tuple[int, ...] | None = Non
     smallest weight, the paper's own criticism of it) can differ.  Pass
     ``seeds`` to average the accuracy series over several workloads and
     ``max_workers`` > 1 (or ``None`` for auto) to ingest them in
-    parallel.
+    parallel.  ``store`` (a directory path) shares stage artifacts
+    across runs and ``manifest`` (a path or
+    :class:`~repro.reliability.RunManifest`) makes the multi-seed sweep
+    resumable after a kill — pass both to get resume-without-re-ingest.
     """
     scenario_name = ("intersection" if scenario == "intersection"
                      else "tunnel")
@@ -227,8 +249,10 @@ def ablation_normalization(*, seed: int = 1, seeds: tuple[int, ...] | None = Non
     per_norm: dict[str, list[list[float]]] = {
         "percentage": [], "linear": [], "none": []}
     last_protocols = {}
+    store_dir = _store_dir(store)
     artifacts_by_seed = artifacts_for_seeds(
-        scenario_name, seed_list, mode=mode, max_workers=max_workers)
+        scenario_name, seed_list, mode=mode, max_workers=max_workers,
+        store_dir=store_dir, manifest=manifest)
     for s in seed_list:
         artifacts = artifacts_by_seed[s]
         for norm in per_norm:

@@ -4,7 +4,7 @@ The eval pipeline ingests clips strictly serially (simulate, render,
 segment, track, window — per clip), yet the clips are independent; the
 multi-seed experiments and benchmarks pay the full per-clip cost times
 the number of seeds.  This module fans the per-clip work over a
-``ProcessPoolExecutor``.
+``ProcessPoolExecutor`` via :func:`repro.reliability.run_tasks`.
 
 Determinism contract: a worker receives the *complete* recipe for its
 clip — scenario name, scenario seed, and build kwargs — as one
@@ -14,21 +14,33 @@ Results are returned in task order regardless of completion order.
 Parallel and serial ingestion therefore produce identical artifacts,
 which the test suite asserts.
 
-The pool is a best-effort accelerator: with ``max_workers=1``, a single
-task, or an environment where process pools are unavailable (sandboxes
+Failure contract: one clip's failure is one task's failure.  A worker
+exception is retried under the optional
+:class:`~repro.reliability.RetryPolicy`, then either re-raised
+(``strict=True``, the historical behaviour) or reported as a
+:class:`~repro.reliability.TaskFailure` inside a
+:class:`~repro.reliability.BatchResult` (``strict=False``) with the
+other clips' results intact.  A dead pool is rebuilt and only the
+incomplete tasks are resubmitted; with no pool at all (sandboxes
 without semaphores, restricted platforms), ingestion silently falls
 back to the serial path with the same results.
 """
 
 from __future__ import annotations
 
-import warnings
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.eval.pipeline import ClipArtifacts, build_artifacts
+from repro.reliability import (
+    BatchResult,
+    RetryPolicy,
+    RunManifest,
+    run_tasks,
+    task_fingerprint,
+)
 
 __all__ = ["IngestTask", "build_artifacts_parallel", "artifacts_for_seeds"]
 
@@ -70,6 +82,17 @@ class IngestTask:
                 f"'intersection' or 'highway'"
             )
 
+    def fingerprint(self) -> str:
+        """Content address of the recipe (excludes the store location).
+
+        This is the task's identity in a
+        :class:`~repro.reliability.RunManifest`: two tasks that would
+        compute the same artifacts share a fingerprint even if their
+        caches live in different directories.
+        """
+        return task_fingerprint(self.scenario, self.seed,
+                                self.sim_kwargs, self.build_kwargs)
+
 
 def run_ingest_task(task: IngestTask) -> ClipArtifacts:
     """Build one clip's artifacts from its task spec (worker entry point)."""
@@ -82,38 +105,32 @@ def build_artifacts_parallel(
     tasks: Sequence[IngestTask],
     *,
     max_workers: int | None = None,
-) -> list[ClipArtifacts]:
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    strict: bool = True,
+    on_result: Callable[[int, ClipArtifacts], None] | None = None,
+) -> "list[ClipArtifacts] | BatchResult":
     """Ingest many clips, concurrently when a process pool is available.
 
     ``max_workers=None`` sizes the pool to ``min(n_tasks, cpu_count)``;
-    ``max_workers=1`` (or a single task) forces the serial path.  When
-    the pool cannot be created or dies (sandboxed environments, missing
-    ``/dev/shm``), the remaining work falls back to serial execution —
-    results are identical either way, by the determinism contract.
-    """
-    tasks = list(tasks)
-    if not tasks:
-        return []
-    if max_workers is not None and max_workers < 1:
-        raise ConfigurationError(
-            f"max_workers must be >= 1 or None, got {max_workers}"
-        )
-    if max_workers is None:
-        import os
+    ``max_workers=1`` (or a single task) forces the serial path.
+    Results are identical either way, by the determinism contract.
 
-        max_workers = min(len(tasks), os.cpu_count() or 1)
-    workers = min(max_workers, len(tasks))
-    if workers <= 1:
-        return [run_ingest_task(t) for t in tasks]
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_ingest_task, tasks))
-    except (OSError, ImportError, PermissionError, BrokenExecutor) as exc:
-        warnings.warn(
-            f"process pool unavailable ({exc!r}); ingesting serially",
-            RuntimeWarning, stacklevel=2,
-        )
-        return [run_ingest_task(t) for t in tasks]
+    Each task is submitted as its own future: a failing clip is retried
+    under ``retry``, and a clip exceeding ``task_timeout`` seconds of
+    wall clock is abandoned — in both cases the other clips' results
+    survive.  Under ``strict=True`` (default) any terminal failure
+    re-raises its original exception and the function returns the plain
+    ``list[ClipArtifacts]``; under ``strict=False`` it returns the
+    :class:`~repro.reliability.BatchResult` (partial ``results`` plus
+    structured ``failures``).  ``on_result(index, artifacts)`` fires in
+    completion order — :func:`artifacts_for_seeds` uses it to keep a
+    resume manifest current.
+    """
+    batch = run_tasks(run_ingest_task, tasks, max_workers=max_workers,
+                      retry=retry, task_timeout=task_timeout,
+                      strict=strict, on_result=on_result)
+    return batch.results if strict else batch
 
 
 def artifacts_for_seeds(
@@ -123,6 +140,8 @@ def artifacts_for_seeds(
     max_workers: int | None = 1,
     sim_kwargs: dict | None = None,
     store_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    manifest: "RunManifest | str | None" = None,
     **build_kwargs,
 ) -> dict[int, ClipArtifacts]:
     """Ingest one scenario under several seeds; returns ``seed -> artifacts``.
@@ -133,6 +152,13 @@ def artifacts_for_seeds(
     :func:`~repro.eval.protocol.run_protocol_multi`.  ``store_dir``
     threads a shared on-disk artifact store to every worker, so repeated
     ingestion of the same clips replays stored stage artifacts.
+
+    ``manifest`` (a path or :class:`~repro.reliability.RunManifest`)
+    makes the sweep resumable: every completed task is recorded
+    atomically the moment it finishes, and tasks already recorded skip
+    the pool entirely — they replay in-process from ``store_dir``
+    (pair the two: without a store a "resumed" task still recomputes).
+    A sweep killed mid-run therefore restarts exactly where it died.
     """
     seeds = tuple(seeds)
     tasks = [IngestTask(scenario=scenario, seed=s,
@@ -140,5 +166,24 @@ def artifacts_for_seeds(
                         build_kwargs=dict(build_kwargs),
                         store_dir=store_dir)
              for s in seeds]
-    built = build_artifacts_parallel(tasks, max_workers=max_workers)
-    return dict(zip(seeds, built))
+    man = RunManifest.resolve(manifest)
+    done = man.entries() if man is not None else {}
+    todo = [t for t in tasks if t.fingerprint() not in done]
+
+    def record(index: int, _artifacts: ClipArtifacts) -> None:
+        task = todo[index]
+        man.mark_done(task.fingerprint(),
+                      {"scenario": task.scenario, "seed": task.seed})
+
+    built = build_artifacts_parallel(
+        tasks=todo, max_workers=max_workers, retry=retry,
+        on_result=record if man is not None else None)
+    by_fingerprint = {t.fingerprint(): a for t, a in zip(todo, built)}
+    out: dict[int, ClipArtifacts] = {}
+    for task in tasks:
+        fp = task.fingerprint()
+        if fp not in by_fingerprint:
+            # Completed on a previous run: replay from the shared store.
+            by_fingerprint[fp] = run_ingest_task(task)
+        out[task.seed] = by_fingerprint[fp]
+    return out

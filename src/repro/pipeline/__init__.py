@@ -29,6 +29,7 @@ from repro.pipeline.store import (
     ArtifactStore,
     DiskArtifactStore,
     MemoryArtifactStore,
+    StoreAudit,
     resolve_store,
 )
 
@@ -51,5 +52,6 @@ __all__ = [
     "ArtifactStore",
     "MemoryArtifactStore",
     "DiskArtifactStore",
+    "StoreAudit",
     "resolve_store",
 ]

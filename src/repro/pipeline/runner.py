@@ -23,6 +23,7 @@ import hashlib
 
 import numpy as np
 
+from repro.errors import StorageError
 from repro.pipeline.artifacts import ClipArtifacts
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.stages import Stage, StageContext, build_stages
@@ -60,6 +61,9 @@ class PipelineRunner:
         self.stages: list[Stage] = build_stages(self.config)
         #: cumulative per-stage cache hits across runs of this runner
         self.cache_hits: dict[str, int] = {s.name: 0 for s in self.stages}
+        #: times a resume-load failed verification and the runner fell
+        #: back to a full recompute (self-healing store in action)
+        self.integrity_recoveries: int = 0
 
     # ------------------------------------------------------------- keys
     def chain_keys(self, result: SimulationResult) -> list[str]:
@@ -78,8 +82,11 @@ class PipelineRunner:
         """Index of the first stage that must execute (0 = run everything).
 
         A stage may be skipped only if its own artifact is stored *and*
-        every ``provides`` output at or before it can be recovered from
-        the store too (they ship inside :class:`ClipArtifacts`).
+        every cacheable stage before it is stored too: the ``provides``
+        outputs among them ship inside :class:`ClipArtifacts`, and
+        requiring the full prefix means a store with a hole in it (a
+        quarantined blob, an interrupted write) backfills the missing
+        artifact on the next run instead of carrying the gap forever.
         """
         if self.store is None:
             return 0
@@ -87,11 +94,10 @@ class PipelineRunner:
             stage = self.stages[i]
             if not stage.cacheable or not self.store.has(keys[i]):
                 continue
-            exposed = [
-                j for j, s in enumerate(self.stages[:i])
-                if s.provides is not None
+            prior = [
+                j for j, s in enumerate(self.stages[:i]) if s.cacheable
             ]
-            if all(self.store.has(keys[j]) for j in exposed):
+            if all(self.store.has(keys[j]) for j in prior):
                 return i + 1
         return 0
 
@@ -106,17 +112,32 @@ class PipelineRunner:
         value: object = result
         if start > 0:
             # Load the resume artifact and any exposed upstream outputs.
-            for j, stage in enumerate(self.stages[:start]):
-                if not stage.cacheable:
-                    continue  # e.g. Render: skipped, not served
-                self.cache_hits[stage.name] += 1
-                if stage.provides is not None:
-                    outputs[stage.provides] = self.store.load(keys[j])
-            resumed = self.stages[start - 1]
-            if resumed.provides is not None:
-                value = outputs[resumed.provides]
+            # Loads verify checksums; a blob that fails verification is
+            # quarantined by the store and surfaces as a StorageError,
+            # which demotes the whole resume to a recompute — slower,
+            # never wrong.  Hits are committed only on success so the
+            # counters stay truthful across a demoted resume.
+            loaded: dict[str, object] = {}
+            hits: list[str] = []
+            try:
+                for j, stage in enumerate(self.stages[:start]):
+                    if not stage.cacheable:
+                        continue  # e.g. Render: skipped, not served
+                    hits.append(stage.name)
+                    if stage.provides is not None:
+                        loaded[stage.provides] = self.store.load(keys[j])
+                resumed = self.stages[start - 1]
+                if resumed.provides is not None:
+                    value = loaded[resumed.provides]
+                else:
+                    value = self.store.load(keys[start - 1])
+            except StorageError:
+                self.integrity_recoveries += 1
+                start, value = 0, result
             else:
-                value = self.store.load(keys[start - 1])
+                outputs.update(loaded)
+                for name in hits:
+                    self.cache_hits[name] += 1
 
         for i in range(start, len(self.stages)):
             stage = self.stages[i]

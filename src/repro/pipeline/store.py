@@ -12,25 +12,39 @@ artifact plus a small metadata record.  Two backends:
   metadata survives across processes/runs (the CLI persists it through
   :mod:`repro.db`).
 
+The disk store is *self-healing*: every sidecar records the blob's
+SHA-256 and byte length at save time; :meth:`DiskArtifactStore.has`
+cheaply rejects zero-byte/truncated/orphaned blobs (a hard crash
+between blob write and sidecar write, a full disk, a killed worker) and
+:meth:`DiskArtifactStore.load` verifies the full checksum.  Anything
+that fails verification is moved to ``quarantine/`` — never deleted,
+never served — and surfaces as a cache miss, so the
+:class:`~repro.pipeline.runner.PipelineRunner` transparently recomputes
+and rewrites instead of crashing.  :meth:`DiskArtifactStore.verify`
+audits every entry on demand.
+
 Artifacts are pickled Python values; a store directory is a local cache,
 not an interchange format — only load store files you created.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
 import tempfile
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import StorageError
+from repro.errors import IntegrityError, StorageError
 
 __all__ = [
     "ArtifactStore",
     "MemoryArtifactStore",
     "DiskArtifactStore",
+    "StoreAudit",
     "resolve_store",
 ]
 
@@ -93,12 +107,35 @@ class MemoryArtifactStore(ArtifactStore):
         return [self._meta[k] for k in self.keys()]
 
 
+@dataclass
+class StoreAudit:
+    """Outcome of a :meth:`DiskArtifactStore.verify` sweep.
+
+    ``issues`` holds one record per unhealthy entry:
+    ``{"key", "problem", "action"}`` where ``problem`` is one of
+    ``missing-sidecar``, ``missing-blob``, ``bad-sidecar``,
+    ``size-mismatch``, ``checksum-mismatch`` and ``action`` is
+    ``quarantined`` or ``reported``.
+    """
+
+    checked: int = 0
+    ok: int = 0
+    issues: list[dict] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.issues
+
+
 class DiskArtifactStore(ArtifactStore):
     """On-disk store: ``objects/<key[:2]>/<key>.pkl`` + ``.json`` sidecar."""
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        #: blobs moved aside after failing verification, for this store
+        #: object's lifetime (the directory itself persists across runs)
+        self.quarantined: list[dict] = []
 
     def _blob(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.pkl"
@@ -106,25 +143,106 @@ class DiskArtifactStore(ArtifactStore):
     def _sidecar(self, key: str) -> Path:
         return self._blob(key).with_suffix(".json")
 
+    # ------------------------------------------------------- health
+    def _read_sidecar(self, key: str) -> dict | None:
+        """The sidecar record, or None if missing/unreadable."""
+        try:
+            return json.loads(self._sidecar(key).read_text())
+        except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+
+    def _quarantine(self, key: str, problem: str) -> None:
+        """Move a failed entry's files aside; never serve them again."""
+        qdir = self.root / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        blob, sidecar = self._blob(key), self._sidecar(key)
+        record = self._read_sidecar(key) or {"key": key}
+        record["quarantined_reason"] = problem
+        try:
+            os.replace(blob, qdir / blob.name)
+        except FileNotFoundError:
+            pass
+        try:
+            os.unlink(sidecar)
+        except FileNotFoundError:
+            pass
+        self._atomic_write(
+            qdir / sidecar.name,
+            (json.dumps(record, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        self.quarantined.append({"key": key, "problem": problem})
+
+    def _check(self, key: str, *, deep: bool) -> str | None:
+        """Health-check one entry; returns the problem name, or None.
+
+        The shallow check (existence + sidecar + recorded byte length)
+        is what :meth:`has` runs on every cache probe; ``deep=True``
+        additionally hashes the blob against the recorded SHA-256,
+        which :meth:`load` and :meth:`verify` pay for.
+        """
+        blob = self._blob(key)
+        try:
+            size = blob.stat().st_size
+        except FileNotFoundError:
+            return "missing-blob"
+        record = self._read_sidecar(key)
+        if record is None:
+            # Crash between blob write and sidecar write, or a mangled
+            # sidecar: the blob is unverifiable either way.
+            return ("missing-sidecar" if not self._sidecar(key).exists()
+                    else "bad-sidecar")
+        if size == 0 or ("n_bytes" in record and size != record["n_bytes"]):
+            return "size-mismatch"
+        if deep and "sha256" in record:
+            digest = hashlib.sha256(blob.read_bytes()).hexdigest()
+            if digest != record["sha256"]:
+                return "checksum-mismatch"
+        return None
+
+    # ------------------------------------------------------- store API
     def has(self, key: str) -> bool:
-        return self._blob(key).exists()
+        """Whether ``key`` holds a *servable* artifact.
+
+        An entry that exists but fails the shallow integrity check
+        (zero-byte or truncated blob, missing/unreadable sidecar) is
+        quarantined on the spot and reported as a miss, so callers fall
+        through to recompute-and-rewrite.
+        """
+        problem = self._check(key, deep=False)
+        if problem is None:
+            return True
+        if problem != "missing-blob":
+            self._quarantine(key, problem)
+        return False
 
     def load(self, key: str):
+        problem = self._check(key, deep=True)
+        if problem == "missing-blob":
+            raise StorageError(f"no artifact stored under {key!r}") from None
+        if problem is not None:
+            self._quarantine(key, problem)
+            raise IntegrityError(
+                f"artifact {key!r} failed verification ({problem}); "
+                f"quarantined under {self.root / 'quarantine'}")
         path = self._blob(key)
         try:
             with open(path, "rb") as fh:
                 return pickle.load(fh)
         except FileNotFoundError:
             raise StorageError(f"no artifact stored under {key!r}") from None
-        except (pickle.UnpicklingError, EOFError) as exc:
-            raise StorageError(f"corrupt artifact {path}: {exc}") from exc
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ValueError) as exc:
+            self._quarantine(key, "bad-pickle")
+            raise IntegrityError(
+                f"corrupt artifact {path}: {exc}") from exc
 
     def save(self, key: str, value, meta: dict | None = None) -> None:
         blob = self._blob(key)
         blob.parent.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         self._atomic_write(blob, payload)
-        record = dict(meta or {}, key=key, n_bytes=len(payload))
+        record = dict(meta or {}, key=key, n_bytes=len(payload),
+                      sha256=hashlib.sha256(payload).hexdigest())
         self._atomic_write(
             self._sidecar(key),
             (json.dumps(record, sort_keys=True) + "\n").encode("utf-8"),
@@ -150,12 +268,54 @@ class DiskArtifactStore(ArtifactStore):
     def entries(self) -> list[dict]:
         records = []
         for key in self.keys():
-            sidecar = self._sidecar(key)
-            if sidecar.exists():
-                records.append(json.loads(sidecar.read_text()))
+            record = self._read_sidecar(key)
+            if record is not None:
+                records.append(record)
             else:
-                records.append({"key": key})
+                # Blob without (readable) metadata: the orphan left by a
+                # crash between the two writes.  Flagged, not hidden —
+                # `verify()` is the tool that quarantines it.
+                records.append({"key": key, "orphan": True})
         return records
+
+    # ------------------------------------------------------- audit
+    def verify(self, *, repair: bool = True) -> StoreAudit:
+        """Audit every entry: sizes, checksums, and orphaned sidecars.
+
+        With ``repair=True`` (default) unhealthy entries are quarantined
+        so the next run recomputes them; with ``repair=False`` they are
+        only reported.  Returns a :class:`StoreAudit`.
+        """
+        audit = StoreAudit()
+        objects = self.root / "objects"
+        blob_keys = set(self.keys())
+        sidecar_keys = {p.stem for p in objects.glob("*/*.json")}
+        for key in sorted(blob_keys):
+            audit.checked += 1
+            problem = self._check(key, deep=True)
+            if problem is None:
+                audit.ok += 1
+                continue
+            action = "reported"
+            if repair:
+                self._quarantine(key, problem)
+                action = "quarantined"
+            audit.issues.append({"key": key, "problem": problem,
+                                 "action": action})
+        for key in sorted(sidecar_keys - blob_keys):
+            # Sidecar without a blob: harmless metadata litter, but it
+            # pollutes entries() accounting; repair removes it.
+            audit.checked += 1
+            action = "reported"
+            if repair:
+                try:
+                    os.unlink(self._sidecar(key))
+                except FileNotFoundError:
+                    pass
+                action = "quarantined"
+            audit.issues.append({"key": key, "problem": "missing-blob",
+                                 "action": action})
+        return audit
 
 
 def resolve_store(store) -> ArtifactStore | None:

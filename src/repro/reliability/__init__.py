@@ -1,0 +1,36 @@
+"""Failure model for the ingestion and caching layers.
+
+Production surveillance-retrieval systems treat per-clip failure as
+routine: one bad camera feed, one OOM-killed worker, or one truncated
+cache blob must never abort a whole sweep or poison later runs.  This
+package is the system-level counterpart to the *statistical* robustness
+already modeled in :mod:`repro.eval.robustness`:
+
+* :class:`RetryPolicy` — bounded attempts, exponential backoff,
+  deterministically-seeded jitter (reproducible schedules);
+* :func:`run_tasks` / :class:`BatchResult` / :class:`TaskFailure` —
+  per-future batch execution that isolates worker failures, restarts a
+  broken pool without discarding completed results, and enforces
+  per-task wall-clock timeouts;
+* :class:`RunManifest` / :func:`task_fingerprint` — durable, atomic
+  sweep progress so a killed multi-seed run resumes where it died.
+
+The error taxonomy lives in :mod:`repro.errors`
+(:class:`~repro.errors.RetryableError`,
+:class:`~repro.errors.IntegrityError`,
+:class:`~repro.errors.TaskTimeoutError`); the self-healing store that
+raises them is :class:`~repro.pipeline.store.DiskArtifactStore`.
+"""
+
+from repro.reliability.manifest import RunManifest, task_fingerprint
+from repro.reliability.retry import RetryPolicy
+from repro.reliability.tasks import BatchResult, TaskFailure, run_tasks
+
+__all__ = [
+    "RetryPolicy",
+    "TaskFailure",
+    "BatchResult",
+    "run_tasks",
+    "RunManifest",
+    "task_fingerprint",
+]

@@ -1,0 +1,116 @@
+"""Durable progress for multi-clip sweeps: the run manifest.
+
+A :class:`RunManifest` is a small JSON file with one entry per
+*completed* ``(scenario, seed, fingerprint)`` ingestion task.  The
+coordinator marks a task done the moment its result lands (via the
+``on_result`` hook of :func:`~repro.reliability.tasks.run_tasks`), and
+every write is atomic (tmp + ``os.replace``), so a sweep killed at any
+instant leaves either a valid manifest or the previous valid manifest —
+never a torn one.  On restart, tasks already in the manifest are served
+by replaying the shared artifact store instead of re-ingesting.
+
+The fingerprint covers the complete task recipe (scenario, seed, sim
+and build kwargs) but *not* the store location: it identifies the
+computation, not where its artifacts happen to live.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+
+__all__ = ["RunManifest", "task_fingerprint"]
+
+_VERSION = 1
+
+
+def task_fingerprint(scenario: str, seed: int,
+                     sim_kwargs: dict | None = None,
+                     build_kwargs: dict | None = None) -> str:
+    """Content address of one ingestion task's complete recipe."""
+    spec = (scenario, int(seed),
+            tuple(sorted((str(k), repr(v))
+                         for k, v in (sim_kwargs or {}).items())),
+            tuple(sorted((str(k), repr(v))
+                         for k, v in (build_kwargs or {}).items())))
+    return hashlib.sha256(repr(spec).encode("utf-8")).hexdigest()
+
+
+class RunManifest:
+    """Atomic JSON record of which sweep tasks have completed."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def resolve(cls, spec) -> "RunManifest | None":
+        """Coerce a manifest spec: None -> None, path -> RunManifest."""
+        if spec is None:
+            return None
+        if isinstance(spec, RunManifest):
+            return spec
+        return cls(spec)
+
+    # ------------------------------------------------------------ state
+    def entries(self) -> dict[str, dict]:
+        """fingerprint -> completion record for every finished task."""
+        try:
+            raw = self.path.read_text()
+        except FileNotFoundError:
+            return {}
+        try:
+            data = json.loads(raw)
+            tasks = data["tasks"]
+            if not isinstance(tasks, dict):
+                raise TypeError("tasks must be an object")
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            # A manifest is an accelerator, not a source of truth:
+            # an unreadable one means "resume nothing", not "crash".
+            warnings.warn(
+                f"ignoring unreadable run manifest {self.path} ({exc})",
+                RuntimeWarning, stacklevel=2)
+            return {}
+        return tasks
+
+    def is_done(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries()
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    # ---------------------------------------------------------- updates
+    def mark_done(self, fingerprint: str, meta: dict | None = None) -> None:
+        """Record one completed task (load, merge, atomic rewrite)."""
+        tasks = self.entries()
+        tasks[fingerprint] = dict(meta or {}, fingerprint=fingerprint)
+        self._write(tasks)
+
+    def discard(self, fingerprint: str) -> None:
+        """Forget one task (forces it to re-run on the next resume)."""
+        tasks = self.entries()
+        if tasks.pop(fingerprint, None) is not None:
+            self._write(tasks)
+
+    def clear(self) -> None:
+        """Forget all progress."""
+        self._write({})
+
+    def _write(self, tasks: dict[str, dict]) -> None:
+        payload = json.dumps({"version": _VERSION, "tasks": tasks},
+                             sort_keys=True, indent=1) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,291 @@
+"""Fault-isolated batch execution over a process pool.
+
+``run_tasks`` is the engine under
+:func:`repro.eval.parallel.build_artifacts_parallel`: it fans a list of
+picklable task specs over a ``ProcessPoolExecutor`` with *per-future*
+submission, so one task's failure is one task's problem:
+
+* a worker exception fails only that task — it is retried under an
+  optional :class:`~repro.reliability.retry.RetryPolicy`, then recorded
+  as a structured :class:`TaskFailure`;
+* a dead pool (``BrokenExecutor`` — a worker segfaulted or was
+  OOM-killed) is rebuilt and only the *incomplete* tasks are
+  resubmitted; results already collected are never thrown away;
+* each task may carry a wall-clock ``task_timeout``; an overdue task is
+  abandoned (its future cancelled, its worker left to finish into the
+  void) and reported as a :class:`~repro.errors.TaskTimeoutError`.
+
+Results always come back in task order.  Under ``strict=True`` (the
+default) any surviving failure re-raises its original exception, which
+preserves the historical "the batch raises what the worker raised"
+contract; ``strict=False`` returns the partial :class:`BatchResult`.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback as _traceback
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError, TaskTimeoutError
+from repro.reliability.retry import RetryPolicy
+
+__all__ = ["TaskFailure", "BatchResult", "run_tasks"]
+
+#: Exceptions at pool *creation* that mean "no process pool here" —
+#: sandboxes without semaphores, missing /dev/shm, restricted platforms.
+_POOL_UNAVAILABLE = (OSError, ImportError, PermissionError)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task's terminal failure, with enough context to triage it."""
+
+    index: int
+    task: object
+    error: BaseException
+    attempts: int
+    traceback: str = ""
+
+    @property
+    def error_type(self) -> str:
+        return type(self.error).__name__
+
+    @property
+    def message(self) -> str:
+        return str(self.error)
+
+    @classmethod
+    def from_exception(cls, index: int, task: object, exc: BaseException,
+                       attempts: int) -> "TaskFailure":
+        tb = "".join(_traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+        return cls(index=index, task=task, error=exc, attempts=attempts,
+                   traceback=tb)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (f"task[{self.index}] failed after {self.attempts} "
+                f"attempt(s): {self.error_type}: {self.message}")
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one ``run_tasks`` batch: partial results + failures.
+
+    ``results`` has one slot per input task, in task order; failed
+    slots hold ``None``.  ``failures`` is sorted by task index.
+    """
+
+    results: list
+    failures: list[TaskFailure] = field(default_factory=list)
+    pool_restarts: int = 0
+    attempts: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return [f.index for f in self.failures]
+
+    def completed(self) -> list:
+        """The successful results only, in task order."""
+        failed = set(self.failed_indices)
+        return [r for i, r in enumerate(self.results) if i not in failed]
+
+    def raise_if_failed(self) -> None:
+        """Re-raise the first (lowest-index) failure's original error."""
+        if self.failures:
+            raise self.failures[0].error
+
+
+def run_tasks(
+    fn: Callable,
+    tasks: Sequence,
+    *,
+    max_workers: int | None = None,
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    strict: bool = True,
+    on_result: Callable[[int, object], None] | None = None,
+    max_pool_restarts: int = 2,
+) -> BatchResult:
+    """Run ``fn(task)`` for every task, isolating and retrying failures.
+
+    ``fn`` and every task must be picklable (they cross a process
+    boundary).  ``max_workers=None`` sizes the pool to
+    ``min(n_tasks, cpu_count)``; ``<= 1`` runs serially in-process with
+    identical retry/failure semantics (``task_timeout`` is advisory only
+    on the serial path — there is no worker to abandon).  ``on_result``
+    fires in *completion* order as each task succeeds; use it to record
+    durable progress (e.g. a run manifest) so a killed batch can resume.
+    """
+    tasks = list(tasks)
+    n = len(tasks)
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError(
+            f"max_workers must be >= 1 or None, got {max_workers}")
+    if task_timeout is not None and task_timeout <= 0:
+        raise ConfigurationError(
+            f"task_timeout must be positive, got {task_timeout}")
+    if max_pool_restarts < 0:
+        raise ConfigurationError(
+            f"max_pool_restarts must be >= 0, got {max_pool_restarts}")
+
+    results: list = [None] * n
+    failures: list[TaskFailure] = []
+    attempts = [0] * n
+    batch = BatchResult(results=results, failures=failures,
+                        attempts=attempts)
+    if n == 0:
+        return batch
+
+    if max_workers is None:
+        import os
+
+        max_workers = min(n, os.cpu_count() or 1)
+    workers = min(max_workers, n)
+
+    incomplete = set(range(n))
+    if workers <= 1:
+        _run_serial(fn, tasks, sorted(incomplete), retry, batch, on_result)
+        incomplete.clear()
+
+    while incomplete:
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except _POOL_UNAVAILABLE as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); running "
+                f"{len(incomplete)} task(s) serially",
+                RuntimeWarning, stacklevel=2)
+            _run_serial(fn, tasks, sorted(incomplete), retry, batch,
+                        on_result)
+            incomplete.clear()
+            break
+        broken = _drain_pool(fn, tasks, incomplete, pool, retry,
+                             task_timeout, batch, on_result)
+        if broken is not None:
+            batch.pool_restarts += 1
+            if batch.pool_restarts > max_pool_restarts:
+                for idx in sorted(incomplete):
+                    failures.append(TaskFailure.from_exception(
+                        idx, tasks[idx], broken, attempts[idx]))
+                incomplete.clear()
+
+    failures.sort(key=lambda f: f.index)
+    if strict:
+        batch.raise_if_failed()
+    return batch
+
+
+def _drain_pool(fn, tasks, incomplete, pool, retry, task_timeout, batch,
+                on_result) -> BaseException | None:
+    """One pool's lifetime: submit every incomplete task, drain futures.
+
+    Returns the ``BrokenExecutor`` if the pool died (leaving the
+    affected tasks in ``incomplete`` with their attempt refunded — pool
+    death says nothing about the task itself), else ``None``.
+    """
+    attempts, failures, results = (batch.attempts, batch.failures,
+                                   batch.results)
+    pending: dict = {}    # future -> task index
+    deadlines: dict = {}  # future -> monotonic deadline
+
+    def submit(idx: int) -> None:
+        fut = pool.submit(fn, tasks[idx])
+        attempts[idx] += 1
+        pending[fut] = idx
+        if task_timeout is not None:
+            deadlines[fut] = time.monotonic() + task_timeout
+
+    broken: BaseException | None = None
+    abandoned = False
+    try:
+        try:
+            for idx in sorted(incomplete):
+                submit(idx)
+            while pending:
+                wait_for = None
+                if deadlines:
+                    wait_for = max(
+                        0.0, min(deadlines.values()) - time.monotonic())
+                done, _ = wait(pending, timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                for fut in done:
+                    idx = pending.pop(fut)
+                    deadlines.pop(fut, None)
+                    exc = fut.exception()
+                    if exc is None:
+                        results[idx] = fut.result()
+                        incomplete.discard(idx)
+                        if on_result is not None:
+                            on_result(idx, results[idx])
+                    elif isinstance(exc, BrokenExecutor):
+                        attempts[idx] -= 1  # the task itself never ran out
+                        broken = exc
+                    elif (retry is not None and retry.is_retryable(exc)
+                          and attempts[idx] < retry.max_attempts):
+                        time.sleep(retry.delay(attempts[idx], key=str(idx)))
+                        submit(idx)
+                    else:
+                        failures.append(TaskFailure.from_exception(
+                            idx, tasks[idx], exc, attempts[idx]))
+                        incomplete.discard(idx)
+                if broken is not None:
+                    break
+                now = time.monotonic()
+                for fut in [f for f, dl in deadlines.items() if dl <= now]:
+                    idx = pending.pop(fut)
+                    del deadlines[fut]
+                    fut.cancel()
+                    abandoned = True
+                    exc = TaskTimeoutError(
+                        f"task {idx} exceeded its {task_timeout:.3g}s "
+                        f"wall-clock budget")
+                    failures.append(TaskFailure.from_exception(
+                        idx, tasks[idx], exc, attempts[idx]))
+                    incomplete.discard(idx)
+        except BrokenExecutor as exc:  # raised by submit() on a dead pool
+            broken = exc
+        if broken is not None:
+            for idx in pending.values():
+                attempts[idx] -= 1
+    finally:
+        # Never block on stragglers (timed-out or poisoned workers).
+        pool.shutdown(wait=broken is None and not abandoned,
+                      cancel_futures=True)
+    return broken
+
+
+def _run_serial(fn, tasks, indices, retry, batch, on_result) -> None:
+    """In-process execution with the same retry/failure bookkeeping."""
+    attempts, failures, results = (batch.attempts, batch.failures,
+                                   batch.results)
+    for idx in indices:
+        while True:
+            attempts[idx] += 1
+            try:
+                value = fn(tasks[idx])
+            except Exception as exc:
+                if (retry is not None and retry.is_retryable(exc)
+                        and attempts[idx] < retry.max_attempts):
+                    time.sleep(retry.delay(attempts[idx], key=str(idx)))
+                    continue
+                failures.append(TaskFailure.from_exception(
+                    idx, tasks[idx], exc, attempts[idx]))
+                break
+            else:
+                results[idx] = value
+                if on_result is not None:
+                    on_result(idx, value)
+                break

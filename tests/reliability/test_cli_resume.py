@@ -1,0 +1,53 @@
+"""The --resume flag on the simulate/experiment CLI commands."""
+
+import json
+
+from repro.cli import main
+
+
+def _simulate(tmp_path, **overrides):
+    argv = ["simulate", "--scenario", "tunnel", "--frames", "300",
+            "--seed", "3", "--db", str(tmp_path / "v.db"),
+            "--mode", "oracle",
+            "--artifact-cache", str(tmp_path / "cache"),
+            "--resume", str(tmp_path / "man.json")]
+    for key, value in overrides.items():
+        argv += [f"--{key.replace('_', '-')}", str(value)]
+    return main(argv)
+
+
+class TestSimulateResume:
+    def test_second_run_skips(self, tmp_path, capsys):
+        assert _simulate(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "recorded completion" in out
+        manifest = json.loads((tmp_path / "man.json").read_text())
+        assert len(manifest["tasks"]) == 1
+
+        assert _simulate(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "skipping" in out
+        assert "ingested" not in out
+
+    def test_different_recipe_is_not_skipped(self, tmp_path, capsys):
+        assert _simulate(tmp_path) == 0
+        capsys.readouterr()
+        assert _simulate(tmp_path, seed="4") == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out
+        manifest = json.loads((tmp_path / "man.json").read_text())
+        assert len(manifest["tasks"]) == 2
+
+
+class TestExperimentResume:
+    def test_unsupported_experiment_fails_cleanly(self, tmp_path, capsys):
+        code = main(["experiment", "--name", "figure8",
+                     "--resume", str(tmp_path / "man.json")])
+        assert code == 1
+        assert "does not support --resume" in capsys.readouterr().err
+
+    def test_seeds_rejected_for_single_seed_experiments(self, tmp_path,
+                                                        capsys):
+        code = main(["experiment", "--name", "figure8", "--seeds", "0,1"])
+        assert code == 1
+        assert "does not take --seeds" in capsys.readouterr().err

@@ -1,0 +1,148 @@
+"""RunManifest + resumable multi-seed sweeps (kill-and-resume)."""
+
+import json
+
+import pytest
+
+from repro.eval import parallel
+from repro.eval.parallel import IngestTask, artifacts_for_seeds
+from repro.reliability import RunManifest, task_fingerprint
+
+SIM_KWARGS = {"n_frames": 300, "n_wall_crashes": 1, "n_sudden_stops": 1}
+
+
+def _sweep(tmp_path, seeds, manifest=None, **overrides):
+    kwargs = dict(scenario="tunnel", seeds=seeds, mode="oracle",
+                  max_workers=1, sim_kwargs=SIM_KWARGS,
+                  store_dir=str(tmp_path / "store"), manifest=manifest)
+    kwargs.update(overrides)
+    return artifacts_for_seeds(**kwargs)
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        man = RunManifest(tmp_path / "man.json")
+        assert len(man) == 0 and not man.is_done("abc")
+        man.mark_done("abc", {"seed": 1})
+        assert man.is_done("abc") and len(man) == 1
+        assert man.entries()["abc"]["seed"] == 1
+        man.discard("abc")
+        assert not man.is_done("abc")
+
+    def test_file_is_valid_versioned_json(self, tmp_path):
+        man = RunManifest(tmp_path / "man.json")
+        man.mark_done("abc")
+        data = json.loads((tmp_path / "man.json").read_text())
+        assert data["version"] == 1
+        assert "abc" in data["tasks"]
+
+    def test_unreadable_manifest_resumes_nothing(self, tmp_path):
+        path = tmp_path / "man.json"
+        path.write_text("{torn write")
+        man = RunManifest(path)
+        with pytest.warns(RuntimeWarning, match="unreadable run manifest"):
+            assert man.entries() == {}
+        # Marking progress rewrites it into a valid manifest (the merge
+        # re-reads the torn file, so it warns once more).
+        with pytest.warns(RuntimeWarning, match="unreadable run manifest"):
+            man.mark_done("abc")
+        assert json.loads(path.read_text())["tasks"].keys() == {"abc"}
+
+    def test_resolve(self, tmp_path):
+        man = RunManifest(tmp_path / "m.json")
+        assert RunManifest.resolve(None) is None
+        assert RunManifest.resolve(man) is man
+        assert RunManifest.resolve(str(tmp_path / "m.json")).path == man.path
+
+    def test_clear(self, tmp_path):
+        man = RunManifest(tmp_path / "man.json")
+        man.mark_done("a")
+        man.mark_done("b")
+        man.clear()
+        assert len(man) == 0
+
+
+class TestTaskFingerprint:
+    def test_covers_the_full_recipe(self):
+        base = task_fingerprint("tunnel", 0, {"n_frames": 300},
+                                {"mode": "oracle"})
+        assert base == task_fingerprint("tunnel", 0, {"n_frames": 300},
+                                        {"mode": "oracle"})
+        assert base != task_fingerprint("tunnel", 1, {"n_frames": 300},
+                                        {"mode": "oracle"})
+        assert base != task_fingerprint("highway", 0, {"n_frames": 300},
+                                        {"mode": "oracle"})
+        assert base != task_fingerprint("tunnel", 0, {"n_frames": 301},
+                                        {"mode": "oracle"})
+        assert base != task_fingerprint("tunnel", 0, {"n_frames": 300},
+                                        {"mode": "vision"})
+
+    def test_ingest_task_fingerprint_excludes_store(self):
+        a = IngestTask("tunnel", 0, sim_kwargs=dict(SIM_KWARGS),
+                       build_kwargs={"mode": "oracle"}, store_dir="/a")
+        b = IngestTask("tunnel", 0, sim_kwargs=dict(SIM_KWARGS),
+                       build_kwargs={"mode": "oracle"}, store_dir="/b")
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestKillAndResume:
+    def test_completed_work_recorded_as_it_lands(self, tmp_path):
+        man = RunManifest(tmp_path / "man.json")
+        built = _sweep(tmp_path, (0, 1), manifest=man)
+        assert set(built) == {0, 1}
+        assert len(man) == 2
+        for record in man.entries().values():
+            assert record["scenario"] == "tunnel"
+            assert record["seed"] in (0, 1)
+
+    def test_resume_skips_completed_clips(self, tmp_path, monkeypatch):
+        man = RunManifest(tmp_path / "man.json")
+        # "First run": the sweep dies after completing only seed 0.
+        first = _sweep(tmp_path, (0,), manifest=man)
+        assert len(man) == 1
+
+        # "Resume": seeds (0, 1).  Only seed 1 may reach the pool.
+        submitted = []
+        original = parallel.build_artifacts_parallel
+
+        def spying(tasks, **kwargs):
+            submitted.extend(tasks)
+            return original(tasks, **kwargs)
+
+        monkeypatch.setattr(parallel, "build_artifacts_parallel", spying)
+        resumed = _sweep(tmp_path, (0, 1), manifest=man)
+        assert [t.seed for t in submitted] == [1]
+        assert len(man) == 2
+
+        # Seed 0 was not re-ingested: every stage replayed from the
+        # shared store; and its artifacts match the pre-kill build.
+        assert sum(resumed[0].stage_runs.values()) == 0
+        assert ([b.bag_id for b in resumed[0].dataset.bags]
+                == [b.bag_id for b in first[0].dataset.bags])
+        # Seed 1 genuinely ran.
+        assert sum(resumed[1].stage_runs.values()) >= 1
+
+    def test_resume_with_finished_manifest_runs_nothing(self, tmp_path,
+                                                        monkeypatch):
+        man = RunManifest(tmp_path / "man.json")
+        _sweep(tmp_path, (0, 1), manifest=man)
+
+        def forbidden(tasks, **kwargs):
+            assert not list(tasks), "resume should submit no tasks"
+            return []
+
+        monkeypatch.setattr(parallel, "build_artifacts_parallel", forbidden)
+        resumed = _sweep(tmp_path, (0, 1), manifest=man)
+        assert set(resumed) == {0, 1}
+        assert all(sum(a.stage_runs.values()) == 0
+                   for a in resumed.values())
+
+    def test_manifest_ignores_unrelated_recipes(self, tmp_path):
+        man = RunManifest(tmp_path / "man.json")
+        _sweep(tmp_path, (0,), manifest=man)
+        # A different window size is a different computation: the
+        # manifest entry must not satisfy it.
+        other = IngestTask("tunnel", 0, sim_kwargs=dict(SIM_KWARGS),
+                           build_kwargs={"mode": "oracle",
+                                         "window_size": 5})
+        assert not man.is_done(other.fingerprint())

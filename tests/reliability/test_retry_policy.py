@@ -1,0 +1,96 @@
+"""RetryPolicy: bounded attempts, deterministic backoff, retry filter."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PipelineError, RetryableError
+from repro.reliability import RetryPolicy
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_rejects_shrinking_backoff(self):
+        with pytest.raises(ConfigurationError, match="backoff"):
+            RetryPolicy(backoff=0.5)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ConfigurationError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ConfigurationError, match="1-based"):
+            RetryPolicy().delay(0)
+
+
+class TestSchedule:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=0.1, backoff=2.0,
+                             max_delay=0.5, jitter=0.0)
+        delays = policy.delays(key="t")
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy(max_attempts=4, jitter=0.5, seed=3)
+        b = RetryPolicy(max_attempts=4, jitter=0.5, seed=3)
+        assert a.delays(key="k") == b.delays(key="k")
+
+    def test_jitter_varies_by_key_and_seed(self):
+        policy = RetryPolicy(max_attempts=3, jitter=0.5, seed=0)
+        assert policy.delays(key="a") != policy.delays(key="b")
+        other_seed = RetryPolicy(max_attempts=3, jitter=0.5, seed=1)
+        assert policy.delays(key="a") != other_seed.delays(key="a")
+
+    def test_jitter_bounded_above_base(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.1, jitter=0.5,
+                             max_delay=10.0)
+        delay = policy.delay(1, key="x")
+        assert 0.1 <= delay <= 0.1 * 1.5
+
+    def test_retry_filter(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(RetryableError("transient"))
+        assert policy.is_retryable(OSError("disk hiccup"))
+        assert not policy.is_retryable(PipelineError("bad clip"))
+        only_custom = RetryPolicy(retry_on=(RetryableError,))
+        assert not only_custom.is_retryable(OSError("x"))
+
+
+class TestRun:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+        slept = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RetryableError("not yet")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        assert policy.run(flaky, key="t", sleep=slept.append) == "ok"
+        assert calls["n"] == 3
+        assert slept == policy.delays(key="t")
+
+    def test_exhausted_attempts_reraise(self):
+        def always(): raise RetryableError("still down")
+
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(RetryableError, match="still down"):
+            policy.run(always, sleep=lambda _t: None)
+
+    def test_deterministic_failure_not_retried(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise PipelineError("bad input")
+
+        with pytest.raises(PipelineError):
+            RetryPolicy(max_attempts=5).run(broken, sleep=lambda _t: None)
+        assert calls["n"] == 1

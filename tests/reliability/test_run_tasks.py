@@ -1,0 +1,179 @@
+"""run_tasks: failure isolation, retries, timeouts, pool resurrection.
+
+The worker functions live at module level so they pickle across the
+process boundary; the ones that must change behaviour between attempts
+coordinate through marker files under a tmp directory (worker processes
+share no memory with the test).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    PipelineError,
+    RetryableError,
+    TaskTimeoutError,
+)
+from repro.reliability import BatchResult, RetryPolicy, run_tasks
+
+FAST = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.002,
+                   jitter=0.0)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _fail_on_negative(x):
+    if x < 0:
+        raise PipelineError(f"unusable clip {x}")
+    return 2 * x
+
+
+def _flaky(spec):
+    """Fails with RetryableError until its marker file has 2 lines."""
+    directory, x = spec
+    marker = os.path.join(directory, f"attempts-{x}")
+    with open(marker, "a") as fh:
+        fh.write("attempt\n")
+    with open(marker) as fh:
+        n_attempts = len(fh.readlines())
+    if n_attempts < 2:
+        raise RetryableError(f"transient failure {n_attempts} for {x}")
+    return 2 * x
+
+
+def _poison_once(spec):
+    """Hard-kills its worker process on the first run (simulates OOM)."""
+    directory, x = spec
+    if x == "poison":
+        marker = os.path.join(directory, "poisoned")
+        if not os.path.exists(marker):
+            with open(marker, "w") as fh:
+                fh.write("died\n")
+            os._exit(1)
+    return spec[1]
+
+
+def _sleep_for(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+class TestValidation:
+    def test_empty_batch(self):
+        batch = run_tasks(_double, [])
+        assert batch.ok and batch.results == []
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            run_tasks(_double, [1], max_workers=0)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ConfigurationError, match="task_timeout"):
+            run_tasks(_double, [1], task_timeout=0.0)
+
+
+class TestIsolation:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_one_failure_leaves_others_intact(self, workers):
+        batch = run_tasks(_fail_on_negative, [1, -5, 3, 4],
+                          max_workers=workers, strict=False)
+        assert isinstance(batch, BatchResult)
+        assert not batch.ok
+        assert batch.results == [2, None, 6, 8]
+        assert batch.completed() == [2, 6, 8]
+        [failure] = batch.failures
+        assert failure.index == 1
+        assert failure.task == -5
+        assert failure.error_type == "PipelineError"
+        assert "unusable clip" in failure.message
+        assert "PipelineError" in failure.traceback
+        assert failure.attempts == 1
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_strict_reraises_original_exception(self, workers):
+        with pytest.raises(PipelineError, match="unusable clip"):
+            run_tasks(_fail_on_negative, [1, -5, 3],
+                      max_workers=workers)
+
+    def test_results_keep_task_order(self):
+        batch = run_tasks(_double, list(range(8)), max_workers=4)
+        assert batch.results == [2 * x for x in range(8)]
+
+    def test_on_result_sees_every_success(self):
+        seen = []
+        run_tasks(_double, [5, 6, 7], max_workers=2,
+                  on_result=lambda i, v: seen.append((i, v)))
+        assert sorted(seen) == [(0, 10), (1, 12), (2, 14)]
+
+
+class TestRetry:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_transient_failures_retried_to_success(self, workers, tmp_path):
+        tasks = [(str(tmp_path), x) for x in (1, 2, 3)]
+        batch = run_tasks(_flaky, tasks, max_workers=workers, retry=FAST,
+                          strict=False)
+        assert batch.ok
+        assert batch.results == [2, 4, 6]
+        assert batch.attempts == [2, 2, 2]
+
+    def test_no_policy_means_no_retries(self, tmp_path):
+        tasks = [(str(tmp_path), 1)]
+        batch = run_tasks(_flaky, tasks, max_workers=1, strict=False)
+        assert not batch.ok
+        assert batch.failures[0].error_type == "RetryableError"
+        assert batch.attempts == [1]
+
+    def test_attempts_are_bounded(self, tmp_path):
+        # A task that always fails retryably burns exactly max_attempts.
+        batch = run_tasks(_fail_on_negative, [-1], max_workers=1,
+                          retry=RetryPolicy(max_attempts=4, base_delay=0.0,
+                                            retry_on=(PipelineError,)),
+                          strict=False)
+        assert batch.attempts == [4]
+        assert batch.failures[0].attempts == 4
+
+
+class TestTimeout:
+    def test_overdue_task_abandoned_others_survive(self):
+        batch = run_tasks(_sleep_for, [0.01, 1.5, 0.01], max_workers=3,
+                          task_timeout=0.3, strict=False)
+        assert batch.results[0] == 0.01 and batch.results[2] == 0.01
+        [failure] = batch.failures
+        assert failure.index == 1
+        assert isinstance(failure.error, TaskTimeoutError)
+
+    def test_timeout_strict_raises(self):
+        with pytest.raises(TaskTimeoutError):
+            run_tasks(_sleep_for, [1.5, 0.01], max_workers=2,
+                      task_timeout=0.2)
+
+
+class TestBrokenPool:
+    def test_pool_restart_preserves_completed_work(self, tmp_path):
+        tasks = [(str(tmp_path), x)
+                 for x in ("a", "poison", "b", "c", "d", "e")]
+        batch = run_tasks(_poison_once, tasks, max_workers=2, strict=False)
+        assert batch.pool_restarts >= 1
+        assert batch.ok
+        assert batch.results == ["a", "poison", "b", "c", "d", "e"]
+
+    def test_unrecoverable_pool_reports_failures(self):
+        # Every attempt re-kills the pool: after max_pool_restarts the
+        # incomplete tasks surface as structured failures, not a hang.
+        # Two tasks keep the pool path engaged (one task would fall back
+        # to the serial path, where _always_poison must never run).
+        batch = run_tasks(_always_poison, ["x", "y"], max_workers=2,
+                          strict=False, max_pool_restarts=1)
+        assert not batch.ok
+        assert batch.pool_restarts == 2
+        assert len(batch.failures) == 2
+        assert batch.failures[0].error_type.startswith("Broken")
+
+
+def _always_poison(_spec):  # pragma: no cover - runs in worker processes
+    os._exit(1)

@@ -1,0 +1,214 @@
+"""Fault injection against the self-healing DiskArtifactStore.
+
+Corruption of any stored blob — a flipped byte, a truncation, a
+zero-byte file, an orphaned write — must never change final pipeline
+outputs: the store quarantines the damage, reports a miss, and the
+runner recomputes to byte-identical artifacts.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.errors import IntegrityError, StorageError
+from repro.eval import build_artifacts
+from repro.pipeline import DiskArtifactStore, PipelineRunner
+from repro.sim import tunnel
+
+
+def _sim():
+    return tunnel(n_frames=300, seed=5, n_wall_crashes=1, n_sudden_stops=1)
+
+
+def _store_digests(store):
+    """sha256 of every blob file, keyed by store key."""
+    return {key: hashlib.sha256(store._blob(key).read_bytes()).hexdigest()
+            for key in store.keys()}
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    store = DiskArtifactStore(tmp_path / "store")
+    artifacts = build_artifacts(_sim(), mode="oracle", store=store)
+    return store, artifacts
+
+
+class TestShallowChecks:
+    def test_zero_byte_blob_is_a_miss_and_quarantined(self, populated):
+        store, _ = populated
+        key = store.keys()[0]
+        store._blob(key).write_bytes(b"")
+        assert store.has(key) is False
+        assert (store.root / "quarantine" / f"{key}.pkl").exists()
+        assert store.quarantined == [{"key": key,
+                                      "problem": "size-mismatch"}]
+        assert key not in store.keys()
+
+    def test_truncated_blob_is_a_miss(self, populated):
+        store, _ = populated
+        key = store.keys()[0]
+        blob = store._blob(key)
+        blob.write_bytes(blob.read_bytes()[: blob.stat().st_size // 2])
+        assert store.has(key) is False
+        assert store.quarantined[0]["problem"] == "size-mismatch"
+
+    def test_orphan_blob_without_sidecar(self, populated):
+        store, _ = populated
+        key = store.keys()[0]
+        store._sidecar(key).unlink()
+        # entries() flags the orphan instead of hiding it ...
+        flagged = [e for e in store.entries() if e.get("orphan")]
+        assert [e["key"] for e in flagged] == [key]
+        # ... and a cache probe quarantines it as unverifiable.
+        assert store.has(key) is False
+        assert store.quarantined[0]["problem"] == "missing-sidecar"
+
+    def test_unreadable_sidecar(self, populated):
+        store, _ = populated
+        key = store.keys()[0]
+        store._sidecar(key).write_text("{not json")
+        assert store.has(key) is False
+        assert store.quarantined[0]["problem"] == "bad-sidecar"
+
+    def test_healthy_entries_unaffected(self, populated):
+        store, _ = populated
+        assert all(store.has(k) for k in store.keys())
+        assert store.quarantined == []
+
+
+class TestChecksumOnLoad:
+    def test_flipped_byte_caught_and_quarantined(self, populated):
+        store, _ = populated
+        key = store.keys()[0]
+        blob = store._blob(key)
+        corrupt = bytearray(blob.read_bytes())
+        corrupt[len(corrupt) // 2] ^= 0xFF
+        blob.write_bytes(bytes(corrupt))
+        # Size unchanged: the cheap probe cannot see the damage ...
+        assert store.has(key) is True
+        # ... but the checksum on load does.
+        with pytest.raises(IntegrityError, match="quarantined"):
+            store.load(key)
+        assert store.quarantined[0]["problem"] == "checksum-mismatch"
+        quarantined = store.root / "quarantine" / f"{key}.json"
+        assert "checksum-mismatch" in quarantined.read_text()
+
+    def test_missing_key_still_plain_storage_error(self, populated):
+        store, _ = populated
+        with pytest.raises(StorageError, match="no artifact"):
+            store.load("0" * 64)
+        assert store.quarantined == []
+
+
+def _assert_same_dataset(a, b):
+    import numpy as np
+
+    assert [bag.bag_id for bag in a.bags] == [bag.bag_id for bag in b.bags]
+    assert a.n_instances == b.n_instances
+    for bag_a, bag_b in zip(a.bags, b.bags):
+        assert bag_a.frame_range == bag_b.frame_range
+        np.testing.assert_array_equal(bag_a.instance_matrix(),
+                                      bag_b.instance_matrix())
+
+
+class TestRunnerSelfHealing:
+    def test_corruption_never_changes_outputs(self, tmp_path):
+        """Flip one byte in every stored blob in turn: outputs must stay
+        identical to a clean run, and verify()+rebuild must restore the
+        store to byte-identical blobs."""
+        sim = _sim()
+        clean = DiskArtifactStore(tmp_path / "clean")
+        reference_artifacts = build_artifacts(sim, mode="oracle",
+                                              store=clean)
+        reference = _store_digests(clean)
+
+        victim = DiskArtifactStore(tmp_path / "victim")
+        build_artifacts(sim, mode="oracle", store=victim)
+        assert _store_digests(victim) == reference
+
+        for key in sorted(reference):
+            blob = victim._blob(key)
+            corrupt = bytearray(blob.read_bytes())
+            corrupt[len(corrupt) // 3] ^= 0x01
+            blob.write_bytes(bytes(corrupt))
+
+            # Serving is never affected, whichever blob is damaged.
+            rebuilt = build_artifacts(sim, mode="oracle", store=victim)
+            _assert_same_dataset(rebuilt.dataset,
+                                 reference_artifacts.dataset)
+            # An audit sweep + rebuild heals the store byte-for-byte
+            # (blobs that are skipped-but-never-loaded on resume can
+            # otherwise carry damage silently; verify() is their check).
+            victim.verify(repair=True)
+            build_artifacts(sim, mode="oracle", store=victim)
+            assert _store_digests(victim) == reference, key
+
+    def test_deep_corruption_demotes_resume_to_recompute(self, tmp_path):
+        from repro.pipeline import PipelineConfig
+
+        sim = _sim()
+        store = DiskArtifactStore(tmp_path / "store")
+        first = build_artifacts(sim, mode="oracle", store=store)
+        assert sum(first.stage_runs.values()) >= 1
+
+        config = PipelineConfig.from_build_kwargs(mode="oracle")
+        runner = PipelineRunner(config, store=store)
+        # Corrupt the final stage's blob: the resume path must load it,
+        # trip the checksum, and demote the whole run to a recompute.
+        key = runner.chain_keys(sim)[-1]
+        blob = store._blob(key)
+        corrupt = bytearray(blob.read_bytes())
+        corrupt[4] ^= 0xFF
+        blob.write_bytes(bytes(corrupt))
+
+        rebuilt = runner.run(sim)
+        assert runner.integrity_recoveries == 1
+        assert sum(rebuilt.stage_runs.values()) >= 1
+        # The store healed: the same runner now resumes cleanly.
+        again = runner.run(sim)
+        assert runner.integrity_recoveries == 1
+        assert sum(again.stage_runs.values()) == 0
+        _assert_same_dataset(rebuilt.dataset, again.dataset)
+
+
+class TestVerifySweep:
+    def test_audit_reports_and_repairs(self, populated):
+        store, _ = populated
+        keys = store.keys()
+        flipped, truncated = keys[0], keys[1]
+        blob = store._blob(flipped)
+        corrupt = bytearray(blob.read_bytes())
+        corrupt[0] ^= 0x10
+        blob.write_bytes(bytes(corrupt))
+        store._blob(truncated).write_bytes(b"")
+        # A sidecar whose blob vanished (interrupted delete).
+        ghost = "ff" * 32
+        store._blob(ghost).parent.mkdir(parents=True, exist_ok=True)
+        store.save(ghost, {"x": 1})
+        store._blob(ghost).unlink()
+
+        report_only = store.verify(repair=False)
+        assert {i["problem"] for i in report_only.issues} == {
+            "checksum-mismatch", "size-mismatch", "missing-blob"}
+        assert all(i["action"] == "reported" for i in report_only.issues)
+        assert store.has(flipped)  # nothing moved yet (size intact)
+
+        audit = store.verify(repair=True)
+        assert audit.checked == len(keys) + 1
+        assert audit.ok == len(keys) - 2
+        assert not audit.healthy
+        by_key = {i["key"]: i for i in audit.issues}
+        assert by_key[flipped]["problem"] == "checksum-mismatch"
+        assert by_key[truncated]["problem"] == "size-mismatch"
+        assert by_key[ghost]["problem"] == "missing-blob"
+        assert all(i["action"] == "quarantined" for i in audit.issues)
+
+        # The store is healthy again afterwards.
+        assert store.verify(repair=False).healthy
+        assert flipped not in store.keys()
+
+    def test_clean_store_audits_clean(self, populated):
+        store, _ = populated
+        audit = store.verify()
+        assert audit.healthy
+        assert audit.checked == audit.ok == len(store.keys())

@@ -1,0 +1,96 @@
+"""Telemetry overhead benchmark: instrumentation must cost < 3%.
+
+Runs the PR2 window-sweep workload (cold vision builds over the
+4-value ``window_size`` grid — the same clip and grid as
+``test_perf_pipeline.py``) twice: once with the process-wide telemetry
+registry enabled (spans, counters, histograms recording normally) and
+once with it disabled (every instrument a no-op).  Best-of-N wall
+times are compared; the enabled run may be at most 3% slower.  Numbers
+land in ``BENCH_obs.json`` in the shared ``repro-bench-v1`` schema.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.eval import build_artifacts
+from repro.obs import Telemetry, merge_bench, set_telemetry
+from repro.sim import tunnel
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+WINDOWS = (2, 3, 5, 7)
+REPEATS = 2          # best-of, per configuration
+OVERHEAD_BUDGET = 0.03
+
+
+def _bench_clip():
+    return tunnel(n_frames=400, seed=3, spawn_interval=(60.0, 90.0),
+                  n_wall_crashes=2, n_sudden_stops=1)
+
+
+def _sweep(sim):
+    for w in WINDOWS:
+        build_artifacts(sim, mode="vision", window_size=w)
+
+
+def _best_of(sim, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _sweep(sim)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_smoke_disabled_registry_is_inert():
+    """Disabled telemetry records nothing while the workload still runs."""
+    registry = Telemetry(enabled=False)
+    previous = set_telemetry(registry)
+    try:
+        build_artifacts(tunnel(n_frames=300, seed=5, n_wall_crashes=1,
+                               n_sudden_stops=1), mode="oracle")
+    finally:
+        set_telemetry(previous)
+    assert registry.spans == []
+    assert all(not m.series() for m in registry.metric_families())
+
+
+def test_instrumentation_overhead():
+    """Enabled-vs-disabled sweep wall time within the 3% budget."""
+    sim = _bench_clip()
+    _sweep(sim)  # warm caches (imports, JIT-ish numpy paths) off-clock
+
+    enabled_registry = Telemetry()
+    previous = set_telemetry(enabled_registry)
+    try:
+        enabled_s = _best_of(sim)
+        set_telemetry(Telemetry(enabled=False))
+        disabled_s = _best_of(sim)
+    finally:
+        set_telemetry(previous)
+
+    overhead = enabled_s / disabled_s - 1.0
+    spans_per_sweep = (len(enabled_registry.spans)
+                       + enabled_registry.spans_dropped) // REPEATS
+
+    recorder = Telemetry()
+    wall = recorder.gauge("bench.sweep_s",
+                          "best-of wall seconds for the 4-value sweep")
+    wall.set(round(enabled_s, 4), telemetry="enabled")
+    wall.set(round(disabled_s, 4), telemetry="disabled")
+    recorder.gauge("bench.overhead_pct",
+                   "instrumented slowdown").set(round(overhead * 100, 2))
+    recorder.gauge("bench.spans_per_sweep",
+                   "spans recorded per sweep").set(spans_per_sweep)
+    merge_bench(BENCH_PATH, "instrumentation_overhead", recorder,
+                meta={"scenario": "tunnel-400", "mode": "vision",
+                      "windows": list(WINDOWS), "repeats": REPEATS,
+                      "budget_pct": OVERHEAD_BUDGET * 100})
+
+    assert spans_per_sweep > 0, "enabled sweep recorded no spans"
+    assert overhead < OVERHEAD_BUDGET, (
+        f"instrumentation overhead {overhead:.1%} exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget (enabled {enabled_s:.3f}s vs "
+        f"disabled {disabled_s:.3f}s)")

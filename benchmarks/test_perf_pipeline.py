@@ -8,18 +8,19 @@ the remaining three replay Render/Segment/Track and recompute only
 Series -> Windows).  Vision stages dominate per-clip cost, so the
 store-backed sweep must come in >= 3x faster; datasets must be
 identical either way.  Numbers land in ``BENCH_pipeline.json`` at the
-repo root so they travel with the code.
+repo root so they travel with the code (in the shared
+``repro-bench-v1`` schema; see :mod:`repro.obs.bench`).
 """
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.eval import build_artifacts
+from repro.obs import Telemetry, merge_bench
 from repro.pipeline import DiskArtifactStore
 from repro.sim import tunnel
 
@@ -41,14 +42,6 @@ def _sweep(sim, store):
                                        store=store)
         times[w] = time.perf_counter() - t0
     return artifacts, times
-
-
-def _merge_bench(section: str, payload: dict) -> None:
-    data = {}
-    if BENCH_PATH.exists():
-        data = json.loads(BENCH_PATH.read_text())
-    data[section] = payload
-    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def test_smoke_store_backed_matches_cold():
@@ -93,17 +86,24 @@ def test_window_sweep_speedup(benchmark, tmp_path):
     cold_total = sum(cold_times.values())
     warm_total = sum(warm_times.values())
     speedup = cold_total / warm_total
-    _merge_bench("window_sweep", {
-        "scenario": "tunnel-400",
-        "mode": "vision",
-        "windows": list(WINDOWS),
-        "cold_s": {str(w): round(t, 3) for w, t in cold_times.items()},
-        "store_backed_s": {str(w): round(t, 3)
-                           for w, t in warm_times.items()},
-        "cold_total_s": round(cold_total, 3),
-        "store_backed_total_s": round(warm_total, 3),
-        "speedup": round(speedup, 2),
-    })
+    # Record through the telemetry registry so every BENCH_*.json file
+    # shares the repro-bench-v1 schema.
+    recorder = Telemetry()
+    sweep_s = recorder.gauge("bench.sweep_s",
+                             "seconds per window-sweep value")
+    for w, t in cold_times.items():
+        sweep_s.set(round(t, 3), phase="cold", window=w)
+    for w, t in warm_times.items():
+        sweep_s.set(round(t, 3), phase="store_backed", window=w)
+    total_s = recorder.gauge("bench.sweep_total_s",
+                             "seconds for the full 4-value sweep")
+    total_s.set(round(cold_total, 3), phase="cold")
+    total_s.set(round(warm_total, 3), phase="store_backed")
+    recorder.gauge("bench.speedup",
+                   "cold over store-backed").set(round(speedup, 2))
+    merge_bench(BENCH_PATH, "window_sweep", recorder,
+                meta={"scenario": "tunnel-400", "mode": "vision",
+                      "windows": list(WINDOWS)})
     assert speedup >= 3.0, (
         f"store-backed sweep speedup {speedup:.2f}x below the 3x target "
         f"(cold {cold_total:.2f}s vs store-backed {warm_total:.2f}s)")

@@ -22,6 +22,7 @@ Example session::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.errors import ReproError
@@ -50,6 +51,67 @@ def _add_cache_args(parser: "argparse.ArgumentParser") -> None:
              "work already in the manifest is not re-ingested, so a "
              "killed run restarts where it died (pair with "
              "--artifact-cache so completed clips replay from the store)")
+
+
+def _add_obs_args(parser: "argparse.ArgumentParser") -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL telemetry trace (one event per span/metric; "
+             "worker-process sidecars are merged on exit)")
+    parser.add_argument(
+        "--metrics-dump", default=None, metavar="PATH",
+        help="write a Prometheus text dump of every metric after the "
+             "command finishes")
+
+
+def _start_obs(args, command: str):
+    """Arm the process-wide telemetry for one CLI command.
+
+    Returns the ``(telemetry, span_cm)`` pair; the caller enters the
+    span around the command body and hands both to :func:`_finish_obs`.
+    """
+    from repro import obs
+
+    telemetry = obs.get_telemetry()
+    if args.trace:
+        telemetry.configure(trace_path=args.trace)
+    return telemetry, telemetry.span(f"cli.{command}")
+
+
+def _finish_obs(args, telemetry, *, command: str,
+                db_path: str | None = None) -> None:
+    """Flush exporters and persist the run summary once a command ends."""
+    from repro.obs.report import run_summary
+
+    telemetry.flush()
+    telemetry.merge_worker_traces()
+    summary = run_summary(telemetry)
+    if args.metrics_dump:
+        from repro.obs import write_prometheus
+
+        write_prometheus(telemetry, args.metrics_dump)
+        print(f"metrics dump written to {args.metrics_dump}")
+    if args.trace:
+        print(f"telemetry trace written to {args.trace}")
+    if db_path:
+        import time
+
+        from repro.db import VideoDatabase
+
+        run_id = (f"{command}-{time.strftime('%Y%m%dT%H%M%S')}"
+                  f"-{os.getpid()}")
+        try:
+            with VideoDatabase(db_path) as db:
+                db.record_run_metrics(
+                    run_id, command, summary,
+                    created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+                    wall_ms=summary["spans"]["total_wall_ms"])
+        except Exception as exc:  # telemetry must never mask the command
+            print(f"warning: could not record run metrics: {exc}",
+                  file=sys.stderr)
+        else:
+            print(f"run metrics recorded as {run_id!r} "
+                  f"(inspect with: repro stats --db {db_path})")
 
 
 def _cache_store(args):
@@ -93,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--clip-id", default=None,
                      help="override the stored clip id")
     _add_cache_args(sim)
+    _add_obs_args(sim)
 
     clips = sub.add_parser("clips", help="list clips in a database")
     clips.add_argument("--db", required=True)
@@ -139,6 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--chart", action="store_true",
                             help="append an ASCII chart of the curves")
     _add_cache_args(experiment)
+    _add_obs_args(experiment)
+
+    stats = sub.add_parser(
+        "stats", help="show telemetry run reports stored in a database")
+    stats.add_argument("--db", required=True)
+    stats.add_argument("run", nargs="?", default=None,
+                       help="run id to render (default: latest run)")
+    stats.add_argument("--list", action="store_true",
+                       help="only list stored runs, do not render one")
 
     report = sub.add_parser(
         "report", help="run the whole experiment suite, emit markdown")
@@ -171,6 +243,16 @@ def _ids(text: str) -> list[int]:
 
 
 def _cmd_simulate(args) -> int:
+    telemetry, span_cm = _start_obs(args, "simulate")
+    try:
+        with span_cm:
+            code = _run_simulate(args)
+    finally:
+        _finish_obs(args, telemetry, command="simulate", db_path=args.db)
+    return code
+
+
+def _run_simulate(args) -> int:
     from repro.db import VideoDatabase
     from repro.eval import build_artifacts
     from repro.sim import city_grid, curve, highway, intersection, tunnel
@@ -318,6 +400,16 @@ def _cmd_label(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    telemetry, span_cm = _start_obs(args, "experiment")
+    try:
+        with span_cm:
+            code = _run_experiment(args)
+    finally:
+        _finish_obs(args, telemetry, command="experiment")
+    return code
+
+
+def _run_experiment(args) -> int:
     from repro.errors import ConfigurationError
     from repro.eval import experiments
     from repro.eval.reporting import comparison_table
@@ -348,6 +440,36 @@ def _cmd_experiment(args) -> int:
         kwargs["store"] = store
     result = runner(**kwargs)
     print(comparison_table(result, with_chart=args.chart))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.db import VideoDatabase
+    from repro.obs import render_run_report
+
+    with VideoDatabase(args.db) as db:
+        runs = db.run_metrics(args.run)
+    if not runs:
+        if args.run:
+            print(f"error: no run {args.run!r} in {args.db}",
+                  file=sys.stderr)
+            return 1
+        print("(no recorded runs; run simulate/experiment with this db "
+              "to collect telemetry)")
+        return 0
+    if args.list or (args.run is None and len(runs) > 1):
+        print(f"{len(runs)} recorded run(s):")
+        for run in runs:
+            print(f"  {run['run_id']}: command={run['command']} "
+                  f"at={run['created_at'] or '-'} "
+                  f"wall={run['wall_ms']:.0f}ms")
+        if args.list:
+            return 0
+        print()
+    run = runs[0]
+    print(f"run {run['run_id']} ({run['command']}, "
+          f"{run['created_at'] or 'unknown time'})")
+    print(render_run_report(run["summary"]))
     return 0
 
 
@@ -399,6 +521,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "label": _cmd_label,
     "experiment": _cmd_experiment,
+    "stats": _cmd_stats,
     "report": _cmd_report,
     "delete-clip": _cmd_delete_clip,
     "export-clip": _cmd_export_clip,

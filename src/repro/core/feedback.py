@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.bags import Bag
 from repro.core.base import RetrievalEngine
 from repro.errors import ConfigurationError
+from repro.obs import get_telemetry
 from repro.sim.ground_truth import GroundTruth
 from repro.utils import as_rng, check_in_range
 
@@ -137,17 +138,31 @@ class RetrievalSession:
             raise ConfigurationError("top_k must be positive")
 
     def run_round(self) -> RoundResult:
-        """One iteration: rank, show top-k, collect labels, learn."""
-        returned = self.engine.top_k(self.top_k)
-        bags = [self.engine.dataset.bag_by_id(b) for b in returned]
-        labels = self.user.label_bags(bags)
-        result = RoundResult(
-            round_index=len(self.rounds),
-            returned_bag_ids=returned,
-            labels=labels,
-        )
-        self.rounds.append(result)
-        self.engine.feed(labels)
+        """One iteration: rank, show top-k, collect labels, learn.
+
+        Each round is a ``rf.round`` span; its wall clock — the paper's
+        user-facing latency (ranking + re-training) — also lands in the
+        ``rf.round.latency_ms`` histogram.
+        """
+        obs = get_telemetry()
+        with obs.span("rf.round", round=len(self.rounds),
+                      top_k=self.top_k) as sp:
+            returned = self.engine.top_k(self.top_k)
+            bags = [self.engine.dataset.bag_by_id(b) for b in returned]
+            labels = self.user.label_bags(bags)
+            result = RoundResult(
+                round_index=len(self.rounds),
+                returned_bag_ids=returned,
+                labels=labels,
+            )
+            self.rounds.append(result)
+            self.engine.feed(labels)
+            if sp is not None:
+                sp.set(returned=len(returned),
+                       relevant=result.n_relevant)
+        if sp is not None:
+            obs.histogram("rf.round.latency_ms").observe(sp.wall_ms)
+            obs.gauge("rf.round.ranking_size").set(len(returned))
         return result
 
     def run(self, n_rounds: int = 5) -> list[RoundResult]:

@@ -96,6 +96,13 @@ CREATE TABLE IF NOT EXISTS artifact_entries (
 );
 CREATE INDEX IF NOT EXISTS idx_artifact_clip
     ON artifact_entries (clip_id);
+CREATE TABLE IF NOT EXISTS run_metrics (
+    run_id     TEXT PRIMARY KEY,
+    command    TEXT NOT NULL DEFAULT '',
+    created_at TEXT NOT NULL DEFAULT '',
+    wall_ms    REAL NOT NULL DEFAULT 0,
+    summary    TEXT NOT NULL DEFAULT '{}'
+);
 """
 
 
@@ -390,6 +397,41 @@ class VideoDatabase:
         return [
             {"key": r[0], "clip_id": r[1], "stage": r[2],
              "fingerprint": r[3], "n_bytes": r[4]}
+            for r in self._conn.execute(sql, params)
+        ]
+
+    # ------------------------------------------------------ run metrics
+    def record_run_metrics(self, run_id: str, command: str,
+                           summary: dict, *, created_at: str = "",
+                           wall_ms: float = 0.0) -> None:
+        """Persist one run's telemetry summary (see
+        :func:`repro.obs.report.run_summary`); ``repro stats`` reads it
+        back.  Re-recording a ``run_id`` overwrites it."""
+        import json
+
+        if not run_id:
+            raise StorageError("run_id must be non-empty")
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO run_metrics VALUES (?,?,?,?,?)",
+                (run_id, command, created_at, float(wall_ms),
+                 json.dumps(summary, sort_keys=True)),
+            )
+
+    def run_metrics(self, run_id: str | None = None) -> list[dict]:
+        """Stored run summaries, newest first (all, or one by id)."""
+        import json
+
+        sql = ("SELECT run_id, command, created_at, wall_ms, summary "
+               "FROM run_metrics")
+        params: list = []
+        if run_id is not None:
+            sql += " WHERE run_id = ?"
+            params.append(run_id)
+        sql += " ORDER BY created_at DESC, run_id DESC"
+        return [
+            {"run_id": r[0], "command": r[1], "created_at": r[2],
+             "wall_ms": r[3], "summary": json.loads(r[4])}
             for r in self._conn.execute(sql, params)
         ]
 

@@ -1,0 +1,180 @@
+"""Exporters: JSONL trace files and Prometheus text dumps.
+
+Exporter matrix
+---------------
+
+==============  =====================  ====================================
+exporter        cost                   use
+==============  =====================  ====================================
+in-memory       always on              ``Telemetry.spans`` / ``.metrics``;
+                                       feeds ``repro stats`` summaries
+JSONL trace     one line per event     ``--trace PATH``; replayable,
+                                       greppable, survives crashes
+Prometheus      one dump per run       ``--metrics-dump PATH``; scrapeable
+                                       text format, node-exporter style
+==============  =====================  ====================================
+
+The JSONL writer is safe under ``ProcessPoolExecutor`` workers: it
+remembers the pid that created it, and any write from a different
+process transparently lands in a per-worker sidecar file
+(``trace.jsonl.worker-<pid>``) instead of interleaving into the parent's
+stream.  :func:`merge_worker_traces` folds the sidecars back into the
+main file after a pool joins — tolerating a torn final line from a
+killed worker, which is dropped, not fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+__all__ = ["TraceWriter", "merge_worker_traces", "prometheus_text",
+           "write_prometheus"]
+
+
+class TraceWriter:
+    """Append-only JSONL event stream, fork-aware.
+
+    Lines are flushed per event so a crash loses at most the line being
+    written; the merge step tolerates exactly that torn line.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._owner_pid = os.getpid()
+        self._fh = None
+        self._fh_pid: int | None = None
+
+    def _target(self, pid: int) -> Path:
+        if pid == self._owner_pid:
+            return self.path
+        return self.path.with_name(f"{self.path.name}.worker-{pid}")
+
+    def write(self, record: dict) -> None:
+        pid = os.getpid()
+        if self._fh is None or self._fh_pid != pid:
+            # First write in this process — or a fork inherited the
+            # parent's handle, whose shared file offset must not be
+            # touched.  Open this process's own target file instead.
+            target = self._target(pid)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(target, "a", encoding="utf-8")
+            self._fh_pid = pid
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None and self._fh_pid == os.getpid():
+            self._fh.close()
+        self._fh = None
+        self._fh_pid = None
+
+
+def merge_worker_traces(path: str | Path) -> int:
+    """Fold ``<path>.worker-*`` sidecars into ``path``; returns lines kept.
+
+    Only complete, parseable JSON lines survive — a worker killed
+    mid-write leaves a torn last line, which is silently dropped (the
+    span it described never finished anyway).  Merged sidecars are
+    removed.
+    """
+    path = Path(path)
+    merged = 0
+    sidecars = sorted(path.parent.glob(path.name + ".worker-*"))
+    if not sidecars:
+        return 0
+    with open(path, "a", encoding="utf-8") as out:
+        for sidecar in sidecars:
+            try:
+                text = sidecar.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail of a killed worker
+                out.write(line + "\n")
+                merged += 1
+            try:
+                os.unlink(sidecar)
+            except OSError:
+                pass
+    return merged
+
+
+# ---------------------------------------------------------- prometheus
+def _prom_name(name: str, kind: str) -> str:
+    base = name.replace(".", "_").replace("-", "_")
+    if kind == "counter" and not base.endswith("_total"):
+        base += "_total"
+    return base
+
+
+def _escape(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"'
+                     for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(telemetry) -> str:
+    """Render every metric family in the Prometheus text exposition
+    format.  Families with no samples yet still emit their ``# HELP`` /
+    ``# TYPE`` header, so a dump always names the full metric surface.
+    """
+    lines: list[str] = []
+    for metric in telemetry.metric_families():
+        pname = _prom_name(metric.name, metric.kind)
+        if metric.help:
+            lines.append(f"# HELP {pname} {metric.help}")
+        lines.append(f"# TYPE {pname} {metric.kind}")
+        for labels, payload in metric.series():
+            if metric.kind == "histogram":
+                running = 0
+                for bound, n in zip(metric.buckets, payload.counts):
+                    running += n
+                    lines.append(
+                        f"{pname}_bucket"
+                        f"{_prom_labels(labels, {'le': _fmt(bound)})}"
+                        f" {running}")
+                lines.append(
+                    f"{pname}_bucket{_prom_labels(labels, {'le': '+Inf'})}"
+                    f" {payload.count}")
+                lines.append(
+                    f"{pname}_sum{_prom_labels(labels)} "
+                    f"{_fmt(payload.sum)}")
+                lines.append(
+                    f"{pname}_count{_prom_labels(labels)} {payload.count}")
+            else:
+                lines.append(
+                    f"{pname}{_prom_labels(labels)} {_fmt(payload.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(telemetry, path: str | Path) -> None:
+    """Dump :func:`prometheus_text` to ``path`` (parent dirs created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(telemetry), encoding="utf-8")

@@ -1,0 +1,195 @@
+"""Typed metrics: Counter, Gauge, Histogram with bounded label sets.
+
+A metric is a named family of time series, one per distinct label set
+(``counter.inc(stage="segment")`` and ``counter.inc(stage="track")`` are
+two series of one family).  Label *values* are always coerced to
+strings, label *keys* are sorted, so a series identity is stable no
+matter the call-site keyword order.
+
+Cardinality is guarded: a family refuses to grow past
+:data:`MAX_LABEL_SETS` distinct label sets and raises
+:class:`~repro.errors.ConfigurationError` instead — an unbounded label
+(a timestamp, a key hash) is an instrumentation bug, and silently
+materialising millions of series is how telemetry takes a process down.
+
+Everything is in-process and dependency-free; exporters
+(:mod:`repro.obs.exporters`) turn the snapshot into JSONL or
+Prometheus text.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MAX_LABEL_SETS", "Metric", "Counter", "Gauge", "Histogram"]
+
+#: Hard ceiling on distinct label sets per metric family.
+MAX_LABEL_SETS = 64
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """One named metric family; subclasses define the series payload."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name:
+            raise ConfigurationError("metric name must be non-empty")
+        self.name = name
+        self.help = help
+        self._series: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    def _series_for(self, labels: dict):
+        key = _label_key(labels)
+        try:
+            return self._series[key]
+        except KeyError:
+            pass
+        with self._lock:
+            if key not in self._series:
+                if len(self._series) >= MAX_LABEL_SETS:
+                    raise ConfigurationError(
+                        f"metric {self.name!r} would exceed "
+                        f"{MAX_LABEL_SETS} label sets; unbounded labels "
+                        f"(offending set: {dict(key)!r}) are an "
+                        f"instrumentation bug")
+                self._series[key] = self._new_series()
+            return self._series[key]
+
+    def _new_series(self):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ export
+    def series(self) -> list[tuple[dict, object]]:
+        """``(labels, payload)`` per series, sorted by label set."""
+        with self._lock:
+            items = sorted(self._series.items())
+        return [(dict(key), payload) for key, payload in items]
+
+    def snapshot(self) -> dict:
+        """JSON-ready description of the whole family."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "series": [dict(labels=labels, **self._payload_dict(payload))
+                       for labels, payload in self.series()],
+        }
+
+    def _payload_dict(self, payload) -> dict:
+        return {"value": payload}
+
+
+class _Cell:
+    """Mutable float holder (a plain float can't live in a dict slot
+    and be incremented without replacing it under races)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class Counter(Metric):
+    """Monotonically increasing count (events, hits, retries)."""
+
+    kind = "counter"
+
+    def _new_series(self) -> _Cell:
+        return _Cell()
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (got {amount})")
+        self._series_for(labels).value += amount
+
+    def value(self, **labels) -> float:
+        return self._series_for(labels).value
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(cell.value for _, cell in self.series())
+
+    def _payload_dict(self, payload: _Cell) -> dict:
+        return {"value": payload.value}
+
+
+class Gauge(Metric):
+    """Point-in-time value (sizes, ratios, last-seen quantities)."""
+
+    kind = "gauge"
+
+    def _new_series(self) -> _Cell:
+        return _Cell()
+
+    def set(self, value: float, **labels) -> None:
+        self._series_for(labels).value = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        self._series_for(labels).value += amount
+
+    def value(self, **labels) -> float:
+        return self._series_for(labels).value
+
+    def _payload_dict(self, payload: _Cell) -> dict:
+        return {"value": payload.value}
+
+
+#: Default bucket bounds: latencies in ms and solver iteration counts
+#: both fit a 1..1e5 log-ish spread.
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+                   1000.0, 2500.0, 5000.0, 10000.0, 100000.0)
+
+
+class _HistSeries:
+    __slots__ = ("count", "sum", "counts")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.counts = [0] * (n_buckets + 1)  # +1 for the +Inf bucket
+
+
+class Histogram(Metric):
+    """Distribution of observations over fixed bucket upper bounds."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be sorted and unique")
+        self.buckets = bounds
+
+    def _new_series(self) -> _HistSeries:
+        return _HistSeries(len(self.buckets))
+
+    def observe(self, value: float, **labels) -> None:
+        series = self._series_for(labels)
+        value = float(value)
+        series.count += 1
+        series.sum += value
+        series.counts[bisect_left(self.buckets, value)] += 1
+
+    def _payload_dict(self, payload: _HistSeries) -> dict:
+        cumulative, running = {}, 0
+        for bound, n in zip(self.buckets, payload.counts):
+            running += n
+            cumulative[repr(bound)] = running
+        cumulative["+Inf"] = payload.count
+        mean = payload.sum / payload.count if payload.count else math.nan
+        return {"count": payload.count, "sum": payload.sum,
+                "mean": mean, "buckets": cumulative}

@@ -1,0 +1,69 @@
+"""Hierarchical spans: timed sections with parent/child nesting.
+
+A span measures one named section of work — wall time, CPU time, and
+outcome — and records which span was active when it started, giving the
+trace its tree shape.  Nesting is tracked per thread (a
+``threading.local`` stack), so concurrent threads each build their own
+branch; worker *processes* build entirely separate traces that the
+JSONL exporter merges afterwards.
+
+Spans are deliberately dumb data: the :class:`~repro.obs.Telemetry`
+registry owns the stack, the clocks, and the finished-span buffer.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["Span"]
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed section."""
+
+    name: str
+    span_id: str
+    parent_id: str | None = None
+    attrs: dict = field(default_factory=dict)
+    #: wall-clock epoch seconds at start (trace ordering across processes)
+    started_at: float = 0.0
+    wall_ms: float = 0.0
+    cpu_ms: float = 0.0
+    status: str = "ok"
+    error_type: str = ""
+    error: str = ""
+    pid: int = field(default_factory=os.getpid)
+
+    def set(self, **attrs) -> "Span":
+        """Attach extra attributes mid-flight (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_event(self) -> dict:
+        """The JSONL trace record for this span."""
+        record = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": round(self.started_at, 6),
+            "wall_ms": round(self.wall_ms, 3),
+            "cpu_ms": round(self.cpu_ms, 3),
+            "status": self.status,
+            "pid": self.pid,
+        }
+        if self.status == "error":
+            record["error_type"] = self.error_type
+            record["error"] = self.error
+        if self.attrs:
+            record["attrs"] = {k: _jsonable(v)
+                               for k, v in self.attrs.items()}
+        return record
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

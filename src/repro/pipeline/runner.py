@@ -24,6 +24,7 @@ import hashlib
 import numpy as np
 
 from repro.errors import StorageError
+from repro.obs import get_telemetry
 from repro.pipeline.artifacts import ClipArtifacts
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.stages import Stage, StageContext, build_stages
@@ -60,9 +61,12 @@ class PipelineRunner:
         self.store = resolve_store(store)
         self.stages: list[Stage] = build_stages(self.config)
         #: cumulative per-stage cache hits across runs of this runner
+        #: (the process-wide ``pipeline.stage.cache_hit{stage=}`` counter
+        #: aggregates the same events across *all* runners)
         self.cache_hits: dict[str, int] = {s.name: 0 for s in self.stages}
         #: times a resume-load failed verification and the runner fell
-        #: back to a full recompute (self-healing store in action)
+        #: back to a full recompute (self-healing store in action);
+        #: mirrored by the ``pipeline.integrity_recoveries`` counter
         self.integrity_recoveries: int = 0
 
     # ------------------------------------------------------------- keys
@@ -103,6 +107,12 @@ class PipelineRunner:
 
     def run(self, result: SimulationResult) -> ClipArtifacts:
         """Build one clip's artifacts, reusing stored stage outputs."""
+        with get_telemetry().span("pipeline.run", clip=result.name,
+                                  mode=self.config.mode):
+            return self._run(result)
+
+    def _run(self, result: SimulationResult) -> ClipArtifacts:
+        obs = get_telemetry()
         ctx = StageContext(result)
         keys = self.chain_keys(result)
         outputs: dict[str, object] = {}
@@ -133,19 +143,28 @@ class PipelineRunner:
                     value = self.store.load(keys[start - 1])
             except StorageError:
                 self.integrity_recoveries += 1
+                obs.counter("pipeline.integrity_recoveries").inc()
+                obs.event("pipeline.resume_demoted", level="warning",
+                          clip=result.name,
+                          stage=self.stages[start - 1].name)
                 start, value = 0, result
             else:
                 outputs.update(loaded)
                 for name in hits:
                     self.cache_hits[name] += 1
+                    obs.counter("pipeline.stage.cache_hit").inc(stage=name)
 
+        cache_miss = obs.counter("pipeline.stage.cache_miss")
         for i in range(start, len(self.stages)):
             stage = self.stages[i]
-            value = stage.run(ctx, value)
+            with obs.span("pipeline.stage", stage=stage.name,
+                          clip=result.name):
+                value = stage.run(ctx, value)
             stage_runs[stage.name] += 1
             if stage.provides is not None:
                 outputs[stage.provides] = value
             if self.store is not None and stage.cacheable:
+                cache_miss.inc(stage=stage.name)
                 self.store.save(keys[i], value, meta={
                     "clip_id": result.name,
                     "stage": stage.name,

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import IntegrityError, StorageError
+from repro.obs import get_telemetry
 
 __all__ = [
     "ArtifactStore",
@@ -171,6 +172,12 @@ class DiskArtifactStore(ArtifactStore):
             (json.dumps(record, sort_keys=True) + "\n").encode("utf-8"),
         )
         self.quarantined.append({"key": key, "problem": problem})
+        # A quarantine used to be silent unless verify() ran; surface it
+        # the moment it happens so operators see corruption as it lands.
+        obs = get_telemetry()
+        obs.counter("store.quarantined").inc(reason=problem)
+        obs.event("store.quarantined", level="warning", key=key,
+                  reason=problem, store=str(self.root))
 
     def _check(self, key: str, *, deep: bool) -> str | None:
         """Health-check one entry; returns the problem name, or None.

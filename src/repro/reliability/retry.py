@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import ConfigurationError, RetryableError
+from repro.obs import get_telemetry
 
 __all__ = ["RetryPolicy"]
 
@@ -32,6 +34,12 @@ class RetryPolicy:
     factor in ``[1, 1 + jitter]`` derived from ``(seed, key, n)``.
     Only exceptions matching ``retry_on`` are retried; anything else is
     treated as deterministic and fails immediately.
+
+    ``clock`` is the monotonic time source the policy measures its own
+    backoff with (telemetry: ``reliability.retry.backoff_ms``); inject a
+    fake alongside ``sleep`` to test schedules without real waiting.  It
+    is excluded from equality/hashing — two policies with the same
+    schedule are the same policy.
     """
 
     max_attempts: int = 3
@@ -41,6 +49,8 @@ class RetryPolicy:
     jitter: float = 0.5
     seed: int = 0
     retry_on: tuple[type[BaseException], ...] = (RetryableError, OSError)
+    clock: Callable[[], float] = field(default=time.monotonic,
+                                       repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -83,12 +93,27 @@ class RetryPolicy:
 
         Retries transient failures (per :meth:`is_retryable`) with the
         deterministic backoff schedule, re-raising the last error once
-        attempts are exhausted.  ``sleep`` is injectable for tests.
+        attempts are exhausted.  ``sleep`` is injectable for tests; the
+        actual time slept is measured with :attr:`clock` and recorded as
+        ``reliability.retry.backoff_ms`` (with each scheduled retry
+        counted under ``reliability.task.retries{reason=}``).
         """
-        for attempt in range(1, self.max_attempts + 1):
-            try:
-                return fn(*args, **kwargs)
-            except BaseException as exc:
-                if attempt >= self.max_attempts or not self.is_retryable(exc):
-                    raise
-                sleep(self.delay(attempt, key=key))
+        obs = get_telemetry()
+        waited = 0.0
+        try:
+            for attempt in range(1, self.max_attempts + 1):
+                try:
+                    return fn(*args, **kwargs)
+                except BaseException as exc:
+                    if (attempt >= self.max_attempts
+                            or not self.is_retryable(exc)):
+                        raise
+                    obs.counter("reliability.task.retries").inc(
+                        reason=type(exc).__name__)
+                    before = self.clock()
+                    sleep(self.delay(attempt, key=key))
+                    waited += self.clock() - before
+        finally:
+            if waited:
+                obs.histogram("reliability.retry.backoff_ms").observe(
+                    waited * 1000.0)

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError, TaskTimeoutError
+from repro.obs import get_telemetry
 from repro.reliability.retry import RetryPolicy
 
 __all__ = ["TaskFailure", "BatchResult", "run_tasks"]
@@ -154,35 +155,50 @@ def run_tasks(
 
         max_workers = min(n, os.cpu_count() or 1)
     workers = min(max_workers, n)
+    obs = get_telemetry()
 
-    incomplete = set(range(n))
-    if workers <= 1:
-        _run_serial(fn, tasks, sorted(incomplete), retry, batch, on_result)
-        incomplete.clear()
-
-    while incomplete:
-        try:
-            pool = ProcessPoolExecutor(max_workers=workers)
-        except _POOL_UNAVAILABLE as exc:
-            warnings.warn(
-                f"process pool unavailable ({exc!r}); running "
-                f"{len(incomplete)} task(s) serially",
-                RuntimeWarning, stacklevel=2)
+    with obs.span("reliability.batch", tasks=n, workers=workers) as sp:
+        incomplete = set(range(n))
+        if workers <= 1:
             _run_serial(fn, tasks, sorted(incomplete), retry, batch,
                         on_result)
             incomplete.clear()
-            break
-        broken = _drain_pool(fn, tasks, incomplete, pool, retry,
-                             task_timeout, batch, on_result)
-        if broken is not None:
-            batch.pool_restarts += 1
-            if batch.pool_restarts > max_pool_restarts:
-                for idx in sorted(incomplete):
-                    failures.append(TaskFailure.from_exception(
-                        idx, tasks[idx], broken, attempts[idx]))
-                incomplete.clear()
 
-    failures.sort(key=lambda f: f.index)
+        while incomplete:
+            try:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            except _POOL_UNAVAILABLE as exc:
+                warnings.warn(
+                    f"process pool unavailable ({exc!r}); running "
+                    f"{len(incomplete)} task(s) serially",
+                    RuntimeWarning, stacklevel=2)
+                _run_serial(fn, tasks, sorted(incomplete), retry, batch,
+                            on_result)
+                incomplete.clear()
+                break
+            broken = _drain_pool(fn, tasks, incomplete, pool, retry,
+                                 task_timeout, batch, on_result)
+            if broken is not None:
+                batch.pool_restarts += 1
+                obs.counter("reliability.pool.restarts").inc()
+                obs.event("reliability.pool_broken", level="warning",
+                          restart=batch.pool_restarts,
+                          incomplete=len(incomplete))
+                if batch.pool_restarts > max_pool_restarts:
+                    for idx in sorted(incomplete):
+                        failures.append(TaskFailure.from_exception(
+                            idx, tasks[idx], broken, attempts[idx]))
+                        obs.counter("reliability.task.failures").inc(
+                            reason=type(broken).__name__)
+                    incomplete.clear()
+
+        failures.sort(key=lambda f: f.index)
+        if sp is not None:
+            sp.set(failed=len(failures),
+                   pool_restarts=batch.pool_restarts)
+    # Workers traced into per-pid sidecar files; fold them in now that
+    # the pool has joined (no-op without a trace writer).
+    obs.merge_worker_traces()
     if strict:
         batch.raise_if_failed()
     return batch
@@ -235,11 +251,17 @@ def _drain_pool(fn, tasks, incomplete, pool, retry, task_timeout, batch,
                         broken = exc
                     elif (retry is not None and retry.is_retryable(exc)
                           and attempts[idx] < retry.max_attempts):
+                        get_telemetry().counter(
+                            "reliability.task.retries").inc(
+                                reason=type(exc).__name__)
                         time.sleep(retry.delay(attempts[idx], key=str(idx)))
                         submit(idx)
                     else:
                         failures.append(TaskFailure.from_exception(
                             idx, tasks[idx], exc, attempts[idx]))
+                        get_telemetry().counter(
+                            "reliability.task.failures").inc(
+                                reason=type(exc).__name__)
                         incomplete.discard(idx)
                 if broken is not None:
                     break
@@ -254,6 +276,8 @@ def _drain_pool(fn, tasks, incomplete, pool, retry, task_timeout, batch,
                         f"wall-clock budget")
                     failures.append(TaskFailure.from_exception(
                         idx, tasks[idx], exc, attempts[idx]))
+                    get_telemetry().counter(
+                        "reliability.task.timeouts").inc()
                     incomplete.discard(idx)
         except BrokenExecutor as exc:  # raised by submit() on a dead pool
             broken = exc
@@ -279,10 +303,15 @@ def _run_serial(fn, tasks, indices, retry, batch, on_result) -> None:
             except Exception as exc:
                 if (retry is not None and retry.is_retryable(exc)
                         and attempts[idx] < retry.max_attempts):
+                    get_telemetry().counter(
+                        "reliability.task.retries").inc(
+                            reason=type(exc).__name__)
                     time.sleep(retry.delay(attempts[idx], key=str(idx)))
                     continue
                 failures.append(TaskFailure.from_exception(
                     idx, tasks[idx], exc, attempts[idx]))
+                get_telemetry().counter("reliability.task.failures").inc(
+                    reason=type(exc).__name__)
                 break
             else:
                 results[idx] = value

@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import get_telemetry
 from repro.svm.kernels import DEFAULT_BLOCK_ROWS, Kernel, RBFKernel
 from repro.utils import check_2d, row_sq_norms
 
@@ -114,8 +115,14 @@ class GramCache:
             fresh = self._kernel_columns(kernel, rows[missing])
             for j, k in enumerate(missing):
                 self._cols[ids[k]] = np.ascontiguousarray(fresh[:, j])
+        reused = len(ids) - len(missing)
         self.misses += len(missing)
-        self.hits += len(ids) - len(missing)
+        self.hits += reused
+        obs = get_telemetry()
+        if missing:
+            obs.counter("svm.gram.columns_computed").inc(len(missing))
+        if reused:
+            obs.counter("svm.gram.columns_reused").inc(reused)
         return len(missing)
 
     def gram(self, ids: list[int], rows: np.ndarray) -> np.ndarray:

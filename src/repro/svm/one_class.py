@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
+from repro.obs import get_telemetry
 from repro.svm.kernels import Kernel, resolve_kernel
 from repro.svm.smo import solve_one_class_smo
 from repro.utils import check_2d, check_in_range
@@ -100,6 +101,7 @@ class OneClassSVM:
         kernel = resolve_kernel(self._kernel_spec, gamma=self._gamma,
                                 degree=self._degree, coef0=self._coef0)
         kernel = kernel.prepare(x)
+        precomputed = gram is not None
         if gram is None:
             gram = kernel.compute(x, x)
         elif np.asarray(gram).shape != (x.shape[0], x.shape[0]):
@@ -107,8 +109,14 @@ class OneClassSVM:
                 f"precomputed gram has shape {np.asarray(gram).shape}, "
                 f"expected ({x.shape[0]}, {x.shape[0]})"
             )
-        result = solve_one_class_smo(gram, self.nu, tol=self.tol,
-                                     max_iter=self.max_iter, alpha0=alpha0)
+        obs = get_telemetry()
+        with obs.span("svm.fit", learner="ocsvm", n=x.shape[0],
+                      precomputed_gram=precomputed):
+            result = solve_one_class_smo(gram, self.nu, tol=self.tol,
+                                         max_iter=self.max_iter,
+                                         alpha0=alpha0)
+        obs.histogram("svm.solver.iterations").observe(
+            result.n_iter, learner="ocsvm")
         mask = result.support_mask
         self.kernel_ = kernel
         self.alpha_ = result.alpha

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
+from repro.obs import get_telemetry
 from repro.svm.kernels import Kernel, resolve_kernel
 from repro.svm.smo import _BOUND_EPS, solve_one_class_smo
 from repro.utils import check_2d, check_in_range
@@ -83,6 +84,7 @@ class SVDD:
         kernel = resolve_kernel(self._kernel_spec, gamma=self._gamma,
                                 degree=self._degree, coef0=self._coef0)
         kernel = kernel.prepare(x)
+        precomputed = gram is not None
         if gram is None:
             gram = kernel.compute(x, x)
         elif np.asarray(gram).shape != (x.shape[0], x.shape[0]):
@@ -91,10 +93,15 @@ class SVDD:
                 f"expected ({x.shape[0]}, {x.shape[0]})"
             )
         diag = np.diag(gram).copy()
-        result = solve_one_class_smo(
-            2.0 * gram, self.nu, linear=-diag,
-            tol=self.tol, max_iter=self.max_iter,
-        )
+        obs = get_telemetry()
+        with obs.span("svm.fit", learner="svdd", n=x.shape[0],
+                      precomputed_gram=precomputed):
+            result = solve_one_class_smo(
+                2.0 * gram, self.nu, linear=-diag,
+                tol=self.tol, max_iter=self.max_iter,
+            )
+        obs.histogram("svm.solver.iterations").observe(
+            result.n_iter, learner="svdd")
         alpha = result.alpha
         # ||a||^2 = alpha^T K alpha; R^2 from the KKT offset:
         # at a free SV, G_k = 2(K alpha)_k - K_kk = ||a||^2 - R^2.

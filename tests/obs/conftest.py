@@ -1,0 +1,22 @@
+"""Telemetry isolation: each test gets its own process-wide registry.
+
+The instrumented code paths record into ``repro.obs.get_telemetry()``;
+without this fixture one test's spans and counter values would leak
+into the next (and into the CLI smoke tests, which run whole commands
+in-process).
+"""
+
+import pytest
+
+from repro.obs import Telemetry, set_telemetry
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    """Swap in a fresh registry for the test, restore the old one after."""
+    telemetry = Telemetry()
+    previous = set_telemetry(telemetry)
+    yield telemetry
+    restored = set_telemetry(previous)
+    if restored.writer is not None:
+        restored.writer.close()

@@ -1,0 +1,113 @@
+"""End-to-end CLI telemetry: simulate --trace / --metrics-dump / stats.
+
+These run full commands in-process (like tests/test_cli.py) and assert
+the acceptance surface of the observability layer: the JSONL trace has
+nested stage spans, the Prometheus dump names the core metrics, and the
+run summary round-trips through the ``run_metrics`` table into
+``repro stats``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.db import VideoDatabase
+from repro.errors import StorageError
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    return str(tmp_path / "videos.db")
+
+
+def _simulate(db_path, *extra):
+    return main(["simulate", "--scenario", "tunnel", "--frames", "600",
+                 "--seed", "3", "--db", db_path, "--mode", "oracle",
+                 *extra])
+
+
+class TestTraceFlag:
+    def test_trace_contains_nested_stage_spans(self, db_path, tmp_path):
+        trace = tmp_path / "out.jsonl"
+        assert _simulate(db_path, "--trace", str(trace)) == 0
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        spans = {r["span_id"]: r for r in records
+                 if r["type"] == "span"}
+        stages = [r for r in spans.values()
+                  if r["name"] == "pipeline.stage"]
+        assert stages, "expected pipeline.stage spans in the trace"
+        for stage in stages:
+            parent = spans[stage["parent_id"]]
+            assert parent["name"] == "pipeline.run"
+            assert "stage" in stage["attrs"]
+        # The pipeline.run span itself sits under the CLI command span.
+        run = spans[stages[0]["parent_id"]]
+        assert spans[run["parent_id"]]["name"] == "cli.simulate"
+        assert not list(tmp_path.glob("*.worker-*"))
+
+    def test_metrics_dump_names_core_surface(self, db_path, tmp_path):
+        prom = tmp_path / "out.prom"
+        assert _simulate(db_path, "--metrics-dump", str(prom)) == 0
+        text = prom.read_text()
+        assert "pipeline_stage_cache_hit_total" in text
+        assert "rf_round_latency_ms" in text
+        assert "reliability_task_retries_total" in text
+
+
+class TestRunMetricsPersistence:
+    def test_summary_lands_in_run_metrics_table(self, db_path, capsys):
+        assert _simulate(db_path) == 0
+        assert "run metrics recorded" in capsys.readouterr().out
+        with VideoDatabase(db_path) as db:
+            (run,) = db.run_metrics()
+        assert run["command"] == "simulate"
+        assert run["run_id"].startswith("simulate-")
+        assert run["summary"]["schema"] == "repro-run-summary-v1"
+        names = [s["name"] for s in run["summary"]["spans"]["slowest"]]
+        assert "cli.simulate" in names
+
+    def test_record_requires_run_id(self, db_path):
+        with VideoDatabase(db_path) as db:
+            with pytest.raises(StorageError):
+                db.record_run_metrics("", "simulate", {})
+
+
+class TestStatsCommand:
+    def test_stats_renders_latest_report(self, db_path, capsys):
+        _simulate(db_path)
+        capsys.readouterr()
+        assert main(["stats", "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "== run report ==" in out
+        assert "-- slowest spans --" in out
+        assert "pipeline.run" in out
+
+    def test_stats_by_run_id(self, db_path, capsys):
+        _simulate(db_path)
+        with VideoDatabase(db_path) as db:
+            (run,) = db.run_metrics()
+        capsys.readouterr()
+        assert main(["stats", "--db", db_path, run["run_id"]]) == 0
+        assert run["run_id"] in capsys.readouterr().out
+
+    def test_stats_list(self, db_path, capsys):
+        _simulate(db_path)
+        capsys.readouterr()
+        assert main(["stats", "--db", db_path, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded run(s):" in out
+        assert "command=simulate" in out
+
+    def test_stats_unknown_run_errors(self, db_path, capsys):
+        _simulate(db_path)
+        capsys.readouterr()
+        assert main(["stats", "--db", db_path, "no-such-run"]) == 1
+        assert "no run" in capsys.readouterr().err
+
+    def test_stats_empty_db_is_graceful(self, db_path, capsys):
+        with VideoDatabase(db_path):
+            pass
+        assert main(["stats", "--db", db_path]) == 0
+        assert "no recorded runs" in capsys.readouterr().out

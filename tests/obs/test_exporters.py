@@ -1,0 +1,122 @@
+"""Exporters: fork-aware JSONL traces, sidecar merging, Prometheus text."""
+
+import json
+import os
+
+from repro.obs import (
+    Telemetry,
+    TraceWriter,
+    merge_worker_traces,
+    prometheus_text,
+    write_prometheus,
+)
+
+
+def _lines(path):
+    return [json.loads(line)
+            for line in path.read_text().splitlines() if line]
+
+
+class TestTraceWriter:
+    def test_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        w = TraceWriter(path)
+        w.write({"type": "event", "name": "a"})
+        w.write({"type": "event", "name": "b"})
+        w.close()
+        assert [r["name"] for r in _lines(path)] == ["a", "b"]
+
+    def test_spans_streamed_through_registry(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        t = Telemetry().configure(trace_path=path)
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        records = _lines(path)
+        by_name = {r["name"]: r for r in records}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+        t.writer.close()
+
+    def test_foreign_pid_writes_to_sidecar(self, tmp_path):
+        # Simulate a forked worker without forking: pretend the writer
+        # was created by another process, so this pid is "a worker".
+        path = tmp_path / "trace.jsonl"
+        w = TraceWriter(path)
+        w._owner_pid = os.getpid() + 1
+        w.write({"type": "span", "name": "from-worker"})
+        sidecar = tmp_path / f"trace.jsonl.worker-{os.getpid()}"
+        assert sidecar.exists()
+        assert not path.exists()
+        w.close()
+
+
+class TestMergeWorkerTraces:
+    def test_merges_sidecars_and_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps({"name": "parent"}) + "\n")
+        # A healthy worker file and one killed mid-write: its last line
+        # is torn JSON and must be dropped, not fatal.
+        (tmp_path / "trace.jsonl.worker-111").write_text(
+            json.dumps({"name": "w1-a"}) + "\n"
+            + json.dumps({"name": "w1-b"}) + "\n")
+        (tmp_path / "trace.jsonl.worker-222").write_text(
+            json.dumps({"name": "w2-a"}) + "\n"
+            + '{"name": "w2-torn", "wall_m')
+        assert merge_worker_traces(path) == 3
+        names = [r["name"] for r in _lines(path)]
+        assert names == ["parent", "w1-a", "w1-b", "w2-a"]
+        assert not list(tmp_path.glob("*.worker-*"))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        (tmp_path / "trace.jsonl.worker-5").write_text(
+            "\n" + json.dumps({"name": "x"}) + "\n\n")
+        assert merge_worker_traces(path) == 1
+
+    def test_no_sidecars_is_a_noop(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("not touched")
+        assert merge_worker_traces(path) == 0
+        assert path.read_text() == "not touched"
+
+
+class TestPrometheus:
+    def test_counter_gets_total_suffix_and_labels(self, fresh_telemetry):
+        t = fresh_telemetry
+        t.counter("pipeline.stage.cache_hit").inc(stage="segment")
+        text = prometheus_text(t)
+        assert ('pipeline_stage_cache_hit_total{stage="segment"} 1'
+                in text)
+        assert "# TYPE pipeline_stage_cache_hit_total counter" in text
+
+    def test_empty_families_still_emit_headers(self, fresh_telemetry):
+        # Acceptance: a dump from a run with no RF rounds still names
+        # the full metric surface.
+        text = prometheus_text(fresh_telemetry)
+        assert "# TYPE rf_round_latency_ms histogram" in text
+        assert "# TYPE pipeline_stage_cache_hit_total counter" in text
+
+    def test_histogram_exposition(self, fresh_telemetry):
+        t = fresh_telemetry
+        h = t.histogram("rf.round.latency_ms")
+        h.observe(3.0)
+        h.observe(40.0)
+        text = prometheus_text(t)
+        assert 'rf_round_latency_ms_bucket{le="5"} 1' in text
+        assert 'rf_round_latency_ms_bucket{le="+Inf"} 2' in text
+        assert "rf_round_latency_ms_sum 43" in text
+        assert "rf_round_latency_ms_count 2" in text
+
+    def test_label_values_escaped(self, fresh_telemetry):
+        t = fresh_telemetry
+        t.counter("weird").inc(path='C:\\tmp\\"x"')
+        text = prometheus_text(t)
+        assert 'path="C:\\\\tmp\\\\\\"x\\""' in text
+
+    def test_write_prometheus_creates_parents(self, fresh_telemetry,
+                                              tmp_path):
+        out = tmp_path / "deep" / "dir" / "metrics.prom"
+        write_prometheus(fresh_telemetry, out)
+        assert out.read_text().startswith("# HELP")

@@ -1,0 +1,114 @@
+"""Typed metrics: label-set identity, cardinality guard, histograms."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MAX_LABEL_SETS, Counter, Gauge, Histogram, Telemetry
+
+
+class TestCounter:
+    def test_label_sets_are_independent_series(self):
+        c = Counter("pipeline.stage.cache_hit")
+        c.inc(stage="segment")
+        c.inc(stage="segment")
+        c.inc(stage="track")
+        assert c.value(stage="segment") == 2
+        assert c.value(stage="track") == 1
+        assert c.total() == 3
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("x")
+        c.inc(a="1", b="2")
+        c.inc(b="2", a="1")
+        assert c.value(a="1", b="2") == 2
+        assert len(c.series()) == 1
+
+    def test_counter_rejects_decrease(self):
+        c = Counter("x")
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_values_coerced_to_strings(self):
+        c = Counter("x")
+        c.inc(round=1)
+        assert c.value(round="1") == 1
+
+
+class TestCardinalityGuard:
+    def test_64_label_sets_allowed_65th_rejected(self):
+        c = Counter("runaway")
+        for i in range(MAX_LABEL_SETS):
+            c.inc(key=str(i))
+        with pytest.raises(ConfigurationError,
+                           match="would exceed 64 label sets"):
+            c.inc(key="one-too-many")
+        # Existing series still usable after the rejection.
+        c.inc(key="0")
+        assert c.value(key="0") == 2
+
+    def test_guard_applies_per_family(self):
+        g = Gauge("a")
+        h = Histogram("b")
+        for i in range(MAX_LABEL_SETS):
+            g.set(i, key=str(i))
+        with pytest.raises(ConfigurationError):
+            g.set(0, key="overflow")
+        h.observe(1.0, key="still-fine")  # other family unaffected
+
+
+class TestGaugeAndHistogram:
+    def test_gauge_set_and_inc(self):
+        g = Gauge("rf.round.ranking_size")
+        g.set(20)
+        assert g.value() == 20
+        g.inc(5)
+        assert g.value() == 25
+
+    def test_histogram_buckets_cumulative(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0):
+            h.observe(v)
+        snap = h.snapshot()["series"][0]
+        assert snap["count"] == 3
+        assert snap["sum"] == 555.0
+        assert snap["mean"] == pytest.approx(185.0)
+        assert snap["buckets"] == {"10.0": 1, "100.0": 2, "+Inf": 3}
+
+    def test_histogram_boundary_lands_in_its_bucket(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        h.observe(10.0)
+        snap = h.snapshot()["series"][0]
+        assert snap["buckets"]["10.0"] == 1
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ConfigurationError, match="sorted"):
+            Histogram("bad", buckets=(5.0, 1.0))
+
+
+class TestRegistryLookup:
+    def test_same_name_returns_same_family(self, fresh_telemetry):
+        t = fresh_telemetry
+        t.counter("my.counter").inc()
+        t.counter("my.counter").inc()
+        assert t.counter("my.counter").total() == 2
+
+    def test_kind_mismatch_rejected(self, fresh_telemetry):
+        t = fresh_telemetry
+        t.counter("dual.use").inc()
+        with pytest.raises(ConfigurationError, match="already registered"):
+            t.gauge("dual.use")
+
+    def test_disabled_registry_returns_inert_instruments(self):
+        t = Telemetry(enabled=False)
+        t.counter("x").inc()
+        t.gauge("y").set(3)
+        t.histogram("z").observe(1.0)
+        assert t.counter("x").value() == 0.0
+        # Nothing beyond the pre-declared surface was materialised.
+        assert all(not m.series() for m in t.metric_families())
+
+    def test_default_surface_predeclared(self, fresh_telemetry):
+        names = {m.name for m in fresh_telemetry.metric_families()}
+        assert "pipeline.stage.cache_hit" in names
+        assert "rf.round.latency_ms" in names
+        assert "reliability.task.retries" in names

@@ -1,0 +1,125 @@
+"""Run summaries, the rendered stats report, and the bench schema."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BENCH_SCHEMA,
+    SUMMARY_SCHEMA,
+    Telemetry,
+    flatten_metrics,
+    merge_bench,
+    render_run_report,
+    run_summary,
+)
+
+
+def _busy_registry():
+    t = Telemetry()
+    with t.span("cli.simulate"):
+        with t.span("pipeline.stage", stage="segment"):
+            pass
+    t.counter("pipeline.stage.cache_hit").inc(3, stage="segment")
+    t.counter("pipeline.stage.cache_miss").inc(1, stage="segment")
+    t.counter("svm.gram.columns_reused").inc(90)
+    t.counter("svm.gram.columns_computed").inc(10)
+    t.counter("store.quarantined").inc(reason="size-mismatch")
+    t.counter("reliability.task.retries").inc(2, reason="RetryableError")
+    t.histogram("rf.round.latency_ms").observe(12.0)
+    t.histogram("rf.round.latency_ms").observe(18.0)
+    t.event("store.quarantined", level="warning", key="blob-1",
+            reason="size-mismatch")
+    return t
+
+
+class TestRunSummary:
+    def test_schema_and_span_accounting(self):
+        t = _busy_registry()
+        summary = run_summary(t)
+        assert summary["schema"] == SUMMARY_SCHEMA
+        assert summary["spans"]["count"] == 2
+        assert summary["spans"]["dropped"] == 0
+        # Only the parentless span contributes to top-level wall time.
+        names = [s["name"] for s in summary["spans"]["slowest"]]
+        assert "cli.simulate" in names
+
+    def test_only_sampled_families_serialized(self):
+        summary = run_summary(_busy_registry())
+        names = {m["name"] for m in summary["metrics"]}
+        assert "pipeline.stage.cache_hit" in names
+        assert "reliability.pool.restarts" not in names  # no samples
+
+    def test_error_spans_and_warnings_captured(self):
+        t = Telemetry()
+        with pytest.raises(ValueError):
+            with t.span("pipeline.stage", stage="track"):
+                raise ValueError("bad frame")
+        t.event("store.quarantined", level="warning", reason="checksum")
+        t.event("just.info", level="info")
+        summary = run_summary(t)
+        assert summary["spans"]["errors"][0]["error_type"] == "ValueError"
+        assert [w["name"] for w in summary["warnings"]] \
+            == ["store.quarantined"]
+
+    def test_summary_survives_json_round_trip(self):
+        summary = run_summary(_busy_registry())
+        assert json.loads(json.dumps(summary)) == summary
+
+
+class TestRenderRunReport:
+    def test_report_sections_present(self):
+        report = render_run_report(run_summary(_busy_registry()))
+        assert "== run report ==" in report
+        assert "-- slowest spans --" in report
+        assert "-- cache economics --" in report
+        assert "-- failure taxonomy --" in report
+        assert "-- relevance feedback --" in report
+
+    def test_cache_ratios_rendered(self):
+        report = render_run_report(run_summary(_busy_registry()))
+        assert "stage segment hits" in report
+        assert "75.0%" in report       # 3 hits / 4 total
+        assert "gram columns reused" in report
+        assert "90.0%" in report       # 90 reused / 100 total
+
+    def test_failures_and_quarantines_rendered(self):
+        report = render_run_report(run_summary(_busy_registry()))
+        assert "retries[RetryableError]: 2" in report
+        assert "quarantined[size-mismatch]" in report
+        assert "warning store.quarantined" in report
+
+    def test_rf_rounds_rendered(self):
+        report = render_run_report(run_summary(_busy_registry()))
+        assert "rounds: 2, mean latency 15.0 ms" in report
+
+    def test_clean_run_says_so(self):
+        report = render_run_report(run_summary(Telemetry()))
+        assert "clean run" in report
+        assert "no artifact-store traffic" in report
+
+
+class TestBenchSchema:
+    def test_flatten_names_series_and_histograms(self):
+        flat = flatten_metrics(_busy_registry())
+        assert flat["pipeline.stage.cache_hit{stage=segment}"] == 3
+        assert flat["rf.round.latency_ms.count"] == 2
+        assert flat["rf.round.latency_ms.sum"] == 30.0
+        assert flat["rf.round.latency_ms.mean"] == 15.0
+
+    def test_merge_bench_preserves_other_sections(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({"older": {"schema": "x"}}))
+        doc = merge_bench(path, "obs", _busy_registry(),
+                          meta={"windows": [2, 3]})
+        assert doc["older"] == {"schema": "x"}
+        assert doc["obs"]["schema"] == BENCH_SCHEMA
+        assert doc["obs"]["meta"] == {"windows": [2, 3]}
+        on_disk = json.loads(path.read_text())
+        assert on_disk == doc
+
+    def test_merge_bench_recovers_corrupt_file(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("{truncated")
+        doc = merge_bench(path, "obs", Telemetry())
+        assert set(doc) == {"obs"}

@@ -1,0 +1,129 @@
+"""Span semantics: nesting, timing, exception propagation, bounds."""
+
+import threading
+
+import pytest
+
+from repro.obs import Telemetry
+
+
+def _fake_clocks():
+    """Deterministic wall/cpu clocks advancing 10ms / 4ms per read pair."""
+    state = {"wall": 0.0, "cpu": 0.0}
+
+    def wall():
+        state["wall"] += 0.010
+        return state["wall"]
+
+    def cpu():
+        state["cpu"] += 0.004
+        return state["cpu"]
+
+    return wall, cpu
+
+
+class TestNesting:
+    def test_children_record_their_parent(self, fresh_telemetry):
+        t = fresh_telemetry
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with t.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_finish_order_is_children_first(self, fresh_telemetry):
+        t = fresh_telemetry
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        assert [s.name for s in t.spans] == ["inner", "outer"]
+
+    def test_stack_unwinds_after_exit(self, fresh_telemetry):
+        t = fresh_telemetry
+        with t.span("a"):
+            pass
+        with t.span("b") as b:
+            assert b.parent_id is None
+
+    def test_threads_build_independent_branches(self, fresh_telemetry):
+        t = fresh_telemetry
+        seen = {}
+
+        def worker():
+            with t.span("thread-root") as sp:
+                seen["parent"] = sp.parent_id
+
+        with t.span("main-root"):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        # The other thread's stack is its own: no cross-thread parent.
+        assert seen["parent"] is None
+
+    def test_attrs_settable_mid_flight(self, fresh_telemetry):
+        with fresh_telemetry.span("work", stage="segment") as sp:
+            sp.set(items=7)
+        assert sp.attrs == {"stage": "segment", "items": 7}
+
+
+class TestTimingAndErrors:
+    def test_wall_and_cpu_measured_with_injected_clocks(self):
+        wall, cpu = _fake_clocks()
+        t = Telemetry(wall_clock=wall, cpu_clock=cpu)
+        with t.span("timed") as sp:
+            pass
+        assert sp.wall_ms == pytest.approx(10.0)
+        assert sp.cpu_ms == pytest.approx(4.0)
+
+    def test_exception_marks_error_and_propagates(self, fresh_telemetry):
+        t = fresh_telemetry
+        with pytest.raises(ValueError, match="boom"):
+            with t.span("failing"):
+                raise ValueError("boom")
+        sp = t.spans[-1]
+        assert sp.status == "error"
+        assert sp.error_type == "ValueError"
+        assert sp.error == "boom"
+        ev = sp.to_event()
+        assert ev["error_type"] == "ValueError"
+
+    def test_exception_in_child_leaves_parent_ok(self, fresh_telemetry):
+        t = fresh_telemetry
+        with t.span("outer") as outer:
+            with pytest.raises(RuntimeError):
+                with t.span("inner"):
+                    raise RuntimeError("inner only")
+        assert outer.status == "ok"
+        assert t.spans[0].status == "error"
+
+    def test_error_still_pops_stack(self, fresh_telemetry):
+        t = fresh_telemetry
+        with pytest.raises(RuntimeError):
+            with t.span("failing"):
+                raise RuntimeError
+        with t.span("after") as sp:
+            assert sp.parent_id is None
+
+
+class TestDisabledAndBounds:
+    def test_disabled_span_yields_none(self):
+        t = Telemetry(enabled=False)
+        with t.span("anything") as sp:
+            assert sp is None
+        assert t.spans == []
+
+    def test_disabled_still_propagates_exceptions(self):
+        t = Telemetry(enabled=False)
+        with pytest.raises(KeyError):
+            with t.span("anything"):
+                raise KeyError("x")
+
+    def test_span_buffer_is_bounded(self):
+        t = Telemetry(max_spans=5)
+        for i in range(8):
+            with t.span(f"s{i}"):
+                pass
+        assert len(t.spans) == 5
+        assert t.spans_dropped == 3
+        assert [s.name for s in t.spans] == [f"s{i}" for i in range(3, 8)]

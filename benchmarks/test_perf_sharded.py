@@ -1,0 +1,231 @@
+"""Sharded retrieval benchmark: pruned two-stage ranking vs monolith.
+
+Protocol: a synthetic multi-clip corpus (8 clips, spiked "incident"
+bags) runs the oracle feedback loop on both paths — the monolithic
+merged-dataset :class:`MILRetrievalEngine` and the
+:class:`ShardedRetrievalEngine` with ``candidates_per_shard=64`` — with
+identical labels each round.  Measured per round: the ``top_k(20)``
+wall time a query session would pay.  Claims checked:
+
+* warm rounds (2-5, model trained) are >= 2x faster pruned;
+* pruning loses no top-20 recall at round 5;
+* round latency grows sublinearly in corpus size (fixed shard count,
+  growing shards): the candidate stage scores ``shards x M`` bags no
+  matter how large the shards get, and ``top_k`` never materializes
+  the pruned tail.
+
+Numbers land in ``BENCH_sharded.json`` (``repro-bench-v1`` schema).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import MILRetrievalEngine, merge_datasets
+from repro.core.bags import Bag, Instance, MILDataset
+from repro.core.sharded import ShardSpec, ShardedCorpus, ShardedRetrievalEngine
+from repro.obs import Telemetry, merge_bench, set_telemetry
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+
+N_CLIPS = 8
+BAGS_PER_CLIP = 1440
+INSTANCES_PER_BAG = 4
+WINDOW, FEATURES = 6, 4
+SPIKE_EVERY = 12          # one "incident" bag per 12 windows
+CANDIDATES_PER_SHARD = 64
+ROUNDS = 5
+TOP_K = 20
+LABELS_PER_ROUND = 20
+REPEATS = 3               # best-of, per timed round
+SPEEDUP_FLOOR = 2.0
+
+
+def _clip(clip_id: str, n_bags: int, seed: int) -> MILDataset:
+    rng = np.random.default_rng(seed)
+    bags, iid = [], 0
+    for b in range(n_bags):
+        instances = []
+        for _ in range(INSTANCES_PER_BAG):
+            matrix = rng.normal(scale=0.3, size=(WINDOW, FEATURES))
+            if b % SPIKE_EVERY == 0:
+                matrix[WINDOW // 2] += 4.0
+            instances.append(Instance(instance_id=iid, bag_id=b,
+                                      track_id=iid, matrix=matrix))
+            iid += 1
+        bags.append(Bag(bag_id=b, clip_id=clip_id, frame_lo=b * 20,
+                        frame_hi=b * 20 + 19, instances=tuple(instances)))
+    return MILDataset(
+        clip_id=clip_id, event_name="accident",
+        feature_names=tuple(f"f{i}" for i in range(FEATURES)),
+        window_size=WINDOW, sampling_rate=5, bags=bags)
+
+
+def _clips(n_clips: int, bags_per_clip: int) -> list[MILDataset]:
+    return [_clip(f"cam{i:02d}", bags_per_clip, seed=100 + i)
+            for i in range(n_clips)]
+
+
+def _corpus(datasets: list[MILDataset]) -> ShardedCorpus:
+    specs = [ShardSpec(clip_id=d.clip_id, n_bags=len(d.bags),
+                       n_instances=d.n_instances, loader=(lambda d=d: d))
+             for d in datasets]
+    return ShardedCorpus(specs, corpus_id="bench")
+
+
+def _relevant_ids(merged: MILDataset) -> set[int]:
+    return {
+        bag.bag_id for bag in merged.bags
+        if any(np.abs(inst.matrix).max() > 2.0 for inst in bag.instances)
+    }
+
+
+def _timed_top_k(engine, k: int) -> tuple[list[int], float]:
+    """Best-of-REPEATS wall seconds for one post-feed ``top_k`` call."""
+    best, result = float("inf"), None
+    for _ in range(REPEATS):
+        if isinstance(engine, ShardedRetrievalEngine):
+            engine._candidate_streams = None
+            engine._leftover_streams = None
+        t0 = time.perf_counter()
+        result = engine.top_k(k)
+        best = min(best, time.perf_counter() - t0)
+    assert result is not None
+    return result, best
+
+
+def _recall(top: list[int], relevant: set[int]) -> float:
+    return len(set(top) & relevant) / min(len(top), len(relevant))
+
+
+def test_smoke_pruned_ranking_and_telemetry():
+    """Fast CI check: the pruned path ranks, feeds, and instruments."""
+    datasets = _clips(2, 48)
+    registry = Telemetry()
+    previous = set_telemetry(registry)
+    try:
+        engine = ShardedRetrievalEngine(_corpus(datasets),
+                                        candidates_per_shard=8)
+        merged = merge_datasets(datasets, merged_id="bench")
+        relevant = _relevant_ids(merged)
+        top = engine.top_k(10)
+        engine.feed({b: b in relevant for b in top})
+        ranking = engine.rank()
+    finally:
+        set_telemetry(previous)
+    assert sorted(ranking) == list(range(len(merged)))
+    assert registry.counter("sharded.bags_pruned").value() > 0
+    assert registry.counter("sharded.bags_scored").value() > 0
+    assert any(s.name == "sharded.rank" for s in registry.spans)
+
+
+def test_warm_round_speedup_and_recall():
+    datasets = _clips(N_CLIPS, BAGS_PER_CLIP)
+    merged = merge_datasets(datasets, merged_id="bench")
+    relevant = _relevant_ids(merged)
+
+    mono = MILRetrievalEngine(merged)
+    pruned = ShardedRetrievalEngine(
+        _corpus(datasets), candidates_per_shard=CANDIDATES_PER_SHARD)
+
+    mono_times, pruned_times = [], []
+    mono_top = pruned_top = None
+    for _ in range(ROUNDS):
+        mono_top, mono_s = _timed_top_k(mono, TOP_K)
+        pruned_top, pruned_s = _timed_top_k(pruned, TOP_K)
+        mono_times.append(mono_s)
+        pruned_times.append(pruned_s)
+        labels = {b: b in relevant
+                  for b in mono.rank()[:LABELS_PER_ROUND]}
+        mono.feed(labels)
+        pruned.feed(labels)
+    mono_top, mono_s = _timed_top_k(mono, TOP_K)       # round 5, trained
+    pruned_top, pruned_s = _timed_top_k(pruned, TOP_K)
+    mono_times.append(mono_s)
+    pruned_times.append(pruned_s)
+
+    # Rounds 2..5 have a trained model and warm caches on both sides.
+    warm_mono = sum(mono_times[2:])
+    warm_pruned = sum(pruned_times[2:])
+    speedup = warm_mono / warm_pruned
+    mono_recall = _recall(mono_top, relevant)
+    pruned_recall = _recall(pruned_top, relevant)
+
+    recorder = Telemetry()
+    per_round = recorder.gauge(
+        "bench.round_top_k_ms", "best-of top_k(20) wall ms per round")
+    for i, (m, s) in enumerate(zip(mono_times, pruned_times)):
+        per_round.set(round(m * 1000, 3), path="monolithic",
+                      round_index=i)
+        per_round.set(round(s * 1000, 3), path="pruned", round_index=i)
+    recorder.gauge("bench.warm_rounds_ms",
+                   "summed wall ms of trained rounds 2-5").set(
+        round(warm_mono * 1000, 3), path="monolithic")
+    recorder.gauge("bench.warm_rounds_ms", "").set(
+        round(warm_pruned * 1000, 3), path="pruned")
+    recorder.gauge("bench.warm_speedup",
+                   "monolithic / pruned warm-round wall time").set(
+        round(speedup, 2))
+    recorder.gauge("bench.recall_at_20",
+                   "round-5 top-20 recall of the spiked bags").set(
+        round(mono_recall, 4), path="monolithic")
+    recorder.gauge("bench.recall_at_20", "").set(
+        round(pruned_recall, 4), path="pruned")
+    merge_bench(BENCH_PATH, "pruned_speedup", recorder,
+                meta={"n_clips": N_CLIPS, "bags_per_clip": BAGS_PER_CLIP,
+                      "instances_per_bag": INSTANCES_PER_BAG,
+                      "candidates_per_shard": CANDIDATES_PER_SHARD,
+                      "rounds": ROUNDS, "top_k": TOP_K,
+                      "labels_per_round": LABELS_PER_ROUND,
+                      "repeats": REPEATS,
+                      "speedup_floor": SPEEDUP_FLOOR})
+
+    assert pruned_recall >= mono_recall, (
+        f"pruning lost recall: {pruned_recall:.3f} < {mono_recall:.3f}")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm-round speedup {speedup:.2f}x below the "
+        f"{SPEEDUP_FLOOR:.0f}x floor (monolithic {warm_mono * 1000:.1f}ms "
+        f"vs pruned {warm_pruned * 1000:.1f}ms)")
+
+
+def test_round_latency_scales_sublinearly():
+    """4x the corpus (fixed shard count, bigger shards) must cost far
+    less than 4x the warm round: the candidate stage is O(shards x M)."""
+    sizes = (120, 240, 480)
+    latencies = {}
+    for bags_per_clip in sizes:
+        datasets = _clips(N_CLIPS, bags_per_clip)
+        merged = merge_datasets(datasets, merged_id="bench")
+        relevant = _relevant_ids(merged)
+        engine = ShardedRetrievalEngine(
+            _corpus(datasets), candidates_per_shard=CANDIDATES_PER_SHARD)
+        engine.feed({b: b in relevant
+                     for b in engine.top_k(LABELS_PER_ROUND)})
+        engine.feed({b: b in relevant
+                     for b in engine.top_k(LABELS_PER_ROUND)})
+        _, warm_s = _timed_top_k(engine, TOP_K)
+        latencies[bags_per_clip] = warm_s
+
+    growth = latencies[sizes[-1]] / latencies[sizes[0]]
+    corpus_growth = sizes[-1] / sizes[0]
+
+    recorder = Telemetry()
+    gauge = recorder.gauge("bench.warm_round_ms",
+                           "trained-round top_k(20) wall ms by corpus size")
+    for bags_per_clip, seconds in latencies.items():
+        gauge.set(round(seconds * 1000, 3),
+                  total_bags=N_CLIPS * bags_per_clip)
+    recorder.gauge("bench.latency_growth",
+                   "latency ratio largest/smallest corpus").set(
+        round(growth, 2))
+    merge_bench(BENCH_PATH, "round_latency_scaling", recorder,
+                meta={"n_clips": N_CLIPS, "sizes": list(sizes),
+                      "candidates_per_shard": CANDIDATES_PER_SHARD,
+                      "corpus_growth": corpus_growth})
+
+    assert growth < corpus_growth * 0.75, (
+        f"round latency grew {growth:.2f}x over a {corpus_growth:.0f}x "
+        f"corpus — not sublinear")

@@ -168,16 +168,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="show the current top-k results")
     query.add_argument("--db", required=True)
-    query.add_argument("--clip", required=True)
+    query.add_argument("--clip", default=None, help="single clip id")
+    query.add_argument("--clips", default=None,
+                       help="comma-separated clip ids for a sharded "
+                            "multi-clip query")
     query.add_argument("--event", default="accident")
     query.add_argument("--user", default="default")
     query.add_argument("--top-k", type=int, default=20)
     query.add_argument("--engine", default="mil_ocsvm",
                        choices=("mil_ocsvm", "weighted_rf"))
+    query.add_argument("--candidates-per-shard", type=int, default=None,
+                       help="exact-score at most M bags per shard "
+                            "(multi-clip only; rest keep heuristic order)")
 
     label = sub.add_parser("label", help="record a feedback round")
     label.add_argument("--db", required=True)
-    label.add_argument("--clip", required=True)
+    label.add_argument("--clip", default=None, help="single clip id")
+    label.add_argument("--clips", default=None,
+                       help="comma-separated clip ids of a multi-clip "
+                            "query session")
     label.add_argument("--event", default="accident")
     label.add_argument("--user", default="default")
     label.add_argument("--relevant", default="",
@@ -365,14 +374,43 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _clip_selection(args) -> tuple[str | None, list[str] | None]:
+    """(clip, clips) from ``--clip`` / ``--clips`` (exactly one)."""
+    clips = [c for c in (args.clips or "").split(",") if c]
+    if bool(args.clip) == bool(clips):
+        print("pass exactly one of --clip or --clips", file=sys.stderr)
+        return None, None
+    return args.clip, clips or None
+
+
+def _open_session(db, args, **kwargs):
+    from repro.db import MultiClipQuerySession, SemanticQuerySession
+
+    clip, clips = _clip_selection(args)
+    if clip is None and clips is None:
+        return None
+    if clips is not None:
+        return MultiClipQuerySession(db, clips, args.event,
+                                     user_id=args.user, **kwargs)
+    if kwargs.pop("candidates_per_shard", None) is not None:
+        print("--candidates-per-shard needs a multi-clip query (--clips)",
+              file=sys.stderr)
+        return None
+    return SemanticQuerySession(db, clip, args.event,
+                                user_id=args.user, **kwargs)
+
+
 def _cmd_query(args) -> int:
-    from repro.db import SemanticQuerySession, VideoDatabase
+    from repro.db import VideoDatabase
 
     with VideoDatabase(args.db) as db:
-        session = SemanticQuerySession(
-            db, args.clip, args.event, user_id=args.user,
-            engine=args.engine, top_k=args.top_k)
-        print(f"query clip={args.clip} event={args.event} "
+        session = _open_session(
+            db, args, engine=args.engine, top_k=args.top_k,
+            candidates_per_shard=args.candidates_per_shard)
+        if session is None:
+            return 2
+        target = args.clip or args.clips
+        print(f"query clip={target} event={args.event} "
               f"user={args.user} round={session.round_index}")
         for rank, (bag_id, lo, hi) in enumerate(session.result_windows(),
                                                 start=1):
@@ -381,7 +419,7 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_label(args) -> int:
-    from repro.db import SemanticQuerySession, VideoDatabase
+    from repro.db import VideoDatabase
 
     labels = {b: True for b in _ids(args.relevant)}
     labels.update({b: False for b in _ids(args.irrelevant)})
@@ -390,8 +428,9 @@ def _cmd_label(args) -> int:
               file=sys.stderr)
         return 2
     with VideoDatabase(args.db) as db:
-        session = SemanticQuerySession(
-            db, args.clip, args.event, user_id=args.user)
+        session = _open_session(db, args)
+        if session is None:
+            return 2
         session.feed(labels)
         print(f"recorded round {session.round_index - 1}: "
               f"{sum(labels.values())} relevant, "

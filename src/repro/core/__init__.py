@@ -21,6 +21,12 @@ from repro.core.weighted_rf import WeightedRFEngine
 from repro.core.feedback import MultiClipOracle, OracleUser, RetrievalSession
 from repro.core.diverse_density import DiverseDensityEngine
 from repro.core.emdd import EMDDEngine
+from repro.core.sharded import (
+    CorpusShard,
+    ShardSpec,
+    ShardedCorpus,
+    ShardedRetrievalEngine,
+)
 from repro.core.query_types import (
     CombinedQueryEngine,
     ExampleQueryEngine,
@@ -47,4 +53,8 @@ __all__ = [
     "RetrievalEngine",
     "InstanceExplanation",
     "ActiveRetrievalSession",
+    "ShardSpec",
+    "CorpusShard",
+    "ShardedCorpus",
+    "ShardedRetrievalEngine",
 ]

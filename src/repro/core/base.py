@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterator, Mapping
 
 import numpy as np
 
@@ -166,6 +166,17 @@ class RetrievalEngine(ABC):
             (np.array([b.bag_id for b in self.dataset.bags]), -scores)
         )
         return [self.dataset.bags[i].bag_id for i in order]
+
+    def rank_iter(self) -> Iterator[int]:
+        """Lazy view of :meth:`rank`.
+
+        The base ranking is one global sort, so this is just an
+        iterator over it; engines that can rank incrementally (the
+        sharded corpus engine's k-way merge) override it so consumers
+        that stop early — ``results(vehicle_class=...)`` walking until
+        ``top_k`` matches — never pay for a full materialized ranking.
+        """
+        return iter(self.rank())
 
     def top_k(self, k: int) -> list[int]:
         if k <= 0:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.bags import MILDataset
+from repro.errors import ConfigurationError
 from repro.svm.scaling import MinMaxScaler
 
 __all__ = [
@@ -79,7 +80,18 @@ def heuristic_scores(
 
     Returns ``(bag_scores, instance_scores)`` with ``bag_scores`` aligned
     to ``dataset.bags`` (empty bags score ``-inf``).
+
+    ``matrices`` and ``normalize`` are mutually exclusive: precomputed
+    matrices are scored as given, so a ``normalize=True`` alongside them
+    would be silently ignored — callers believing they ranked normalized
+    features when they didn't.  That combination raises instead.
     """
+    if matrices is not None and normalize:
+        raise ConfigurationError(
+            "heuristic_scores: pass precomputed matrices or "
+            "normalize=True, not both — explicit matrices are scored "
+            "as given and cannot be normalized here"
+        )
     if matrices is None:
         matrices = instance_feature_matrices(dataset, normalize=normalize)
     instance_scores: dict[int, float] = {}

@@ -1,0 +1,629 @@
+"""Sharded retrieval corpus: per-clip shards + two-stage pruned ranking.
+
+The paper's end state is retrieval over a whole surveillance *database*
+("ideally, all the video clips in a transportation surveillance video
+database shall be mined and retrieved as a whole", Section 6.2).  The
+merged-dataset path (:func:`repro.core.bags.merge_datasets`) gets the
+semantics right but materializes every clip into one monolithic
+:class:`~repro.core.bags.MILDataset` and scores every instance with the
+one-class SVM each feedback round — linear round latency in corpus size.
+
+This module keeps the corpus sharded per clip and ranks in two stages,
+the coarse-to-fine shape of progressive surveillance search systems:
+
+1. a cheap **heuristic prefilter** (the paper's Section 5.3 square-sum
+   scores, precomputed per shard) nominates the top-M candidate bags of
+   every shard;
+2. the **exact one-class SVM** scores only the candidate instances —
+   full shards go through the per-shard
+   :class:`~repro.svm.gram_cache.GramCache` so warm rounds reuse kernel
+   columns, pruned shards evaluate one small kernel block;
+3. per-shard rankings are **k-way merged** lazily under the global
+   deterministic order (score descending, bag id ascending — exactly
+   the monolithic engine's tie-break), with pruned bags appended after
+   all candidates in heuristic order.
+
+Global bag/instance ids replicate ``merge_datasets``' positional
+renumbering, so with pruning disabled (``candidates_per_shard=None``)
+the ranking reproduces the monolithic engine's, round for round.
+
+The corpus layer is database-agnostic: a :class:`ShardSpec` carries a
+zero-argument ``loader`` callback, so :mod:`repro.db` can hand out
+lazily-loading specs without this module importing the storage layer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro.core.bags import Bag, Instance, MILDataset
+from repro.core.engine import _parse_policy
+from repro.core.heuristics import heuristic_scores
+from repro.errors import ConfigurationError
+from repro.obs import get_telemetry
+from repro.svm.gram_cache import GramCache
+from repro.svm.kernels import Kernel, RBFKernel
+from repro.svm.one_class import OneClassSVM
+from repro.svm.scaling import StandardScaler
+from repro.utils import check_in_range, row_sq_norms
+
+__all__ = ["ShardSpec", "CorpusShard", "ShardedCorpus",
+           "ShardedRetrievalEngine"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One clip's slot in a sharded corpus, loadable on demand.
+
+    ``n_bags`` / ``n_instances`` come from the catalog (no bulk-array
+    read) and fix the shard's global id range up front; ``loader``
+    returns the clip's :class:`MILDataset` with *local* ids when the
+    shard is actually needed.  The loaded counts are validated against
+    the spec, so a stale catalog fails loudly instead of silently
+    shifting every later shard's ids.
+    """
+
+    clip_id: str
+    n_bags: int
+    n_instances: int
+    loader: Callable[[], MILDataset] = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_bags < 0 or self.n_instances < 0:
+            raise ConfigurationError(
+                f"shard {self.clip_id!r}: negative bag/instance count"
+            )
+
+
+class CorpusShard:
+    """One loaded shard: renumbered bags + precomputed ranking arrays.
+
+    Renumbering replicates :func:`merge_datasets` positionally — global
+    bag id = ``bag_offset`` + position, global instance id =
+    ``instance_offset`` + bag-contiguous row — so shard-local arrays
+    translate to global ids by offset arithmetic alone.
+
+    ``matrix`` (the standardized instance matrix) and ``gram_cache``
+    stay ``None`` until the engine fits its global scaler; the heuristic
+    prefilter only needs the raw features.
+    """
+
+    def __init__(self, spec: ShardSpec, bag_offset: int,
+                 instance_offset: int) -> None:
+        local = spec.loader()
+        if (len(local.bags) != spec.n_bags
+                or local.n_instances != spec.n_instances):
+            raise ConfigurationError(
+                f"shard {spec.clip_id!r}: loader returned "
+                f"{len(local.bags)} bags / {local.n_instances} instances, "
+                f"spec declares {spec.n_bags} / {spec.n_instances}"
+            )
+        self.clip_id = spec.clip_id
+        self.bag_offset = int(bag_offset)
+        self.instance_offset = int(instance_offset)
+        self.dataset = self._renumber(local)
+        self.n_bags = len(self.dataset.bags)
+        self.n_instances = self.dataset.n_instances
+
+        instances = self.dataset.all_instances()
+        self.matrix_raw: np.ndarray | None = None
+        if instances:
+            self.matrix_raw = np.ascontiguousarray(
+                np.stack([inst.vector for inst in instances]),
+                dtype=np.float64)
+        self.matrix: np.ndarray | None = None
+        self.gram_cache: GramCache | None = None
+
+        bag_scores, inst_scores = heuristic_scores(self.dataset)
+        self.heuristic_bags = bag_scores
+        self.heuristic_instances = np.array(
+            [inst_scores[inst.instance_id] for inst in instances])
+        self.bag_ranked_ids = {
+            bag.bag_id: tuple(
+                inst.instance_id
+                for inst in sorted(bag.instances,
+                                   key=lambda i: inst_scores[i.instance_id],
+                                   reverse=True)
+            )
+            for bag in self.dataset.bags
+        }
+        self.bag_sizes = np.array([b.n_instances for b in self.dataset.bags])
+        self.bag_starts = np.concatenate(
+            ([0], np.cumsum(self.bag_sizes)))[:-1].astype(int)
+        self._heuristic_order: np.ndarray | None = None
+
+    def _renumber(self, local: MILDataset) -> MILDataset:
+        out = MILDataset(
+            clip_id=local.clip_id,
+            event_name=local.event_name,
+            feature_names=local.feature_names,
+            window_size=local.window_size,
+            sampling_rate=local.sampling_rate,
+        )
+        next_bag = self.bag_offset
+        next_inst = self.instance_offset
+        for bag in local.bags:
+            instances = []
+            for inst in bag.instances:
+                instances.append(Instance(
+                    instance_id=next_inst, bag_id=next_bag,
+                    track_id=inst.track_id, matrix=inst.matrix,
+                ))
+                next_inst += 1
+            out.bags.append(Bag(
+                bag_id=next_bag, clip_id=bag.clip_id,
+                frame_lo=bag.frame_lo, frame_hi=bag.frame_hi,
+                instances=tuple(instances),
+            ))
+            next_bag += 1
+        return out
+
+    @property
+    def heuristic_order(self) -> np.ndarray:
+        """Bag positions sorted by the global order (heuristic desc,
+        bag id asc) — the prefilter's nomination order."""
+        if self._heuristic_order is None:
+            global_ids = self.bag_offset + np.arange(self.n_bags)
+            self._heuristic_order = np.lexsort(
+                (global_ids, -self.heuristic_bags))
+        return self._heuristic_order
+
+    def candidate_positions(self, m: int | None) -> np.ndarray:
+        """Top-``m`` bag positions by heuristic score (all if ``m`` is
+        ``None`` or >= the shard's bag count)."""
+        order = self.heuristic_order
+        if m is None or m >= len(order):
+            return order
+        return order[:m]
+
+    def row_of(self, instance_id: int) -> int:
+        return instance_id - self.instance_offset
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CorpusShard({self.clip_id!r}, bags={self.n_bags}, "
+                f"instances={self.n_instances})")
+
+
+class ShardedCorpus:
+    """Per-clip shards behind one global, contiguous bag-id space.
+
+    Shards load lazily: constructing the corpus touches only the specs'
+    counts, and :meth:`shard` / :meth:`bag_by_id` materialize a clip on
+    first use.  The corpus duck-types the slice of the
+    :class:`MILDataset` surface the query/session layer relies on
+    (``len``, ``bag_by_id``, ``n_instances``), so oracles and sessions
+    work unchanged on top of it.
+    """
+
+    def __init__(self, specs: list[ShardSpec], *,
+                 corpus_id: str = "sharded",
+                 event_name: str = "") -> None:
+        if not specs:
+            raise ConfigurationError("ShardedCorpus needs >= 1 shard spec")
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.clip_id in seen:
+                raise ConfigurationError(
+                    f"duplicate shard clip id {spec.clip_id!r}")
+            seen.add(spec.clip_id)
+        self.specs = list(specs)
+        self.corpus_id = corpus_id
+        self.event_name = event_name
+        self._bag_offsets: list[int] = []
+        self._instance_offsets: list[int] = []
+        bags = insts = 0
+        for spec in self.specs:
+            self._bag_offsets.append(bags)
+            self._instance_offsets.append(insts)
+            bags += spec.n_bags
+            insts += spec.n_instances
+        self._n_bags = bags
+        self._n_instances = insts
+        self._shards: dict[str, CorpusShard] = {}
+
+    def __len__(self) -> int:
+        return self._n_bags
+
+    @property
+    def n_instances(self) -> int:
+        return self._n_instances
+
+    @property
+    def clip_ids(self) -> list[str]:
+        return [spec.clip_id for spec in self.specs]
+
+    @property
+    def loaded_clip_ids(self) -> list[str]:
+        """Clips whose shards have been materialized so far."""
+        return [s.clip_id for s in self.specs if s.clip_id in self._shards]
+
+    def shard(self, clip_id: str) -> CorpusShard:
+        """The clip's shard, loading (and renumbering) it on first use."""
+        loaded = self._shards.get(clip_id)
+        if loaded is not None:
+            return loaded
+        for i, spec in enumerate(self.specs):
+            if spec.clip_id == clip_id:
+                obs = get_telemetry()
+                with obs.span("sharded.shard.load", clip=clip_id,
+                              bags=spec.n_bags, instances=spec.n_instances):
+                    shard = CorpusShard(spec, self._bag_offsets[i],
+                                        self._instance_offsets[i])
+                self._shards[clip_id] = shard
+                return shard
+        raise ConfigurationError(f"no shard for clip {clip_id!r}")
+
+    def shards(self) -> Iterator[CorpusShard]:
+        """All shards in spec order (loading any that aren't yet)."""
+        for spec in self.specs:
+            yield self.shard(spec.clip_id)
+
+    def _spec_index_for_bag(self, bag_id: int) -> int:
+        if not 0 <= bag_id < self._n_bags:
+            raise ConfigurationError(f"no bag with id {bag_id}")
+        return bisect_right(self._bag_offsets, bag_id) - 1
+
+    def shard_for_bag(self, bag_id: int) -> CorpusShard:
+        return self.shard(self.specs[self._spec_index_for_bag(bag_id)].clip_id)
+
+    def shard_for_instance(self, instance_id: int) -> CorpusShard:
+        if not 0 <= instance_id < self._n_instances:
+            raise ConfigurationError(f"no instance with id {instance_id}")
+        i = bisect_right(self._instance_offsets, instance_id) - 1
+        return self.shard(self.specs[i].clip_id)
+
+    def bag_by_id(self, bag_id: int) -> Bag:
+        shard = self.shard_for_bag(bag_id)
+        return shard.dataset.bags[bag_id - shard.bag_offset]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShardedCorpus({self.corpus_id!r}, shards={len(self.specs)}, "
+                f"bags={self._n_bags})")
+
+
+class ShardedRetrievalEngine:
+    """Two-stage MIL retrieval over a :class:`ShardedCorpus`.
+
+    Same learning rule as
+    :class:`~repro.core.engine.MILRetrievalEngine` — one-class SVM on
+    the top heuristic Trajectory Sequences of the relevant bags, nu from
+    the paper's Eq. (9) — but scoring is organized shard by shard:
+
+    * ``candidates_per_shard=None`` scores every bag exactly (through
+      each shard's :class:`GramCache`, so warm rounds reuse kernel
+      columns) and reproduces the monolithic engine's ranking.
+    * ``candidates_per_shard=M`` scores only each shard's top-M
+      heuristic candidates with the SVM; the remaining bags keep their
+      heuristic order *after* all candidates — a recall/latency knob.
+
+    The engine deliberately duck-types ``RetrievalEngine`` (``feed`` /
+    ``rank`` / ``top_k`` / ``labels`` / ``dataset``) instead of
+    subclassing it: the base class materializes one dataset-wide matrix
+    at construction, which is exactly what sharding avoids.
+    """
+
+    def __init__(
+        self,
+        corpus: ShardedCorpus,
+        *,
+        candidates_per_shard: int | None = None,
+        z: float = 0.05,
+        kernel: str | Kernel = "rbf",
+        gamma: float | str = "auto",
+        training_policy: str = "top1",
+        nu_bounds: tuple[float, float] = (0.05, 0.95),
+        learner: str = "ocsvm",
+    ) -> None:
+        if len(corpus) == 0:
+            raise ConfigurationError("dataset has no bags to rank")
+        if corpus.n_instances == 0:
+            raise ConfigurationError(
+                "dataset has no instances (every bag is empty) — nothing "
+                "to learn from or rank"
+            )
+        if candidates_per_shard is not None and candidates_per_shard < 1:
+            raise ConfigurationError(
+                f"candidates_per_shard must be >= 1 or None, got "
+                f"{candidates_per_shard}"
+            )
+        check_in_range("z", z, 0.0, 0.5)
+        self._top_m = _parse_policy(training_policy)
+        lo, hi = nu_bounds
+        check_in_range("nu lower bound", lo, 0.0, 1.0,
+                       inclusive=(False, True))
+        check_in_range("nu upper bound", hi, lo, 1.0)
+        if learner not in ("ocsvm", "svdd"):
+            raise ConfigurationError(
+                f"learner must be 'ocsvm' or 'svdd', got {learner!r}"
+            )
+        self.dataset = corpus
+        self.corpus = corpus
+        self.candidates_per_shard = candidates_per_shard
+        self.z = float(z)
+        self.kernel = kernel
+        self.gamma = gamma
+        self.training_policy = training_policy
+        self.nu_bounds = (float(lo), float(hi))
+        self.learner = learner
+        self.labels: dict[int, bool] = {}
+        self._scaler: StandardScaler | None = None
+        self._model = None
+        self._support_ids: list[int] = []
+        self._support_x: np.ndarray | None = None
+        self._support_sq: np.ndarray | None = None
+        self._round_kernel: Kernel | None = None
+        self.last_nu_: float | None = None
+        self.training_size_: int = 0
+        # Per-round ranking state, rebuilt lazily after each feed():
+        # clip_id -> sorted [(-score, bag_id), ...] merge streams.
+        self._candidate_streams: dict[str, list[tuple[float, int]]] | None = \
+            None
+        self._leftover_streams: dict[str, list[tuple[float, int]]] | None = \
+            None
+
+    # -- feedback ---------------------------------------------------------
+    def feed(self, labels: Mapping[int, bool]) -> None:
+        """Accumulate bag labels (bag_id -> relevant?) and retrain.
+
+        Validates before mutating (same contract as
+        ``RetrievalEngine.feed``): a round with unknown bag ids leaves
+        the engine untouched.
+        """
+        unknown = {int(b) for b in labels
+                   if not 0 <= int(b) < len(self.corpus)}
+        if unknown:
+            raise ConfigurationError(
+                f"labels reference unknown bag ids {sorted(unknown)[:5]}"
+            )
+        self.labels.update({int(k): bool(v) for k, v in labels.items()})
+        self._retrain()
+        self._candidate_streams = None
+        self._leftover_streams = None
+
+    @property
+    def relevant_bag_ids(self) -> list[int]:
+        return sorted(b for b, lab in self.labels.items() if lab)
+
+    @property
+    def irrelevant_bag_ids(self) -> list[int]:
+        return sorted(b for b, lab in self.labels.items() if not lab)
+
+    @property
+    def has_relevant_feedback(self) -> bool:
+        return any(self.labels.values())
+
+    @property
+    def is_trained(self) -> bool:
+        return self._model is not None
+
+    # -- training ---------------------------------------------------------
+    def _ensure_standardized(self) -> None:
+        """Fit the global scaler and standardize every shard (once).
+
+        The scaler sees the vstack of the shards' raw matrices — the
+        exact rows, in the exact order, the monolithic engine stacks —
+        so per-shard standardized matrices are bit-identical to the
+        corresponding monolithic rows.
+        """
+        if self._scaler is not None:
+            return
+        blocks = [s.matrix_raw for s in self.corpus.shards()
+                  if s.matrix_raw is not None]
+        self._scaler = StandardScaler().fit(np.vstack(blocks))
+        for shard in self.corpus.shards():
+            if shard.matrix_raw is None or shard.matrix is not None:
+                continue
+            shard.matrix = np.ascontiguousarray(
+                self._scaler.transform(shard.matrix_raw))
+            shard.gram_cache = GramCache(shard.matrix)
+
+    def _standardized_rows(self, instance_ids: list[int]) -> np.ndarray:
+        rows = []
+        for i in instance_ids:
+            shard = self.corpus.shard_for_instance(i)
+            assert shard.matrix is not None
+            rows.append(shard.matrix[shard.row_of(i)])
+        return np.ascontiguousarray(np.stack(rows))
+
+    def _training_instance_ids(self, relevant: list[int]) -> list[int]:
+        ids: list[int] = []
+        for bag_id in relevant:
+            shard = self.corpus.shard_for_bag(bag_id)
+            ranked = shard.bag_ranked_ids[bag_id]
+            take = len(ranked) if self._top_m is None else self._top_m
+            ids.extend(ranked[:take])
+        return ids
+
+    def _retrain(self) -> None:
+        relevant = self.relevant_bag_ids
+        training_ids = self._training_instance_ids(relevant)
+        if not training_ids:
+            self._model = None
+            self._support_ids = []
+            self._support_x = None
+            self._round_kernel = None
+            return
+        self._ensure_standardized()
+        x = self._standardized_rows(training_ids)
+        nu = 1.0 - (len(relevant) / len(training_ids) + self.z)
+        nu = float(np.clip(nu, *self.nu_bounds))
+        self.last_nu_ = nu
+        self.training_size_ = len(training_ids)
+        if self.learner == "svdd":
+            from repro.svm.svdd import SVDD
+
+            model = SVDD(nu=nu, kernel=self.kernel,
+                         gamma=self.gamma).fit(x)
+        else:
+            model = OneClassSVM(nu=nu, kernel=self.kernel,
+                                gamma=self.gamma).fit(x)
+        self._model = model
+        self._round_kernel = model.kernel_
+        assert model.support_ is not None
+        assert model.support_vectors_ is not None
+        self._support_ids = [training_ids[s] for s in model.support_]
+        self._support_x = np.ascontiguousarray(model.support_vectors_)
+        self._support_sq = row_sq_norms(self._support_x)
+
+    # -- per-shard scoring -------------------------------------------------
+    def _full_shard_scores(self, shard: CorpusShard) -> np.ndarray:
+        """Exact SVM scores for every bag of one shard (layout order)."""
+        scores = np.full(shard.n_bags, -np.inf)
+        if shard.matrix is None:
+            return scores
+        assert (self._model is not None and shard.gram_cache is not None
+                and self._round_kernel is not None
+                and self._support_x is not None)
+        cache = shard.gram_cache
+        cache.ensure_vectors(self._round_kernel, self._support_ids,
+                             self._support_x)
+        cross = cache.cross(self._support_ids)
+        if self.learner == "svdd":
+            decisions = self._model.decision_function(
+                cross=cross, self_sim=cache.diag(self._round_kernel))
+        else:
+            decisions = self._model.decision_function(cross=cross)
+        non_empty = shard.bag_sizes > 0
+        if non_empty.any():
+            scores[non_empty] = np.maximum.reduceat(
+                decisions.astype(float), shard.bag_starts[non_empty])
+        return scores
+
+    def _candidate_shard_scores(self, shard: CorpusShard,
+                                positions: np.ndarray) -> np.ndarray:
+        """Exact SVM scores for the candidate bags only (one small
+        kernel block instead of the whole shard)."""
+        scores = np.full(len(positions), -np.inf)
+        if shard.matrix is None:
+            return scores
+        assert (self._model is not None and self._round_kernel is not None
+                and self._support_x is not None)
+        sizes = shard.bag_sizes[positions]
+        keep = sizes > 0
+        if not keep.any():
+            return scores
+        counts = sizes[keep]
+        seg_starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        # Each candidate bag's instances are one contiguous row range;
+        # gather them all with a single arange + per-segment offset.
+        rows = np.arange(int(counts.sum())) + np.repeat(
+            shard.bag_starts[positions][keep] - seg_starts, counts)
+        sub = shard.matrix[rows]
+        kernel = self._round_kernel
+        if isinstance(kernel, RBFKernel):
+            cross = kernel.compute_blocked(sub, self._support_x,
+                                           b_sq=self._support_sq)
+        else:
+            cross = kernel.compute_blocked(sub, self._support_x)
+        if self.learner == "svdd":
+            decisions = self._model.decision_function(
+                cross=cross, self_sim=kernel.diag(sub))
+        else:
+            decisions = self._model.decision_function(cross=cross)
+        scores[keep] = np.maximum.reduceat(
+            decisions.astype(float), seg_starts)
+        return scores
+
+    def _score_shard(self, shard: CorpusShard
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """(candidate positions, their scores) for one shard this round."""
+        positions = shard.candidate_positions(self.candidates_per_shard)
+        if not self.is_trained:
+            return positions, shard.heuristic_bags[positions]
+        if len(positions) == shard.n_bags:
+            return positions, self._full_shard_scores(shard)[positions]
+        return positions, self._candidate_shard_scores(shard, positions)
+
+    def _ensure_round(self) -> None:
+        """Score all shards for the current feedback state (cached until
+        the next ``feed``)."""
+        if self._candidate_streams is not None:
+            return
+        obs = get_telemetry()
+        streams: dict[str, list[tuple[float, int]]] = {}
+        total_scored = total_pruned = 0
+        with obs.span("sharded.rank", shards=len(self.corpus.specs),
+                      trained=self.is_trained,
+                      candidates_per_shard=self.candidates_per_shard
+                      or 0) as sp:
+            for shard in self.corpus.shards():
+                positions, scores = self._score_shard(shard)
+                bag_ids = shard.bag_offset + positions
+                order = np.lexsort((bag_ids, -scores))
+                streams[shard.clip_id] = [
+                    (-float(scores[i]), int(bag_ids[i])) for i in order
+                ]
+                n_candidates = len(positions)
+                n_pruned = shard.n_bags - n_candidates
+                total_scored += n_candidates
+                total_pruned += n_pruned
+                obs.histogram("sharded.shard.candidates").observe(
+                    n_candidates)
+                if n_pruned:
+                    obs.counter("sharded.bags_pruned").inc(n_pruned)
+                finite = scores[np.isfinite(scores)]
+                if finite.size:
+                    obs.histogram("sharded.shard.score_span").observe(
+                        float(finite.max() - finite.min()))
+            obs.counter("sharded.bags_scored").inc(total_scored)
+            if sp is not None:
+                sp.set(scored=total_scored, pruned=total_pruned)
+        self._candidate_streams = streams
+
+    def _ensure_leftovers(self) -> None:
+        """Heuristic-ordered streams of the bags the prefilter pruned."""
+        if self._leftover_streams is not None:
+            return
+        m = self.candidates_per_shard
+        streams: dict[str, list[tuple[float, int]]] = {}
+        if m is not None:
+            for shard in self.corpus.shards():
+                order = shard.heuristic_order
+                if len(order) <= m:
+                    continue
+                # heuristic_order is already (score desc, bag id asc),
+                # so the tail is a ready-sorted merge stream.
+                streams[shard.clip_id] = [
+                    (-float(shard.heuristic_bags[p]),
+                     int(shard.bag_offset + p))
+                    for p in order[m:]
+                ]
+        self._leftover_streams = streams
+
+    # -- ranking ----------------------------------------------------------
+    def rank_iter(self) -> Iterator[int]:
+        """Bag ids in descending relevance, lazily merged across shards.
+
+        All exactly-scored candidates come first (global score order,
+        ties by bag id); pruned bags follow in heuristic order.  Only
+        the consumed prefix of the merge is materialized, so
+        ``top_k(20)`` over a large corpus never sorts it globally.
+        """
+        self._ensure_round()
+        assert self._candidate_streams is not None
+        for _, bag_id in heapq.merge(*self._candidate_streams.values()):
+            yield bag_id
+        self._ensure_leftovers()
+        assert self._leftover_streams is not None
+        for _, bag_id in heapq.merge(*self._leftover_streams.values()):
+            yield bag_id
+
+    def rank(self) -> list[int]:
+        """Bag ids in descending relevance (ties broken by bag id)."""
+        return list(self.rank_iter())
+
+    def top_k(self, k: int) -> list[int]:
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        return list(islice(self.rank_iter(), k))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShardedRetrievalEngine(shards={len(self.corpus.specs)}, "
+                f"bags={len(self.corpus)}, "
+                f"candidates_per_shard={self.candidates_per_shard})")

@@ -18,7 +18,11 @@ provides that layer:
 from repro.db.schema import ClipRecord, LabelRecord, TrackRecord
 from repro.db.storage import ArrayStore, InMemoryArrayStore, NpzArrayStore
 from repro.db.database import VideoDatabase
-from repro.db.query import MultiClipQuerySession, SemanticQuerySession
+from repro.db.query import (
+    MultiClipQuerySession,
+    SemanticQuerySession,
+    sharded_corpus,
+)
 
 __all__ = [
     "ClipRecord",
@@ -30,4 +34,5 @@ __all__ = [
     "VideoDatabase",
     "SemanticQuerySession",
     "MultiClipQuerySession",
+    "sharded_corpus",
 ]

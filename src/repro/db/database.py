@@ -131,6 +131,7 @@ class VideoDatabase:
     def __init__(self, path: str | Path = ":memory:",
                  array_store: ArrayStore | None = None) -> None:
         self.path = str(path)
+        self._metadata_version = 0
         self._conn = sqlite3.connect(self.path)
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
@@ -144,6 +145,17 @@ class VideoDatabase:
 
     def close(self) -> None:
         self._conn.close()
+
+    @property
+    def metadata_version(self) -> int:
+        """Monotonic counter bumped by clip/track metadata mutations.
+
+        Query sessions key their per-clip caches (e.g. vehicle classes)
+        on this, so a cache survives arbitrarily many reads but is
+        invalidated the moment tracks are rewritten or clips come and
+        go through this connection.
+        """
+        return self._metadata_version
 
     def __enter__(self) -> "VideoDatabase":
         return self
@@ -216,6 +228,7 @@ class VideoDatabase:
             self._conn.executemany(
                 "INSERT OR REPLACE INTO tracks VALUES "
                 "(?,?,?,?,?,?,?,?,?,?,?,?)", rows)
+        self._metadata_version += 1
 
     def track_records(self, clip_id: str) -> list[TrackRecord]:
         rows = self._conn.execute(
@@ -327,6 +340,39 @@ class VideoDatabase:
                           window_size=meta[1], sampling_rate=meta[2],
                           bags=bags)
 
+    def dataset_meta(self, clip_id: str, event_name: str) -> dict:
+        """Catalog-only summary of a stored dataset (no bulk-array read).
+
+        Returns ``{clip_id, event_name, feature_names, window_size,
+        sampling_rate, n_bags, n_instances}``.  The sharded retrieval
+        corpus builds its per-clip :class:`ShardSpec` table from this —
+        fixing every shard's global id range up front — and only loads
+        the instance matrices of shards that are actually scored.
+        """
+        meta = self._conn.execute(
+            "SELECT feature_names, window_size, sampling_rate FROM datasets"
+            " WHERE clip_id=? AND event=?", (clip_id, event_name),
+        ).fetchone()
+        if meta is None:
+            raise StorageError(
+                f"no dataset for clip {clip_id!r} / event {event_name!r}"
+            )
+        n_bags = self._conn.execute(
+            "SELECT COUNT(*) FROM bags WHERE clip_id=? AND event=?",
+            (clip_id, event_name)).fetchone()[0]
+        n_instances = self._conn.execute(
+            "SELECT COUNT(*) FROM instances WHERE clip_id=? AND event=?",
+            (clip_id, event_name)).fetchone()[0]
+        return {
+            "clip_id": clip_id,
+            "event_name": event_name,
+            "feature_names": tuple(meta[0].split(",")),
+            "window_size": int(meta[1]),
+            "sampling_rate": int(meta[2]),
+            "n_bags": int(n_bags),
+            "n_instances": int(n_instances),
+        }
+
     def events_for(self, clip_id: str) -> list[str]:
         rows = self._conn.execute(
             "SELECT event FROM datasets WHERE clip_id=? ORDER BY event",
@@ -338,8 +384,8 @@ class VideoDatabase:
         with self._conn:
             self._conn.executemany(
                 "INSERT OR REPLACE INTO labels VALUES (?,?,?,?,?,?)",
-                [(l.clip_id, l.event_name, l.bag_id, l.user_id,
-                  l.round_index, int(l.relevant)) for l in labels],
+                [(rec.clip_id, rec.event_name, rec.bag_id, rec.user_id,
+                  rec.round_index, int(rec.relevant)) for rec in labels],
             )
 
     def labels(self, clip_id: str, event_name: str,
@@ -457,6 +503,7 @@ class VideoDatabase:
                                (clip_id,))
         for key in self._array_keys_for(clip_id):
             self.arrays.delete(key)
+        self._metadata_version += 1
 
     def export_clip(self, clip_id: str, path: str | Path) -> None:
         """Write one clip (catalog rows + arrays) to a portable npz file."""
@@ -546,6 +593,7 @@ class VideoDatabase:
                 arrays.setdefault(key, {})[array_name] = bundle[name]
             for key, named in arrays.items():
                 self.arrays.save(key, named)
+        self._metadata_version += 1
         return record
 
     # ------------------------------------------------------------ ingest

@@ -6,27 +6,66 @@ a query can be resumed later ("the training set ... is built up
 gradually with the help of the user's feedback", paper Section 1) and
 different users' feedback histories stay separate (Section 1's point
 that relevance is user-specific).
+
+Multi-clip queries (:class:`MultiClipQuerySession`) run on the sharded
+corpus by default (see :mod:`repro.core.sharded`): clips stay per-shard
+instead of being merged into one monolithic dataset, and an optional
+heuristic prefilter bounds how many bags per shard the one-class SVM
+scores exactly each round.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Mapping
 
-from repro.core.bags import MILDataset, merge_datasets
-from repro.core.base import RetrievalEngine
+from repro.core.bags import merge_datasets
 from repro.core.engine import MILRetrievalEngine
+from repro.core.sharded import ShardedCorpus, ShardedRetrievalEngine, ShardSpec
 from repro.core.weighted_rf import WeightedRFEngine
 from repro.db.database import VideoDatabase
 from repro.db.schema import LabelRecord
 from repro.errors import ConfigurationError
 
 __all__ = ["SemanticQuerySession", "MultiClipQuerySession",
-           "ENGINE_FACTORIES"]
+           "sharded_corpus", "ENGINE_FACTORIES"]
 
 ENGINE_FACTORIES = {
     "mil_ocsvm": MILRetrievalEngine,
     "weighted_rf": WeightedRFEngine,
 }
+
+
+def sharded_corpus(db: VideoDatabase, clip_ids: list[str],
+                   event_name: str) -> ShardedCorpus:
+    """Build a lazily-loading :class:`ShardedCorpus` over stored clips.
+
+    Only catalog metadata is read here (:meth:`VideoDatabase.dataset_meta`);
+    each shard's bulk instance matrices load on first use.  Cross-clip
+    compatibility (event model, features, windowing) is validated up
+    front with the same contract as
+    :func:`~repro.core.bags.merge_datasets`.
+    """
+    if not clip_ids:
+        raise ConfigurationError("need >= 1 clip id")
+    metas = [db.dataset_meta(c, event_name) for c in clip_ids]
+    head = metas[0]
+    for meta in metas[1:]:
+        if (meta["feature_names"] != head["feature_names"]
+                or meta["window_size"] != head["window_size"]
+                or meta["sampling_rate"] != head["sampling_rate"]):
+            raise ConfigurationError(
+                f"dataset {meta['clip_id']!r} is not compatible with "
+                f"{head['clip_id']!r} (event/features/windowing differ)"
+            )
+    specs = [
+        ShardSpec(clip_id=meta["clip_id"], n_bags=meta["n_bags"],
+                  n_instances=meta["n_instances"],
+                  loader=partial(db.dataset, meta["clip_id"], event_name))
+        for meta in metas
+    ]
+    return ShardedCorpus(specs, corpus_id="merged:" + "+".join(clip_ids),
+                         event_name=event_name)
 
 
 class _QuerySessionBase:
@@ -42,10 +81,10 @@ class _QuerySessionBase:
         db: VideoDatabase,
         corpus_id: str,
         event_name: str,
-        dataset: MILDataset,
+        dataset,
         *,
         user_id: str = "default",
-        engine: str | RetrievalEngine = "mil_ocsvm",
+        engine="mil_ocsvm",
         top_k: int = 20,
         engine_kwargs: dict | None = None,
     ) -> None:
@@ -57,9 +96,9 @@ class _QuerySessionBase:
         self.user_id = user_id
         self.top_k = int(top_k)
         self.dataset = dataset
-        if isinstance(engine, RetrievalEngine):
-            self.engine = engine
-        else:
+        self._class_cache: dict[str, dict[int, str]] = {}
+        self._class_cache_version: int | None = None
+        if isinstance(engine, str):
             try:
                 factory = ENGINE_FACTORIES[engine]
             except KeyError:
@@ -68,6 +107,8 @@ class _QuerySessionBase:
                     f"{sorted(ENGINE_FACTORIES)}"
                 ) from None
             self.engine = factory(self.dataset, **(engine_kwargs or {}))
+        else:
+            self.engine = engine
         # Resume: replay this user's stored feedback into the engine.
         stored = db.accumulated_labels(corpus_id, event_name, user_id)
         self.round_index = max(
@@ -78,30 +119,45 @@ class _QuerySessionBase:
         if stored:
             self.engine.feed(stored)
 
+    def _vehicle_classes(self, clip_id: str) -> dict[int, str]:
+        """Session-level vehicle-class cache, one DB read per clip.
+
+        Keyed on :attr:`VideoDatabase.metadata_version` so the cache is
+        dropped wholesale when tracks are rewritten or clips change
+        under the session.
+        """
+        version = self.db.metadata_version
+        if version != self._class_cache_version:
+            self._class_cache = {}
+            self._class_cache_version = version
+        classes = self._class_cache.get(clip_id)
+        if classes is None:
+            classes = self._class_cache[clip_id] = \
+                self.db.vehicle_classes(clip_id)
+        return classes
+
     def results(self, *, vehicle_class: str | None = None) -> list[int]:
         """Current top-k bag ids, best first.
 
         ``vehicle_class`` restricts results to Video Sequences containing
         at least one Trajectory Sequence of a vehicle with that stored
         class ("accidents involving trucks") — combining the metadata and
-        semantic sides of the database.
+        semantic sides of the database.  The ranking is walked lazily
+        (:meth:`RetrievalEngine.rank_iter`) and stops at ``top_k``
+        matches, so clips past the cut are neither scored globally nor
+        have their metadata fetched.
         """
         if vehicle_class is None:
             return self.engine.top_k(self.top_k)
-        class_cache: dict[str, dict[int, str]] = {}
-        ranking = self.engine.rank()
         out: list[int] = []
-        for bag_id in ranking:
+        for bag_id in self.engine.rank_iter():
             bag = self.dataset.bag_by_id(bag_id)
-            if bag.clip_id not in class_cache:
-                class_cache[bag.clip_id] = \
-                    self.db.vehicle_classes(bag.clip_id)
-            classes = class_cache[bag.clip_id]
+            classes = self._vehicle_classes(bag.clip_id)
             if any(classes.get(i.track_id) == vehicle_class
                    for i in bag.instances):
                 out.append(bag_id)
-            if len(out) >= self.top_k:
-                break
+                if len(out) >= self.top_k:
+                    break
         return out
 
     def result_windows(self) -> list[tuple[int, int, int]]:
@@ -114,9 +170,18 @@ class _QuerySessionBase:
         ]
 
     def feed(self, labels: Mapping[int, bool]) -> None:
-        """Apply one round of user feedback; persists and retrains."""
+        """Apply one round of user feedback; persists and retrains.
+
+        The engine goes first: ``RetrievalEngine.feed`` validates bag
+        ids before mutating anything, so a rejected round (e.g. an
+        unknown bag id) leaves both the engine and the stored label
+        history untouched — persisting first would desync the two
+        permanently and make resume replay labels the engine never
+        accepted.
+        """
         if not labels:
             raise ConfigurationError("feedback round must label >= 1 bag")
+        self.engine.feed(labels)
         self.db.add_labels([
             LabelRecord(clip_id=self.corpus_id,
                         event_name=self.event_name,
@@ -126,7 +191,6 @@ class _QuerySessionBase:
             for bag_id, relevant in labels.items()
         ])
         self.round_index += 1
-        self.engine.feed(labels)
 
 
 class SemanticQuerySession(_QuerySessionBase):
@@ -148,7 +212,7 @@ class SemanticQuerySession(_QuerySessionBase):
 
 
 class MultiClipQuerySession(_QuerySessionBase):
-    """One query over several clips merged into a single corpus.
+    """One query over several clips as a single retrievable corpus.
 
     The paper's goal state: "Ideally, all the video clips in a
     transportation surveillance video database shall be mined and
@@ -157,6 +221,17 @@ class MultiClipQuerySession(_QuerySessionBase):
     session over the same clips continues where it left off.  For clips
     from different cameras, normalize the tracks before building the
     stored datasets (see :mod:`repro.vision.calibration`).
+
+    By default the corpus stays sharded per clip
+    (:class:`~repro.core.sharded.ShardedRetrievalEngine`): shards load
+    lazily, each ranking round merges per-shard rankings, and
+    ``candidates_per_shard=M`` caps how many bags per shard the
+    one-class SVM scores exactly (the rest keep their cheap heuristic
+    order after all candidates — a recall/latency knob).  With
+    ``candidates_per_shard=None`` the ranking matches the monolithic
+    merged-dataset path.  ``sharded=False``, a non-default engine name,
+    or an explicit engine instance fall back to
+    :func:`~repro.core.bags.merge_datasets`.
     """
 
     def __init__(
@@ -164,14 +239,30 @@ class MultiClipQuerySession(_QuerySessionBase):
         db: VideoDatabase,
         clip_ids: list[str],
         event_name: str,
+        *,
+        sharded: bool = True,
+        candidates_per_shard: int | None = None,
         **kwargs,
     ) -> None:
         if not clip_ids:
             raise ConfigurationError("need >= 1 clip id")
-        datasets = [db.dataset(c, event_name) for c in clip_ids]
         corpus_id = "merged:" + "+".join(clip_ids)
-        merged = merge_datasets(datasets, merged_id=corpus_id)
         self.clip_ids = list(clip_ids)
-        super().__init__(db, corpus_id, event_name, merged, **kwargs)
-
-
+        engine = kwargs.get("engine", "mil_ocsvm")
+        use_sharded = sharded and engine == "mil_ocsvm"
+        if candidates_per_shard is not None and not use_sharded:
+            raise ConfigurationError(
+                "candidates_per_shard requires the sharded 'mil_ocsvm' "
+                "path (sharded=True and no custom engine)"
+            )
+        if use_sharded:
+            corpus = sharded_corpus(db, clip_ids, event_name)
+            engine_kwargs = kwargs.pop("engine_kwargs", None) or {}
+            kwargs["engine"] = ShardedRetrievalEngine(
+                corpus, candidates_per_shard=candidates_per_shard,
+                **engine_kwargs)
+            super().__init__(db, corpus_id, event_name, corpus, **kwargs)
+        else:
+            datasets = [db.dataset(c, event_name) for c in clip_ids]
+            merged = merge_datasets(datasets, merged_id=corpus_id)
+            super().__init__(db, corpus_id, event_name, merged, **kwargs)

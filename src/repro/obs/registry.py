@@ -55,6 +55,14 @@ DEFAULT_METRICS: tuple[tuple[str, str, str], ...] = (
      "wall-clock latency of one relevance-feedback round"),
     ("gauge", "rf.round.ranking_size",
      "bags returned to the user in the latest feedback round"),
+    ("histogram", "sharded.shard.candidates",
+     "candidate bags nominated per shard per ranking round"),
+    ("histogram", "sharded.shard.score_span",
+     "max-min spread of the exact candidate scores within one shard"),
+    ("counter", "sharded.bags_scored",
+     "bags scored exactly (SVM or heuristic fallback) across all shards"),
+    ("counter", "sharded.bags_pruned",
+     "bags the heuristic prefilter kept out of exact scoring"),
     ("counter", "reliability.task.retries",
      "task attempts re-submitted after a transient failure, by reason"),
     ("counter", "reliability.task.timeouts",

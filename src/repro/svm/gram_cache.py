@@ -125,6 +125,48 @@ class GramCache:
             obs.counter("svm.gram.columns_reused").inc(reused)
         return len(missing)
 
+    def ensure_vectors(self, kernel: Kernel, ids: list[int],
+                       vectors: np.ndarray) -> int:
+        """Make columns ``K(X, vectors)`` available for external ``ids``.
+
+        Unlike :meth:`ensure`, the training vectors need not be rows of
+        the cached matrix: a sharded corpus scores each shard against
+        support vectors owned by *other* shards.  ``vectors`` is the
+        (len(ids), d) matrix aligned with ``ids`` (already in the same
+        standardized space as the cached database).  Caching and
+        invalidation semantics are identical to :meth:`ensure`; an id
+        first seen through either entry point is served from cache by
+        both afterwards.
+        """
+        vectors = check_2d("vectors", vectors)
+        if len(ids) != vectors.shape[0]:
+            raise ConfigurationError(
+                f"ids and vectors must align, got {len(ids)} ids / "
+                f"{vectors.shape[0]} vectors"
+            )
+        self._sync_kernel(kernel)
+        missing = [k for k, i in enumerate(ids) if i not in self._cols]
+        if missing:
+            sub = np.ascontiguousarray(vectors[missing])
+            if isinstance(kernel, RBFKernel):
+                fresh = kernel.compute_blocked(
+                    self._x, sub, block_rows=self._block_rows,
+                    a_sq=self._x_sq)
+            else:
+                fresh = kernel.compute_blocked(self._x, sub,
+                                               block_rows=self._block_rows)
+            for j, k in enumerate(missing):
+                self._cols[ids[k]] = np.ascontiguousarray(fresh[:, j])
+        reused = len(ids) - len(missing)
+        self.misses += len(missing)
+        self.hits += reused
+        obs = get_telemetry()
+        if missing:
+            obs.counter("svm.gram.columns_computed").inc(len(missing))
+        if reused:
+            obs.counter("svm.gram.columns_reused").inc(reused)
+        return len(missing)
+
     def gram(self, ids: list[int], rows: np.ndarray) -> np.ndarray:
         """Training Gram block ``K(X[rows], X[rows])`` from cached columns.
 

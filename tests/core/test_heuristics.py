@@ -65,6 +65,20 @@ class TestHeuristicScores:
         bag_scores, _ = heuristic_scores(ds)
         assert bag_scores[-1] == -np.inf
 
+    def test_matrices_with_normalize_rejected(self, toy):
+        """Regression: normalize=True used to be silently ignored when
+        explicit matrices were passed — callers thought they ranked
+        normalized features when they didn't."""
+        from repro.errors import ConfigurationError
+
+        ds, _ = toy
+        matrices = instance_feature_matrices(ds)
+        with pytest.raises(ConfigurationError, match="not both"):
+            heuristic_scores(ds, matrices=matrices, normalize=True)
+        # Each flag on its own stays valid.
+        heuristic_scores(ds, matrices=matrices)
+        heuristic_scores(ds, normalize=True)
+
 
 class TestFeatureMatrices:
     def test_raw_by_default(self, toy):

@@ -1,0 +1,284 @@
+"""Tests for the sharded corpus and two-stage pruned ranking.
+
+The load-bearing property is monolith equivalence: with pruning
+disabled, the sharded engine must reproduce the merged-dataset
+``MILRetrievalEngine`` ranking round for round, including the bag-id
+tie-break.  The rest pins the shard mechanics — lazy loading, spec
+validation, feed atomicity, pruning semantics, Gram-cache reuse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MILRetrievalEngine, merge_datasets
+from repro.core.bags import Bag, Instance, MILDataset
+from repro.core.sharded import (
+    CorpusShard,
+    ShardSpec,
+    ShardedCorpus,
+    ShardedRetrievalEngine,
+)
+from repro.errors import ConfigurationError
+
+
+def _clip(clip_id, n_bags, seed, *, spike_every=3, empty_every=None,
+          window=4, features=3, instances_per_bag=2):
+    """Synthetic clip: every ``spike_every``-th bag carries an incident-
+    like feature spike (so relevance is known by construction)."""
+    rng = np.random.default_rng(seed)
+    bags, iid = [], 0
+    for b in range(n_bags):
+        empty = empty_every is not None and b % empty_every == 1
+        instances = []
+        if not empty:
+            for _ in range(instances_per_bag):
+                matrix = rng.normal(scale=0.3, size=(window, features))
+                if b % spike_every == 0:
+                    matrix[window // 2] += 4.0
+                instances.append(Instance(
+                    instance_id=iid, bag_id=b, track_id=iid,
+                    matrix=matrix))
+                iid += 1
+        bags.append(Bag(bag_id=b, clip_id=clip_id, frame_lo=b * 20,
+                        frame_hi=b * 20 + 19, instances=tuple(instances)))
+    return MILDataset(
+        clip_id=clip_id, event_name="accident",
+        feature_names=tuple(f"f{i}" for i in range(features)),
+        window_size=window, sampling_rate=5, bags=bags)
+
+
+def _specs(datasets):
+    return [
+        ShardSpec(clip_id=d.clip_id, n_bags=len(d.bags),
+                  n_instances=d.n_instances, loader=(lambda d=d: d))
+        for d in datasets
+    ]
+
+
+def _corpus(datasets, **kwargs):
+    return ShardedCorpus(_specs(datasets), corpus_id="merged:test",
+                         **kwargs)
+
+
+def _spiked_global_ids(merged):
+    """Global ids of bags with a spiked instance (relevance oracle)."""
+    return {
+        bag.bag_id for bag in merged.bags
+        if any(np.abs(inst.matrix).max() > 2.0 for inst in bag.instances)
+    }
+
+
+@pytest.fixture()
+def three_clips():
+    return [
+        _clip("a", 12, seed=1),
+        _clip("b", 9, seed=2, empty_every=4),
+        _clip("c", 15, seed=3, spike_every=5),
+    ]
+
+
+class TestShardedCorpus:
+    def test_global_ids_match_merge(self, three_clips):
+        corpus = _corpus(three_clips)
+        merged = merge_datasets(three_clips, merged_id="merged:test")
+        assert len(corpus) == len(merged)
+        assert corpus.n_instances == merged.n_instances
+        for bag_id in range(len(merged)):
+            ours, theirs = corpus.bag_by_id(bag_id), merged.bag_by_id(bag_id)
+            assert ours.clip_id == theirs.clip_id
+            assert ours.frame_range == theirs.frame_range
+            assert ([i.instance_id for i in ours.instances]
+                    == [i.instance_id for i in theirs.instances])
+
+    def test_shards_load_lazily(self, three_clips):
+        corpus = _corpus(three_clips)
+        assert corpus.loaded_clip_ids == []
+        corpus.bag_by_id(0)  # first shard only
+        assert corpus.loaded_clip_ids == ["a"]
+        corpus.bag_by_id(len(corpus) - 1)
+        assert set(corpus.loaded_clip_ids) == {"a", "c"}
+
+    def test_unknown_bag_and_clip(self, three_clips):
+        corpus = _corpus(three_clips)
+        with pytest.raises(ConfigurationError, match="no bag with id"):
+            corpus.bag_by_id(len(corpus))
+        with pytest.raises(ConfigurationError, match="no shard for clip"):
+            corpus.shard("nope")
+
+    def test_spec_count_mismatch_fails_loudly(self, three_clips):
+        spec = ShardSpec(clip_id="a", n_bags=99, n_instances=5,
+                         loader=lambda: three_clips[0])
+        with pytest.raises(ConfigurationError, match="spec declares"):
+            CorpusShard(spec, 0, 0)
+
+    def test_duplicate_and_empty_specs_rejected(self, three_clips):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ShardedCorpus(_specs([three_clips[0], three_clips[0]]))
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            ShardedCorpus([])
+
+
+class TestMonolithEquivalence:
+    def _run_protocol(self, datasets, *, rounds=4, top_k=10,
+                      candidates_per_shard=None, **engine_kwargs):
+        merged = merge_datasets(datasets, merged_id="merged:test")
+        mono = MILRetrievalEngine(merged, **engine_kwargs)
+        sharded = ShardedRetrievalEngine(
+            _corpus(datasets), candidates_per_shard=candidates_per_shard,
+            **engine_kwargs)
+        relevant = _spiked_global_ids(merged)
+        rankings = []
+        for _ in range(rounds):
+            mono_rank, sharded_rank = mono.rank(), sharded.rank()
+            rankings.append((mono_rank, sharded_rank))
+            labels = {b: b in relevant for b in mono_rank[:top_k]}
+            mono.feed(labels)
+            sharded.feed(labels)
+        rankings.append((mono.rank(), sharded.rank()))
+        return rankings
+
+    def test_unpruned_ranking_matches_every_round(self, three_clips):
+        for mono_rank, sharded_rank in self._run_protocol(three_clips):
+            assert sharded_rank == mono_rank
+
+    def test_m_at_corpus_size_matches(self, three_clips):
+        total = sum(len(d.bags) for d in three_clips)
+        for mono_rank, sharded_rank in self._run_protocol(
+                three_clips, candidates_per_shard=total):
+            assert sharded_rank == mono_rank
+
+    def test_equivalence_with_svdd_and_topm_policy(self, three_clips):
+        for mono_rank, sharded_rank in self._run_protocol(
+                three_clips, rounds=2, learner="svdd",
+                training_policy="top2"):
+            assert sharded_rank == mono_rank
+
+    def test_tie_break_by_bag_id(self):
+        """Identical matrices everywhere -> every score ties -> ranking
+        must fall back to ascending bag ids, exactly like the monolith."""
+        constant = np.ones((3, 2))
+        datasets = []
+        iid = 0
+        for clip_id in ("t1", "t2"):
+            bags = []
+            for b in range(5):
+                inst = Instance(instance_id=iid, bag_id=b, track_id=iid,
+                                matrix=constant.copy())
+                iid += 1
+                bags.append(Bag(bag_id=b, clip_id=clip_id, frame_lo=b * 10,
+                                frame_hi=b * 10 + 9, instances=(inst,)))
+            datasets.append(MILDataset(
+                clip_id=clip_id, event_name="accident",
+                feature_names=("f0", "f1"), window_size=3,
+                sampling_rate=5, bags=bags))
+        for mono_rank, sharded_rank in self._run_protocol(
+                datasets, rounds=2, top_k=4):
+            assert sharded_rank == mono_rank
+            assert sharded_rank == sorted(sharded_rank)
+
+
+class TestPrunedRanking:
+    def test_rank_is_a_permutation(self, three_clips):
+        engine = ShardedRetrievalEngine(_corpus(three_clips),
+                                        candidates_per_shard=3)
+        merged = merge_datasets(three_clips, merged_id="merged:test")
+        ranking = engine.rank()
+        assert sorted(ranking) == list(range(len(merged)))
+        engine.feed({b: b in _spiked_global_ids(merged)
+                     for b in ranking[:8]})
+        ranking = engine.rank()
+        assert sorted(ranking) == list(range(len(merged)))
+
+    def test_pruned_top_k_matches_unpruned(self, three_clips):
+        """The trained model is independent of M, and the spiked bags sit
+        at the top of each shard's heuristic order, so a moderate M must
+        reproduce the unpruned top-k."""
+        merged = merge_datasets(three_clips, merged_id="merged:test")
+        relevant = _spiked_global_ids(merged)
+        full = ShardedRetrievalEngine(_corpus(three_clips))
+        pruned = ShardedRetrievalEngine(_corpus(three_clips),
+                                        candidates_per_shard=6)
+        labels = {b: b in relevant for b in full.top_k(10)}
+        full.feed(labels)
+        pruned.feed(labels)
+        assert pruned.top_k(5) == full.top_k(5)
+
+    def test_pruned_bags_follow_all_candidates(self, three_clips):
+        m = 2
+        corpus = _corpus(three_clips)
+        engine = ShardedRetrievalEngine(corpus, candidates_per_shard=m)
+        ranking = engine.rank()
+        n_candidates = sum(
+            min(m, spec.n_bags) for spec in corpus.specs)
+        candidate_ids = {
+            int(shard.bag_offset + p)
+            for shard in corpus.shards()
+            for p in shard.candidate_positions(m)
+        }
+        assert set(ranking[:n_candidates]) == candidate_ids
+
+    def test_empty_bags_rank_last(self):
+        datasets = [_clip("e1", 8, seed=5, empty_every=2),
+                    _clip("e2", 8, seed=6)]
+        engine = ShardedRetrievalEngine(_corpus(datasets))
+        merged = merge_datasets(datasets, merged_id="merged:test")
+        empty = {b.bag_id for b in merged.bags if not b.instances}
+        ranking = engine.rank()
+        assert set(ranking[-len(empty):]) == empty
+
+
+class TestShardedEngineState:
+    def test_feed_rejects_unknown_ids_atomically(self, three_clips):
+        engine = ShardedRetrievalEngine(_corpus(three_clips))
+        before = engine.rank()
+        with pytest.raises(ConfigurationError, match="unknown bag ids"):
+            engine.feed({0: True, 10_000: True})
+        assert engine.labels == {}
+        assert not engine.is_trained
+        assert engine.rank() == before
+
+    def test_gram_cache_reused_across_rounds(self, three_clips):
+        corpus = _corpus(three_clips)
+        engine = ShardedRetrievalEngine(corpus)
+        merged = merge_datasets(three_clips, merged_id="merged:test")
+        relevant = sorted(_spiked_global_ids(merged))
+        engine.feed({relevant[0]: True})
+        engine.rank()
+        engine.feed({relevant[1]: True})
+        engine.rank()
+        hits = sum(s.gram_cache.hits for s in corpus.shards()
+                   if s.gram_cache is not None)
+        assert hits > 0
+
+    def test_training_stats_match_monolith(self, three_clips):
+        merged = merge_datasets(three_clips, merged_id="merged:test")
+        mono = MILRetrievalEngine(merged)
+        sharded = ShardedRetrievalEngine(_corpus(three_clips))
+        labels = {b: b in _spiked_global_ids(merged)
+                  for b in mono.top_k(10)}
+        mono.feed(labels)
+        sharded.feed(labels)
+        assert sharded.last_nu_ == mono.last_nu_
+        assert sharded.training_size_ == mono.training_size_
+
+    def test_validation(self, three_clips):
+        corpus = _corpus(three_clips)
+        with pytest.raises(ConfigurationError,
+                           match="candidates_per_shard"):
+            ShardedRetrievalEngine(corpus, candidates_per_shard=0)
+        with pytest.raises(ConfigurationError, match="learner"):
+            ShardedRetrievalEngine(corpus, learner="forest")
+        with pytest.raises(ConfigurationError, match="positive"):
+            ShardedRetrievalEngine(corpus).top_k(0)
+        empty = MILDataset(clip_id="x", event_name="accident",
+                           feature_names=("f0",), window_size=1,
+                           sampling_rate=5, bags=[])
+        with pytest.raises(ConfigurationError, match="no bags"):
+            ShardedRetrievalEngine(_corpus([empty]))
+
+    def test_top_k_consumes_lazy_prefix(self, three_clips):
+        engine = ShardedRetrievalEngine(_corpus(three_clips),
+                                        candidates_per_shard=4)
+        top = engine.top_k(3)
+        assert len(top) == 3
+        assert top == engine.rank()[:3]

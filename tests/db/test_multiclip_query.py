@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import MultiClipOracle
 from repro.db import MultiClipQuerySession, VideoDatabase
+from repro.db.schema import ClipRecord
 from repro.errors import ConfigurationError
 from repro.eval import build_artifacts
 from repro.sim import GroundTruth
@@ -91,3 +92,95 @@ class TestMultiClipQuerySession:
         db, _ = two_clip_db
         with pytest.raises(ConfigurationError):
             MultiClipQuerySession(db, [], "accident")
+
+
+class TestShardedSession:
+    def test_sharded_matches_merged_over_oracle_protocol(
+            self, two_clip_db, small_tunnel, small_intersection):
+        """The sharded default must reproduce the merged-dataset path's
+        results on every round of an oracle feedback protocol."""
+        db, truths = two_clip_db
+        clip_ids = [small_tunnel.name, small_intersection.name]
+        sharded = MultiClipQuerySession(db, clip_ids, "accident",
+                                        user_id="s", top_k=10)
+        merged = MultiClipQuerySession(db, clip_ids, "accident",
+                                       user_id="m", top_k=10,
+                                       sharded=False)
+        oracle = MultiClipOracle(truths)
+        for _ in range(4):
+            results = sharded.results()
+            assert merged.results() == results
+            labels = oracle.label_bags(
+                [sharded.dataset.bag_by_id(b) for b in results])
+            sharded.feed(labels)
+            merged.feed(labels)
+        assert merged.results() == sharded.results()
+
+    def test_shards_load_lazily_behind_session(self, two_clip_db,
+                                               small_tunnel,
+                                               small_intersection):
+        db, _ = two_clip_db
+        session = MultiClipQuerySession(
+            db, [small_tunnel.name, small_intersection.name], "accident")
+        assert session.engine.corpus.loaded_clip_ids == []
+        session.results()
+        assert set(session.engine.corpus.loaded_clip_ids) == {
+            small_tunnel.name, small_intersection.name}
+
+    def test_pruned_session_runs_feedback(self, two_clip_db, small_tunnel,
+                                          small_intersection):
+        db, truths = two_clip_db
+        session = MultiClipQuerySession(
+            db, [small_tunnel.name, small_intersection.name], "accident",
+            candidates_per_shard=2, top_k=5)
+        assert session.engine.candidates_per_shard == 2
+        oracle = MultiClipOracle(truths)
+        for _ in range(2):
+            bags = [session.dataset.bag_by_id(b)
+                    for b in session.results()]
+            session.feed(oracle.label_bags(bags))
+        assert sorted(session.engine.rank()) == \
+            list(range(len(session.dataset)))
+
+    def test_candidates_per_shard_needs_sharded_path(
+            self, two_clip_db, small_tunnel, small_intersection):
+        db, _ = two_clip_db
+        clip_ids = [small_tunnel.name, small_intersection.name]
+        with pytest.raises(ConfigurationError,
+                           match="candidates_per_shard"):
+            MultiClipQuerySession(db, clip_ids, "accident",
+                                  candidates_per_shard=2, sharded=False)
+        with pytest.raises(ConfigurationError,
+                           match="candidates_per_shard"):
+            MultiClipQuerySession(db, clip_ids, "accident",
+                                  candidates_per_shard=2,
+                                  engine="weighted_rf")
+
+    def test_merged_fallback_engine_registry(self, two_clip_db,
+                                             small_tunnel,
+                                             small_intersection):
+        db, _ = two_clip_db
+        session = MultiClipQuerySession(
+            db, [small_tunnel.name, small_intersection.name], "accident",
+            engine="weighted_rf", top_k=5)
+        assert session.results()
+
+    def test_incompatible_datasets_rejected(self, two_clip_db,
+                                            small_tunnel,
+                                            small_intersection):
+        from repro.core.bags import MILDataset
+
+        db, _ = two_clip_db
+        other = db.dataset(small_intersection.name, "accident")
+        skewed = MILDataset(
+            clip_id="skewed", event_name="accident",
+            feature_names=other.feature_names,
+            window_size=other.window_size + 1,
+            sampling_rate=other.sampling_rate,
+            bags=[])
+        db.add_clip(ClipRecord(clip_id="skewed", location="x",
+                               fps=20, n_frames=100))
+        db.add_dataset(skewed)
+        with pytest.raises(ConfigurationError, match="not compatible"):
+            MultiClipQuerySession(db, [small_tunnel.name, "skewed"],
+                                  "accident")

@@ -39,7 +39,7 @@ class TestSemanticQuerySession:
         session.feed(user.label_bags(bags))
         stored = db.labels(small_tunnel.name, "accident", "u1")
         assert len(stored) == 5
-        assert all(l.round_index == 0 for l in stored)
+        assert all(rec.round_index == 0 for rec in stored)
 
     def test_session_resume_restores_feedback(self, db_with_clip,
                                               small_tunnel):
@@ -90,3 +90,89 @@ class TestSemanticQuerySession:
         session = SemanticQuerySession(db, small_tunnel.name, "accident")
         with pytest.raises(ConfigurationError):
             session.feed({})
+
+
+class TestFeedStateConsistency:
+    """Regression: a feed round the engine rejects must leave the stored
+    label history, the round counter, and the engine untouched — the old
+    code persisted first, so a rejected round desynced DB vs engine for
+    every later resume."""
+
+    def test_rejected_feed_leaves_session_and_db_untouched(
+            self, db_with_clip, small_tunnel):
+        db, _ = db_with_clip
+        session = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                       user_id="r1", top_k=5)
+        before = session.results()
+        with pytest.raises(ConfigurationError, match="unknown bag ids"):
+            session.feed({999_999: True})
+        assert session.round_index == 0
+        assert session.engine.labels == {}
+        assert db.labels(small_tunnel.name, "accident", "r1") == []
+        assert session.results() == before
+
+    def test_resume_after_rejected_feed_is_clean(self, db_with_clip,
+                                                 small_tunnel):
+        db, _ = db_with_clip
+        session = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                       user_id="r2", top_k=5)
+        good = {b: True for b in session.results()}
+        session.feed(good)
+        with pytest.raises(ConfigurationError):
+            session.feed({999_999: False})
+        resumed = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                       user_id="r2", top_k=5)
+        assert resumed.round_index == 1
+        assert resumed.engine.labels == session.engine.labels
+        assert resumed.results() == session.results()
+
+
+class TestVehicleClassCache:
+    def test_classes_fetched_once_per_clip(self, db_with_clip,
+                                           small_tunnel):
+        db, _ = db_with_clip
+        session = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                       top_k=5)
+        calls = []
+        original = db.vehicle_classes
+
+        def counting(clip_id):
+            calls.append(clip_id)
+            return original(clip_id)
+
+        db.vehicle_classes = counting
+        session.results(vehicle_class="car")
+        session.results(vehicle_class="car")
+        assert calls == [small_tunnel.name]
+
+    def test_cache_invalidated_by_metadata_change(self, db_with_clip,
+                                                  small_tunnel):
+        db, _ = db_with_clip
+        session = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                       top_k=5)
+        calls = []
+        original = db.vehicle_classes
+
+        def counting(clip_id):
+            calls.append(clip_id)
+            return original(clip_id)
+
+        db.vehicle_classes = counting
+        session.results(vehicle_class="car")
+        db.add_tracks(small_tunnel.name, [])  # bumps metadata_version
+        session.results(vehicle_class="car")
+        assert calls == [small_tunnel.name, small_tunnel.name]
+
+    def test_filter_restricts_to_matching_bags(self, db_with_clip,
+                                               small_tunnel):
+        db, _ = db_with_clip
+        session = SemanticQuerySession(db, small_tunnel.name, "accident",
+                                       top_k=5)
+        classes = db.vehicle_classes(small_tunnel.name)
+        present = {c for c in classes.values() if c}
+        for cls in present or {"car"}:
+            for bag_id in session.results(vehicle_class=cls):
+                bag = session.dataset.bag_by_id(bag_id)
+                assert any(classes.get(i.track_id) == cls
+                           for i in bag.instances)
+        assert session.results(vehicle_class="hovercraft") == []

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.events import AccidentModel, build_dataset, extract_series
@@ -120,3 +122,124 @@ class TestBuildDataset:
         assert dataset.feature_names == ("inv_mdist", "vdiff", "theta")
         assert dataset.window_size == 3
         assert dataset.sampling_rate == 5
+
+
+# -- property-based invariants -------------------------------------------
+
+track_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=20),   # first_frame / 5
+        st.integers(min_value=31, max_value=120),  # track length
+        st.integers(min_value=30, max_value=90),   # lane y
+    ),
+    min_size=1, max_size=3,
+)
+
+
+def _tracks(specs):
+    return [
+        _straight_track(i, n=n, first_frame=start5 * 5, y=float(y))
+        for i, (start5, n, y) in enumerate(specs)
+    ]
+
+
+class TestWindowFrameSpanProperties:
+    @given(first=st.integers(min_value=0, max_value=10_000),
+           window=st.integers(min_value=1, max_value=12),
+           rate=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_span_shape(self, first, window, rate):
+        lo, hi = window_frame_span(first, window, rate)
+        assert hi == first + (window - 1) * rate
+        assert lo >= 0
+        # Nominal span is window*rate frames, clamped at the clip start.
+        assert hi - lo + 1 == min(window * rate, hi + 1)
+
+    @given(first=st.integers(min_value=0, max_value=200),
+           window=st.integers(min_value=1, max_value=6),
+           rate=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_consecutive_windows_tile_the_clip(self, first, window, rate):
+        """Non-overlapping consecutive windows (stride = window) cover
+        adjacent, non-overlapping frame intervals once clear of the
+        clip-start clamp."""
+        lo1, hi1 = window_frame_span(first + window * rate, window, rate)
+        if lo1 > 0:
+            _, hi0 = window_frame_span(first, window, rate)
+            assert lo1 == hi0 + 1
+
+
+class TestBuildDatasetProperties:
+    @given(specs=track_specs,
+           window=st.integers(min_value=1, max_value=5),
+           step=st.integers(min_value=1, max_value=5),
+           keep_empty=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_ids_contiguous_and_shapes_uniform(self, specs, window, step,
+                                               keep_empty):
+        dataset = build_dataset(
+            _series(_tracks(specs)), AccidentModel(), window_size=window,
+            step=step, keep_empty=keep_empty)
+        assert [b.bag_id for b in dataset.bags] == \
+            list(range(len(dataset.bags)))
+        next_inst = 0
+        for bag in dataset.bags:
+            for inst in bag.instances:
+                assert inst.instance_id == next_inst
+                next_inst += 1
+                assert inst.bag_id == bag.bag_id
+                assert inst.matrix.shape == (window, 3)
+        assert dataset.n_instances == next_inst
+
+    @given(specs=track_specs,
+           window=st.integers(min_value=1, max_value=5),
+           step=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_keep_empty_only_inserts_empty_bags(self, specs, window, step):
+        """keep_empty must not change which windows carry instances —
+        the non-empty bags of both variants line up exactly."""
+        series = _series(_tracks(specs))
+        dense = build_dataset(series, AccidentModel(), window_size=window,
+                              step=step, keep_empty=True)
+        sparse = build_dataset(series, AccidentModel(), window_size=window,
+                               step=step, keep_empty=False)
+        kept = [b for b in dense.bags if b.n_instances > 0]
+        assert len(kept) == len(sparse.bags)
+        for ours, theirs in zip(sparse.bags, kept):
+            assert ours.frame_range == theirs.frame_range
+            assert ([i.track_id for i in ours.instances]
+                    == [i.track_id for i in theirs.instances])
+            for a, b in zip(ours.instances, theirs.instances):
+                assert np.array_equal(a.matrix, b.matrix)
+
+    @given(specs=track_specs,
+           window=st.integers(min_value=1, max_value=5),
+           step=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_window_count_follows_grid_arithmetic(self, specs, window,
+                                                  step):
+        series = _series(_tracks(specs))
+        dataset = build_dataset(series, AccidentModel(),
+                                window_size=window, step=step,
+                                keep_empty=True)
+        grid_lo = min(int(s.checkpoint_frames[0]) for s in series) // 5
+        grid_hi = max(int(s.checkpoint_frames[-1]) for s in series) // 5
+        n_starts = len(range(grid_lo, grid_hi - window + 2, step))
+        assert len(dataset.bags) == n_starts
+
+    @given(specs=track_specs,
+           window=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_instances_cover_their_window(self, specs, window):
+        """Every instance's source track spans the bag's checkpoints."""
+        tracks = _tracks(specs)
+        span = {t.track_id: (t.first_frame, t.last_frame) for t in tracks}
+        dataset = build_dataset(_series(tracks), AccidentModel(),
+                                window_size=window)
+        first_checkpoint = {bag.bag_id: bag.frame_hi - (window - 1) * 5
+                            for bag in dataset.bags}
+        for bag in dataset.bags:
+            for inst in bag.instances:
+                first, last = span[inst.track_id]
+                assert first <= first_checkpoint[bag.bag_id]
+                assert last >= bag.frame_hi

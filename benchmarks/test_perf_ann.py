@@ -1,0 +1,250 @@
+"""ANN nomination benchmark: IVF probe vs exhaustive heuristic scan.
+
+Protocol: a synthetic multi-clip corpus (8 clips, spiked "incident"
+bags) runs two oracle feedback rounds, then ranks with pruning
+disabled (``candidates_per_shard=None``) so the heuristic baseline
+scores *every* bag exactly.  A grid of ``(n_cells, nprobe)`` IVF
+nominators replays the identical labels and we measure, per setting:
+
+* recall@20 — overlap of the IVF-nominated top-20 with the exhaustive
+  exact top-20;
+* scan fraction — bags handed to the OCSVM rerank / total bags
+  (the baseline scans 1.0 by construction).
+
+Claims checked:
+
+* some probe setting reaches recall@20 >= 0.95 while scanning <= 25%
+  of the corpus per round;
+* with ``n_cells`` grown as sqrt(bags) the trained-round ``top_k(20)``
+  latency at 16x corpus stays within 2x of the 1x corpus.
+
+Numbers land in ``BENCH_ann.json`` (``repro-bench-v1`` schema).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bags import Bag, Instance, MILDataset
+from repro.core.sharded import (
+    IVFNominator,
+    ShardSpec,
+    ShardedCorpus,
+    ShardedRetrievalEngine,
+)
+from repro.obs import Telemetry, merge_bench, set_telemetry
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_ann.json"
+
+N_CLIPS = 8
+SWEEP_BAGS = 360          # per clip -> 2880-bag corpus for the sweep
+INSTANCES_PER_BAG = 4
+WINDOW, FEATURES = 6, 4
+SPIKE_EVERY = 12          # one "incident" bag per 12 windows
+ROUNDS = 2
+TOP_K = 20
+LABELS_PER_ROUND = 20
+REPEATS = 3               # best-of, per timed round
+CELL_GRID = (16, 32, 64)
+PROBE_GRID = (1, 2, 4, 8)
+RECALL_FLOOR = 0.95
+SCAN_CEILING = 0.25
+SCALES = {1: 90, 4: 360, 16: 1440}   # scale -> bags per clip
+SCALE_NPROBE = 8
+SCALE_CANDIDATES = 64
+LATENCY_CEILING = 2.0
+
+
+def _clip(clip_id: str, n_bags: int, seed: int) -> MILDataset:
+    rng = np.random.default_rng(seed)
+    bags, iid = [], 0
+    for b in range(n_bags):
+        instances = []
+        for _ in range(INSTANCES_PER_BAG):
+            matrix = rng.normal(scale=0.3, size=(WINDOW, FEATURES))
+            if b % SPIKE_EVERY == 0:
+                matrix[WINDOW // 2] += 4.0
+            instances.append(Instance(instance_id=iid, bag_id=b,
+                                      track_id=iid, matrix=matrix))
+            iid += 1
+        bags.append(Bag(bag_id=b, clip_id=clip_id, frame_lo=b * 20,
+                        frame_hi=b * 20 + 19, instances=tuple(instances)))
+    return MILDataset(
+        clip_id=clip_id, event_name="accident",
+        feature_names=tuple(f"f{i}" for i in range(FEATURES)),
+        window_size=WINDOW, sampling_rate=5, bags=bags)
+
+
+def _clips(n_clips: int, bags_per_clip: int) -> list[MILDataset]:
+    return [_clip(f"cam{i:02d}", bags_per_clip, seed=100 + i)
+            for i in range(n_clips)]
+
+
+def _corpus(datasets: list[MILDataset]) -> ShardedCorpus:
+    specs = [ShardSpec(clip_id=d.clip_id, n_bags=len(d.bags),
+                       n_instances=d.n_instances, loader=(lambda d=d: d))
+             for d in datasets]
+    return ShardedCorpus(specs, corpus_id="bench-ann")
+
+
+def _relevant_ids(bags_per_clip: int) -> set[int]:
+    """Global ids of the spiked bags (shards offset in spec order)."""
+    return {clip * bags_per_clip + b
+            for clip in range(N_CLIPS)
+            for b in range(0, bags_per_clip, SPIKE_EVERY)}
+
+
+def _scanned_fraction(engine: ShardedRetrievalEngine) -> float:
+    nominated = engine._round_nominated
+    assert nominated is not None, "rank before reading the scan fraction"
+    return sum(len(v) for v in nominated.values()) / len(engine.corpus)
+
+
+def _timed_round(engine: ShardedRetrievalEngine, k: int) -> float:
+    """Best-of-REPEATS wall seconds for one post-feed ``top_k`` call."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        engine._candidate_streams = None
+        engine._leftover_streams = None
+        engine._round_nominated = None
+        t0 = time.perf_counter()
+        engine.top_k(k)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_smoke_ivf_nomination_and_telemetry():
+    """Fast CI check: the IVF path ranks, feeds, and instruments."""
+    datasets = _clips(2, 48)
+    registry = Telemetry()
+    previous = set_telemetry(registry)
+    try:
+        engine = ShardedRetrievalEngine(
+            _corpus(datasets), candidates_per_shard=8,
+            nominator=IVFNominator(n_cells=8, nprobe=2))
+        relevant = _relevant_ids(48)
+        top = engine.top_k(10)
+        engine.feed({b: b in relevant for b in top})
+        ranking = engine.rank()
+    finally:
+        set_telemetry(previous)
+    assert sorted(ranking) == list(range(2 * 48))
+    assert registry.counter("index.builds").value() > 0
+    assert registry.counter("index.cells_probed").value() > 0
+    assert registry.counter("index.bags_nominated").value() > 0
+    assert any(s.name == "index.probe" for s in registry.spans)
+
+
+def test_recall_vs_scan_sweep():
+    datasets = _clips(N_CLIPS, SWEEP_BAGS)
+    relevant = _relevant_ids(SWEEP_BAGS)
+
+    # Exhaustive baseline: heuristic nominator, pruning disabled, so
+    # every bag is scored exactly.  Its labels drive every IVF replay.
+    exact = ShardedRetrievalEngine(_corpus(datasets))
+    label_rounds = []
+    for _ in range(ROUNDS):
+        labels = {b: b in relevant for b in exact.top_k(LABELS_PER_ROUND)}
+        label_rounds.append(labels)
+        exact.feed(labels)
+    exact_top = exact.top_k(TOP_K)
+    assert _scanned_fraction(exact) == 1.0
+
+    recorder = Telemetry()
+    recall_gauge = recorder.gauge(
+        "bench.recall_at_20", "IVF top-20 overlap with the exact top-20")
+    scan_gauge = recorder.gauge(
+        "bench.scan_fraction", "bags reranked exactly / total bags")
+    frontier = []
+    for n_cells in CELL_GRID:
+        for nprobe in PROBE_GRID:
+            engine = ShardedRetrievalEngine(
+                _corpus(datasets),
+                nominator=IVFNominator(n_cells=n_cells, nprobe=nprobe))
+            for labels in label_rounds:
+                engine.feed(labels)
+            top = engine.top_k(TOP_K)
+            recall = len(set(top) & set(exact_top)) / TOP_K
+            fraction = _scanned_fraction(engine)
+            recall_gauge.set(round(recall, 4),
+                             n_cells=n_cells, nprobe=nprobe)
+            scan_gauge.set(round(fraction, 4),
+                           n_cells=n_cells, nprobe=nprobe)
+            frontier.append((n_cells, nprobe, recall, fraction))
+
+    hits = [(c, p, r, f) for c, p, r, f in frontier
+            if r >= RECALL_FLOOR and f <= SCAN_CEILING]
+    if hits:
+        # cheapest qualifying probe, ties broken by recall
+        c, p, r, f = min(hits, key=lambda t: (t[3], -t[2]))
+        recorder.gauge("bench.best_recall_at_20",
+                       "recall of the cheapest qualifying setting").set(
+            round(r, 4))
+        recorder.gauge("bench.best_scan_fraction", "").set(round(f, 4))
+        recorder.gauge("bench.best_n_cells", "").set(c)
+        recorder.gauge("bench.best_nprobe", "").set(p)
+    merge_bench(BENCH_PATH, "recall_scan_sweep", recorder,
+                meta={"n_clips": N_CLIPS, "bags_per_clip": SWEEP_BAGS,
+                      "instances_per_bag": INSTANCES_PER_BAG,
+                      "rounds": ROUNDS, "top_k": TOP_K,
+                      "labels_per_round": LABELS_PER_ROUND,
+                      "cell_grid": list(CELL_GRID),
+                      "probe_grid": list(PROBE_GRID),
+                      "baseline_scan_fraction": 1.0,
+                      "recall_floor": RECALL_FLOOR,
+                      "scan_ceiling": SCAN_CEILING})
+
+    assert hits, (
+        f"no (n_cells, nprobe) setting reached recall@20 >= "
+        f"{RECALL_FLOOR} at <= {SCAN_CEILING:.0%} scanned; frontier: "
+        + ", ".join(f"({c},{p}): r={r:.2f} f={f:.2f}"
+                    for c, p, r, f in frontier))
+
+
+def test_round_latency_at_16x_corpus():
+    """Trained-round latency with n_cells ~ sqrt(bags): 16x the corpus
+    must stay within 2x the 1x-corpus round."""
+    latencies = {}
+    for scale, bags_per_clip in SCALES.items():
+        datasets = _clips(N_CLIPS, bags_per_clip)
+        relevant = _relevant_ids(bags_per_clip)
+        n_cells = max(SCALE_NPROBE + 1,
+                      int(round(math.sqrt(bags_per_clip * N_CLIPS))))
+        engine = ShardedRetrievalEngine(
+            _corpus(datasets), candidates_per_shard=SCALE_CANDIDATES,
+            nominator=IVFNominator(n_cells=n_cells, nprobe=SCALE_NPROBE))
+        for _ in range(ROUNDS):
+            engine.feed({b: b in relevant
+                         for b in engine.top_k(LABELS_PER_ROUND)})
+        engine.top_k(TOP_K)   # warm-up: pays the lazy index build
+        latencies[scale] = _timed_round(engine, TOP_K)
+
+    growth = latencies[16] / latencies[1]
+
+    recorder = Telemetry()
+    gauge = recorder.gauge("bench.warm_round_ms",
+                           "trained-round top_k(20) wall ms by scale")
+    for scale, seconds in latencies.items():
+        gauge.set(round(seconds * 1000, 3), scale=scale,
+                  total_bags=N_CLIPS * SCALES[scale])
+    recorder.gauge("bench.latency_growth_16x",
+                   "round latency ratio 16x / 1x corpus").set(
+        round(growth, 2))
+    merge_bench(BENCH_PATH, "corpus_scaling", recorder,
+                meta={"n_clips": N_CLIPS,
+                      "scales": {str(k): v for k, v in SCALES.items()},
+                      "candidates_per_shard": SCALE_CANDIDATES,
+                      "nprobe": SCALE_NPROBE,
+                      "n_cells_rule": "sqrt(total bags)",
+                      "repeats": REPEATS,
+                      "latency_ceiling": LATENCY_CEILING})
+
+    assert growth <= LATENCY_CEILING, (
+        f"trained-round latency grew {growth:.2f}x at 16x corpus "
+        f"(ceiling {LATENCY_CEILING:.0f}x): "
+        + ", ".join(f"{s}x={v * 1000:.2f}ms"
+                    for s, v in latencies.items()))

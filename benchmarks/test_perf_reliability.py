@@ -9,13 +9,12 @@ measures exactly that: a 16-clip oracle-mode batch through the old
 ``pool.map`` shape vs :func:`build_artifacts_parallel`, and
 checksum-verified loads vs raw pickle reads over the same blobs.  The
 batch regression must stay under 5%; numbers land in
-``BENCH_reliability.json`` at the repo root so they travel with the
-code.
+``BENCH_reliability.json`` (``repro-bench-v1`` schema) at the repo
+root so they travel with the code.
 """
 
 from __future__ import annotations
 
-import json
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -23,6 +22,7 @@ from pathlib import Path
 
 from repro.eval import build_artifacts
 from repro.eval.parallel import IngestTask, build_artifacts_parallel, run_ingest_task
+from repro.obs import Telemetry, merge_bench
 from repro.pipeline import DiskArtifactStore
 from repro.sim import tunnel
 
@@ -53,14 +53,6 @@ def _timed(fn, *args):
     t0 = time.perf_counter()
     result = fn(*args)
     return time.perf_counter() - t0, result
-
-
-def _merge_bench(section: str, payload: dict) -> None:
-    data = {}
-    if BENCH_PATH.exists():
-        data = json.loads(BENCH_PATH.read_text())
-    data[section] = payload
-    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def test_smoke_per_future_matches_pool_map():
@@ -94,15 +86,17 @@ def test_per_future_submission_overhead(benchmark):
     assert len(built) == N_CLIPS
 
     overhead_pct = (future_s / map_s - 1.0) * 100.0
-    _merge_bench("per_future_vs_pool_map", {
-        "scenario": "tunnel-300",
-        "mode": "oracle",
-        "n_clips": N_CLIPS,
-        "max_workers": WORKERS,
-        "pool_map_s": round(map_s, 3),
-        "per_future_s": round(future_s, 3),
-        "overhead_pct": round(overhead_pct, 2),
-    })
+    recorder = Telemetry()
+    batch = recorder.gauge("bench.batch_s",
+                           "16-clip batch wall seconds by submission path")
+    batch.set(round(map_s, 3), path="pool_map")
+    batch.set(round(future_s, 3), path="per_future")
+    recorder.gauge("bench.overhead_pct",
+                   "per-future wall-time overhead vs pool.map, %").set(
+        round(overhead_pct, 2))
+    merge_bench(BENCH_PATH, "per_future_vs_pool_map", recorder,
+                meta={"scenario": "tunnel-300", "mode": "oracle",
+                      "n_clips": N_CLIPS, "max_workers": WORKERS})
     assert overhead_pct < 5.0, (
         f"per-future submission {overhead_pct:.2f}% slower than pool.map "
         f"({future_s:.2f}s vs {map_s:.2f}s) — happy path must stay <5%")
@@ -133,16 +127,18 @@ def test_checksum_on_load_overhead(tmp_path):
 
     n_loads = rounds * len(keys)
     n_bytes = sum(blob.stat().st_size for blob in blobs)
-    _merge_bench("checksum_on_load", {
-        "scenario": "tunnel-300",
-        "mode": "oracle",
-        "n_blobs": len(keys),
-        "total_blob_bytes": n_bytes,
-        "rounds": rounds,
-        "verified_load_ms": round(verified_s / n_loads * 1e3, 4),
-        "raw_pickle_ms": round(raw_s / n_loads * 1e3, 4),
-        "overhead_pct": round((verified_s / raw_s - 1.0) * 100.0, 1),
-    })
+    recorder = Telemetry()
+    load = recorder.gauge("bench.load_ms",
+                          "mean per-artifact load wall ms by path")
+    load.set(round(verified_s / n_loads * 1e3, 4), path="verified")
+    load.set(round(raw_s / n_loads * 1e3, 4), path="raw_pickle")
+    recorder.gauge("bench.overhead_pct",
+                   "checksum-verified load overhead vs raw pickle, %").set(
+        round((verified_s / raw_s - 1.0) * 100.0, 1))
+    merge_bench(BENCH_PATH, "checksum_on_load", recorder,
+                meta={"scenario": "tunnel-300", "mode": "oracle",
+                      "n_blobs": len(keys), "total_blob_bytes": n_bytes,
+                      "rounds": rounds})
     # Advisory bound: sha256 streams at GB/s, so even a generous cap
     # catches an accidental double-read or per-load rehash of the store.
     assert verified_s < raw_s * 3.0

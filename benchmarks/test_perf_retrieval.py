@@ -1,7 +1,7 @@
 """Retrieval hot-path benchmark: Gram caching and parallel ingestion.
 
 Two comparisons, both written to ``BENCH_retrieval.json`` at the repo
-root so the numbers travel with the code:
+root (``repro-bench-v1`` schema) so the numbers travel with the code:
 
 * **Cold vs warm feedback rounds.**  ``SeedPathEngine`` below replicates
   the pre-cache engine faithfully (per-instance vector dict, per-round
@@ -16,7 +16,6 @@ root so the numbers travel with the code:
 
 from __future__ import annotations
 
-import json
 import statistics
 import time
 from pathlib import Path
@@ -27,6 +26,7 @@ import pytest
 from repro.core import MILRetrievalEngine
 from repro.core.bags import Bag, Instance, MILDataset
 from repro.eval.parallel import artifacts_for_seeds
+from repro.obs import Telemetry, merge_bench
 from repro.svm.one_class import OneClassSVM
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_retrieval.json"
@@ -140,14 +140,6 @@ def _time_rounds(engine, batches) -> list[float]:
     return times
 
 
-def _merge_bench(section: str, payload: dict) -> None:
-    data = {}
-    if BENCH_PATH.exists():
-        data = json.loads(BENCH_PATH.read_text())
-    data[section] = payload
-    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
-
-
 def test_smoke_cached_matches_seed_path():
     """Cached and seed-path engines agree on a small corpus (fast)."""
     dataset = synth_dataset(60, 3, 4, 6)
@@ -182,16 +174,22 @@ def test_warm_round_speedup(benchmark):
     warm_cached = statistics.median(cached[1:])
     warm_seed = statistics.median(seed[1:])
     speedup = warm_seed / warm_cached
-    _merge_bench("warm_rounds", {
-        "n_instances": n_bags * ipb,
-        "dim": window * nf,
-        "rounds": len(batches),
-        "cached_ms": [round(t * 1e3, 2) for t in cached],
-        "seed_ms": [round(t * 1e3, 2) for t in seed],
-        "warm_median_cached_ms": round(warm_cached * 1e3, 2),
-        "warm_median_seed_ms": round(warm_seed * 1e3, 2),
-        "warm_speedup": round(speedup, 2),
-    })
+    recorder = Telemetry()
+    per_round = recorder.gauge("bench.round_ms",
+                               "feed+rank wall ms per feedback round")
+    for i, (c, s) in enumerate(zip(cached, seed)):
+        per_round.set(round(c * 1e3, 2), path="cached", round_index=i)
+        per_round.set(round(s * 1e3, 2), path="seed", round_index=i)
+    warm_median = recorder.gauge("bench.warm_median_ms",
+                                 "median wall ms of warm rounds 1+")
+    warm_median.set(round(warm_cached * 1e3, 2), path="cached")
+    warm_median.set(round(warm_seed * 1e3, 2), path="seed")
+    recorder.gauge("bench.warm_speedup",
+                   "seed / cached warm-round wall time").set(
+        round(speedup, 2))
+    merge_bench(BENCH_PATH, "warm_rounds", recorder,
+                meta={"n_instances": n_bags * ipb, "dim": window * nf,
+                      "rounds": len(batches)})
     assert speedup >= 3.0, (
         f"warm-round speedup {speedup:.2f}x below the 3x target "
         f"(cached {warm_cached * 1e3:.1f} ms vs seed "
@@ -226,11 +224,14 @@ def test_parallel_ingestion_matches_serial(benchmark):
         for bag_a, bag_b in zip(a.bags, b.bags):
             np.testing.assert_array_equal(bag_a.instance_matrix(),
                                           bag_b.instance_matrix())
-    _merge_bench("parallel_ingestion", {
-        "scenario": "tunnel",
-        "seeds": list(seeds),
-        "cpu_count": os.cpu_count(),
-        "serial_s": round(t_serial, 3),
-        "parallel_s": round(t_parallel, 3),
-        "parallel_over_serial": round(t_parallel / t_serial, 2),
-    })
+    recorder = Telemetry()
+    ingest = recorder.gauge("bench.ingest_s",
+                            "4-seed ingestion wall seconds by path")
+    ingest.set(round(t_serial, 3), path="serial")
+    ingest.set(round(t_parallel, 3), path="parallel")
+    recorder.gauge("bench.parallel_over_serial",
+                   "parallel / serial wall-time ratio").set(
+        round(t_parallel / t_serial, 2))
+    merge_bench(BENCH_PATH, "parallel_ingestion", recorder,
+                meta={"scenario": "tunnel", "seeds": list(seeds),
+                      "cpu_count": os.cpu_count()})

@@ -34,6 +34,7 @@ _EXPERIMENTS = (
     "figure8", "figure9", "ablation_z", "ablation_normalization",
     "ablation_window", "ablation_sampling_rate", "ablation_step",
     "ablation_learner", "other_events", "mil_algorithms", "cross_camera",
+    "sharded_nomination",
 )
 
 
@@ -51,6 +52,43 @@ def _add_cache_args(parser: "argparse.ArgumentParser") -> None:
              "work already in the manifest is not re-ingested, so a "
              "killed run restarts where it died (pair with "
              "--artifact-cache so completed clips replay from the store)")
+
+
+def _add_nominator_args(parser: "argparse.ArgumentParser") -> None:
+    parser.add_argument(
+        "--nominator", default=None, choices=("heuristic", "ivf"),
+        help="stage-one candidate nominator for the sharded path: "
+             "'heuristic' (static prefilter, default) or 'ivf' (probe "
+             "a per-shard vector index near the relevant bags)")
+    parser.add_argument(
+        "--index-cells", type=int, default=None, metavar="K",
+        help="IVF k-means cells per shard (requires --nominator ivf)")
+    parser.add_argument(
+        "--nprobe", type=int, default=None, metavar="P",
+        help="IVF cells probed per query (requires --nominator ivf)")
+
+
+def _nominator_kwargs(args) -> dict:
+    """Validate and collect the --nominator flag family.
+
+    Mirrors the candidates_per_shard guard in
+    :class:`repro.db.query.MultiClipQuerySession`: tuning knobs without
+    the path that reads them are rejected, not ignored.
+    """
+    from repro.errors import ConfigurationError
+
+    if (args.nprobe is not None or args.index_cells is not None) \
+            and args.nominator != "ivf":
+        raise ConfigurationError(
+            "--nprobe/--index-cells require --nominator ivf")
+    out: dict = {}
+    if args.nominator is not None:
+        out["nominator"] = args.nominator
+    if args.index_cells is not None:
+        out["index_cells"] = args.index_cells
+    if args.nprobe is not None:
+        out["nprobe"] = args.nprobe
+    return out
 
 
 def _add_obs_args(parser: "argparse.ArgumentParser") -> None:
@@ -180,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--candidates-per-shard", type=int, default=None,
                        help="exact-score at most M bags per shard "
                             "(multi-clip only; rest keep heuristic order)")
+    _add_nominator_args(query)
 
     label = sub.add_parser("label", help="record a feedback round")
     label.add_argument("--db", required=True)
@@ -208,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--workers", type=int, default=None,
                             help="parallel ingestion workers for "
                                  "multi-seed experiments")
+    _add_nominator_args(experiment)
     experiment.add_argument("--chart", action="store_true",
                             help="append an ASCII chart of the curves")
     _add_cache_args(experiment)
@@ -396,6 +436,11 @@ def _open_session(db, args, **kwargs):
         print("--candidates-per-shard needs a multi-clip query (--clips)",
               file=sys.stderr)
         return None
+    if any(kwargs.pop(k, None) is not None
+           for k in ("nominator", "index_cells", "nprobe")):
+        print("--nominator/--index-cells/--nprobe need a multi-clip "
+              "query (--clips)", file=sys.stderr)
+        return None
     return SemanticQuerySession(db, clip, args.event,
                                 user_id=args.user, **kwargs)
 
@@ -406,7 +451,8 @@ def _cmd_query(args) -> int:
     with VideoDatabase(args.db) as db:
         session = _open_session(
             db, args, engine=args.engine, top_k=args.top_k,
-            candidates_per_shard=args.candidates_per_shard)
+            candidates_per_shard=args.candidates_per_shard,
+            **_nominator_kwargs(args))
         if session is None:
             return 2
         target = args.clip or args.clips
@@ -469,6 +515,16 @@ def _run_experiment(args) -> int:
         kwargs["seeds"] = tuple(_ids(args.seeds))
     if args.workers is not None and "max_workers" in accepted:
         kwargs["max_workers"] = args.workers
+    nominator_kwargs = _nominator_kwargs(args)
+    for flag, name in (("--nominator", "nominator"),
+                       ("--index-cells", "index_cells"),
+                       ("--nprobe", "nprobe")):
+        if name not in nominator_kwargs:
+            continue
+        if name not in accepted:
+            raise ConfigurationError(
+                f"experiment {args.name!r} does not take {flag}")
+        kwargs[name] = nominator_kwargs[name]
     if args.resume is not None:
         if "manifest" not in accepted:
             raise ConfigurationError(

@@ -46,6 +46,7 @@ from repro.core.bags import Bag, Instance, MILDataset
 from repro.core.engine import _parse_policy
 from repro.core.heuristics import heuristic_scores
 from repro.errors import ConfigurationError
+from repro.index.ivf import IVFIndex
 from repro.obs import get_telemetry
 from repro.svm.gram_cache import GramCache
 from repro.svm.kernels import Kernel, RBFKernel
@@ -54,7 +55,7 @@ from repro.svm.scaling import StandardScaler
 from repro.utils import check_in_range, row_sq_norms
 
 __all__ = ["ShardSpec", "CorpusShard", "ShardedCorpus",
-           "ShardedRetrievalEngine"]
+           "ShardedRetrievalEngine", "HeuristicNominator", "IVFNominator"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,12 @@ class ShardSpec:
     n_bags: int
     n_instances: int
     loader: Callable[[], MILDataset] = field(compare=False)
+    # Optional loader for a prebuilt IVF index (e.g. the pipeline's
+    # Index stage artifact).  Consulted by CorpusShard.ivf_index(); a
+    # prebuilt index whose params don't match the request is ignored
+    # and the shard falls back to building one lazily.
+    index_loader: Callable[[], IVFIndex] | None = field(
+        default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_bags < 0 or self.n_instances < 0:
@@ -95,7 +102,7 @@ class CorpusShard:
     """
 
     def __init__(self, spec: ShardSpec, bag_offset: int,
-                 instance_offset: int) -> None:
+                 instance_offset: int, *, metadata_version: int = 0) -> None:
         local = spec.loader()
         if (len(local.bags) != spec.n_bags
                 or local.n_instances != spec.n_instances):
@@ -105,6 +112,8 @@ class CorpusShard:
                 f"spec declares {spec.n_bags} / {spec.n_instances}"
             )
         self.clip_id = spec.clip_id
+        self.spec = spec
+        self.metadata_version = int(metadata_version)
         self.bag_offset = int(bag_offset)
         self.instance_offset = int(instance_offset)
         self.dataset = self._renumber(local)
@@ -137,6 +146,13 @@ class CorpusShard:
         self.bag_starts = np.concatenate(
             ([0], np.cumsum(self.bag_sizes)))[:-1].astype(int)
         self._heuristic_order: np.ndarray | None = None
+        self._heuristic_rank: np.ndarray | None = None
+        # candidate_positions memo: m (or None) -> positions.  All
+        # caches below die with the shard object, so a corpus reload
+        # (new metadata_version) can never serve stale prefixes.
+        self._candidate_cache: dict[int | None, np.ndarray] = {}
+        self.heuristic_order_computes = 0
+        self._ivf_indexes: dict[tuple[int, int, int], IVFIndex] = {}
 
     def _renumber(self, local: MILDataset) -> MILDataset:
         out = MILDataset(
@@ -172,15 +188,64 @@ class CorpusShard:
             global_ids = self.bag_offset + np.arange(self.n_bags)
             self._heuristic_order = np.lexsort(
                 (global_ids, -self.heuristic_bags))
+            self.heuristic_order_computes += 1
         return self._heuristic_order
+
+    @property
+    def heuristic_rank(self) -> np.ndarray:
+        """Inverse permutation of :attr:`heuristic_order`: position ->
+        rank in the prefilter's nomination order."""
+        if self._heuristic_rank is None:
+            order = self.heuristic_order
+            rank = np.empty(len(order), dtype=np.intp)
+            rank[order] = np.arange(len(order), dtype=np.intp)
+            self._heuristic_rank = rank
+        return self._heuristic_rank
 
     def candidate_positions(self, m: int | None) -> np.ndarray:
         """Top-``m`` bag positions by heuristic score (all if ``m`` is
-        ``None`` or >= the shard's bag count)."""
+        ``None`` or >= the shard's bag count).
+
+        Memoized per ``m`` for the life of this shard object — the
+        engine asks for the same prefix every round, and the answer only
+        changes when the shard's data does (which builds a fresh
+        ``CorpusShard`` with a bumped ``metadata_version``).
+        """
+        cached = self._candidate_cache.get(m)
+        if cached is not None:
+            return cached
         order = self.heuristic_order
-        if m is None or m >= len(order):
-            return order
-        return order[:m]
+        positions = order if m is None or m >= len(order) else order[:m]
+        self._candidate_cache[m] = positions
+        return positions
+
+    def ivf_index(self, *, n_cells: int = 32, seed: int = 0,
+                  iters: int = 15) -> IVFIndex:
+        """The shard's IVF index for these build params.
+
+        A prebuilt index from ``spec.index_loader`` (the pipeline's
+        Index stage artifact) is used when its params match; otherwise
+        the index is built lazily from ``matrix_raw`` and memoized.
+        Both paths are bit-identical for equal params (seeded k-means).
+        """
+        params = (int(n_cells), int(seed), int(iters))
+        cached = self._ivf_indexes.get(params)
+        if cached is not None:
+            return cached
+        index: IVFIndex | None = None
+        if self.spec.index_loader is not None:
+            prebuilt = self.spec.index_loader()
+            if prebuilt is not None and prebuilt.params == params:
+                index = prebuilt
+        if index is None:
+            sizes = self.bag_sizes.astype(np.intp)
+            row_bags = np.repeat(
+                np.arange(self.n_bags, dtype=np.intp), sizes)
+            index = IVFIndex.build(
+                self.matrix_raw, row_bags, self.n_bags,
+                n_cells=n_cells, seed=seed, iters=iters)
+        self._ivf_indexes[params] = index
+        return index
 
     def row_of(self, instance_id: int) -> int:
         return instance_id - self.instance_offset
@@ -226,6 +291,7 @@ class ShardedCorpus:
         self._n_bags = bags
         self._n_instances = insts
         self._shards: dict[str, CorpusShard] = {}
+        self._metadata_versions: dict[str, int] = {}
 
     def __len__(self) -> int:
         return self._n_bags
@@ -253,11 +319,29 @@ class ShardedCorpus:
                 obs = get_telemetry()
                 with obs.span("sharded.shard.load", clip=clip_id,
                               bags=spec.n_bags, instances=spec.n_instances):
-                    shard = CorpusShard(spec, self._bag_offsets[i],
-                                        self._instance_offsets[i])
+                    shard = CorpusShard(
+                        spec, self._bag_offsets[i],
+                        self._instance_offsets[i],
+                        metadata_version=self._metadata_versions.get(
+                            clip_id, 0))
                 self._shards[clip_id] = shard
                 return shard
         raise ConfigurationError(f"no shard for clip {clip_id!r}")
+
+    def reload(self, clip_id: str) -> CorpusShard:
+        """Drop a clip's cached shard and re-run its loader.
+
+        The fresh :class:`CorpusShard` carries a bumped
+        ``metadata_version`` and empty per-shard caches (heuristic
+        order, candidate prefixes, IVF indexes), so callers holding the
+        corpus — not a stale shard object — always see current data.
+        """
+        if clip_id in self._shards:
+            version = self._shards.pop(clip_id).metadata_version + 1
+        else:
+            version = self._metadata_versions.get(clip_id, 0) + 1
+        self._metadata_versions[clip_id] = version
+        return self.shard(clip_id)
 
     def shards(self) -> Iterator[CorpusShard]:
         """All shards in spec order (loading any that aren't yet)."""
@@ -287,6 +371,103 @@ class ShardedCorpus:
                 f"bags={self._n_bags})")
 
 
+class HeuristicNominator:
+    """Stage-one default: nominate each shard's top-M heuristic bags.
+
+    This is the exact-compatible path — with ``candidates_per_shard=None``
+    every bag is nominated and the two-stage ranking reproduces the
+    monolithic engine's.
+    """
+
+    name = "heuristic"
+
+    def nominate(self, engine: "ShardedRetrievalEngine",
+                 shard: CorpusShard) -> np.ndarray:
+        return shard.candidate_positions(engine.candidates_per_shard)
+
+
+class IVFNominator:
+    """Query-adaptive stage one: probe the shard's IVF index.
+
+    Per round, the query vectors are the raw features of the training
+    instances (the relevant bags' top Trajectory Sequences — the same
+    rows the SVM trains on).  The ``nprobe`` cells nearest to any query
+    vector are gathered and only the bags they touch are nominated, so
+    stage-one cost per shard is O(n_cells + nprobe * rows_per_cell)
+    instead of O(n_bags).  Nominations are then capped to the
+    candidates-per-shard budget in heuristic-prefilter order, preserving
+    the stage-two contract (same top-M candidate-set shape, same exact
+    OCSVM rerank).
+
+    Fallbacks keep the path exact whenever sublinearity is meaningless:
+    before any relevant feedback (no query vectors yet) and when
+    ``nprobe >= n_cells`` (probing every cell *is* a full scan) the
+    nominator defers to the heuristic prefilter, which makes the
+    exhaustive-probe ranking identical to the heuristic-nominated one by
+    construction.
+    """
+
+    name = "ivf"
+
+    def __init__(self, *, n_cells: int = 32, nprobe: int = 8,
+                 seed: int = 0, iters: int = 15) -> None:
+        if n_cells < 1:
+            raise ConfigurationError(
+                f"n_cells must be >= 1, got {n_cells}")
+        if nprobe < 1:
+            raise ConfigurationError(f"nprobe must be >= 1, got {nprobe}")
+        self.n_cells = int(n_cells)
+        self.nprobe = int(nprobe)
+        self.seed = int(seed)
+        self.iters = int(iters)
+
+    def nominate(self, engine: "ShardedRetrievalEngine",
+                 shard: CorpusShard) -> np.ndarray:
+        m = engine.candidates_per_shard
+        queries = engine._query_vectors_raw()
+        if queries is None:
+            return shard.candidate_positions(m)
+        index = shard.ivf_index(n_cells=self.n_cells, seed=self.seed,
+                                iters=self.iters)
+        if index.n_cells == 0 or self.nprobe >= index.n_cells:
+            return shard.candidate_positions(m)
+        obs = get_telemetry()
+        with obs.span("index.probe", clip=shard.clip_id,
+                      nprobe=self.nprobe, cells=index.n_cells) as sp:
+            positions, stats = index.probe(queries, self.nprobe)
+        obs.counter("index.cells_probed").inc(stats["cells_probed"])
+        obs.counter("index.rows_gathered").inc(stats["rows_gathered"])
+        obs.counter("index.bags_nominated").inc(stats["bags_nominated"])
+        if sp is not None:
+            sp.set(**stats)
+        # Keep the stage-two contract: at most M candidates, walked in
+        # the heuristic prefilter's nomination order.
+        rank = shard.heuristic_rank
+        positions = positions[np.argsort(rank[positions], kind="stable")]
+        if m is not None and len(positions) > m:
+            positions = positions[:m]
+        baseline = shard.candidate_positions(m)
+        if len(baseline):
+            recall = float(np.isin(baseline, positions).mean())
+            obs.gauge("index.nomination_recall").set(recall)
+        return positions
+
+
+def _resolve_nominator(nominator):
+    if isinstance(nominator, str):
+        if nominator == "heuristic":
+            return HeuristicNominator()
+        if nominator == "ivf":
+            return IVFNominator()
+        raise ConfigurationError(
+            f"nominator must be 'heuristic', 'ivf', or a Nominator "
+            f"object, got {nominator!r}")
+    if not hasattr(nominator, "nominate"):
+        raise ConfigurationError(
+            f"nominator object {nominator!r} has no nominate() method")
+    return nominator
+
+
 class ShardedRetrievalEngine:
     """Two-stage MIL retrieval over a :class:`ShardedCorpus`.
 
@@ -298,9 +479,15 @@ class ShardedRetrievalEngine:
     * ``candidates_per_shard=None`` scores every bag exactly (through
       each shard's :class:`GramCache`, so warm rounds reuse kernel
       columns) and reproduces the monolithic engine's ranking.
-    * ``candidates_per_shard=M`` scores only each shard's top-M
-      heuristic candidates with the SVM; the remaining bags keep their
-      heuristic order *after* all candidates — a recall/latency knob.
+    * ``candidates_per_shard=M`` scores only each shard's nominated
+      candidates with the SVM; the remaining bags keep their heuristic
+      order *after* all candidates — a recall/latency knob.
+    * ``nominator`` picks stage one: ``"heuristic"`` (static top-M
+      prefilter, exact-compatible default) or ``"ivf"`` (probe each
+      shard's :class:`~repro.index.ivf.IVFIndex` near the relevant
+      bags' training instances — query-adaptive and sublinear in shard
+      size).  An :class:`IVFNominator` instance can be passed directly
+      to set ``n_cells`` / ``nprobe``.
 
     The engine deliberately duck-types ``RetrievalEngine`` (``feed`` /
     ``rank`` / ``top_k`` / ``labels`` / ``dataset``) instead of
@@ -313,6 +500,7 @@ class ShardedRetrievalEngine:
         corpus: ShardedCorpus,
         *,
         candidates_per_shard: int | None = None,
+        nominator: str | HeuristicNominator | IVFNominator = "heuristic",
         z: float = 0.05,
         kernel: str | Kernel = "rbf",
         gamma: float | str = "auto",
@@ -345,6 +533,7 @@ class ShardedRetrievalEngine:
         self.dataset = corpus
         self.corpus = corpus
         self.candidates_per_shard = candidates_per_shard
+        self.nominator = _resolve_nominator(nominator)
         self.z = float(z)
         self.kernel = kernel
         self.gamma = gamma
@@ -366,6 +555,9 @@ class ShardedRetrievalEngine:
             None
         self._leftover_streams: dict[str, list[tuple[float, int]]] | None = \
             None
+        self._round_nominated: dict[str, np.ndarray] | None = None
+        self._training_ids: list[int] = []
+        self._round_queries: np.ndarray | None = None
 
     # -- feedback ---------------------------------------------------------
     def feed(self, labels: Mapping[int, bool]) -> None:
@@ -385,6 +577,8 @@ class ShardedRetrievalEngine:
         self._retrain()
         self._candidate_streams = None
         self._leftover_streams = None
+        self._round_nominated = None
+        self._round_queries = None
 
     @property
     def relevant_bag_ids(self) -> list[int]:
@@ -440,9 +634,26 @@ class ShardedRetrievalEngine:
             ids.extend(ranked[:take])
         return ids
 
+    def _query_vectors_raw(self) -> np.ndarray | None:
+        """Raw feature rows of the current training instances — the IVF
+        nominator's probe queries (index cells live in raw space, which
+        exists before the global scaler does).  ``None`` until there is
+        relevant feedback."""
+        if not self._training_ids:
+            return None
+        if self._round_queries is None:
+            rows = []
+            for i in self._training_ids:
+                shard = self.corpus.shard_for_instance(i)
+                assert shard.matrix_raw is not None
+                rows.append(shard.matrix_raw[shard.row_of(i)])
+            self._round_queries = np.ascontiguousarray(np.stack(rows))
+        return self._round_queries
+
     def _retrain(self) -> None:
         relevant = self.relevant_bag_ids
         training_ids = self._training_instance_ids(relevant)
+        self._training_ids = list(training_ids)
         if not training_ids:
             self._model = None
             self._support_ids = []
@@ -533,7 +744,7 @@ class ShardedRetrievalEngine:
     def _score_shard(self, shard: CorpusShard
                      ) -> tuple[np.ndarray, np.ndarray]:
         """(candidate positions, their scores) for one shard this round."""
-        positions = shard.candidate_positions(self.candidates_per_shard)
+        positions = self.nominator.nominate(self, shard)
         if not self.is_trained:
             return positions, shard.heuristic_bags[positions]
         if len(positions) == shard.n_bags:
@@ -547,13 +758,16 @@ class ShardedRetrievalEngine:
             return
         obs = get_telemetry()
         streams: dict[str, list[tuple[float, int]]] = {}
+        nominated: dict[str, np.ndarray] = {}
         total_scored = total_pruned = 0
         with obs.span("sharded.rank", shards=len(self.corpus.specs),
                       trained=self.is_trained,
+                      nominator=getattr(self.nominator, "name", "custom"),
                       candidates_per_shard=self.candidates_per_shard
                       or 0) as sp:
             for shard in self.corpus.shards():
                 positions, scores = self._score_shard(shard)
+                nominated[shard.clip_id] = positions
                 bag_ids = shard.bag_offset + positions
                 order = np.lexsort((bag_ids, -scores))
                 streams[shard.clip_id] = [
@@ -575,25 +789,29 @@ class ShardedRetrievalEngine:
             if sp is not None:
                 sp.set(scored=total_scored, pruned=total_pruned)
         self._candidate_streams = streams
+        self._round_nominated = nominated
 
     def _ensure_leftovers(self) -> None:
-        """Heuristic-ordered streams of the bags the prefilter pruned."""
+        """Heuristic-ordered streams of the bags stage one pruned."""
         if self._leftover_streams is not None:
             return
-        m = self.candidates_per_shard
+        self._ensure_round()
+        assert self._round_nominated is not None
         streams: dict[str, list[tuple[float, int]]] = {}
-        if m is not None:
-            for shard in self.corpus.shards():
-                order = shard.heuristic_order
-                if len(order) <= m:
-                    continue
-                # heuristic_order is already (score desc, bag id asc),
-                # so the tail is a ready-sorted merge stream.
-                streams[shard.clip_id] = [
-                    (-float(shard.heuristic_bags[p]),
-                     int(shard.bag_offset + p))
-                    for p in order[m:]
-                ]
+        for shard in self.corpus.shards():
+            positions = self._round_nominated[shard.clip_id]
+            if len(positions) == shard.n_bags:
+                continue
+            pruned = np.ones(shard.n_bags, dtype=bool)
+            pruned[positions] = False
+            order = shard.heuristic_order
+            # heuristic_order is already (score desc, bag id asc), so
+            # its pruned subsequence is a ready-sorted merge stream.
+            streams[shard.clip_id] = [
+                (-float(shard.heuristic_bags[p]),
+                 int(shard.bag_offset + p))
+                for p in order[pruned[order]]
+            ]
         self._leftover_streams = streams
 
     # -- ranking ----------------------------------------------------------

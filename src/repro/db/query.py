@@ -21,7 +21,12 @@ from typing import Mapping
 
 from repro.core.bags import merge_datasets
 from repro.core.engine import MILRetrievalEngine
-from repro.core.sharded import ShardedCorpus, ShardedRetrievalEngine, ShardSpec
+from repro.core.sharded import (
+    IVFNominator,
+    ShardedCorpus,
+    ShardedRetrievalEngine,
+    ShardSpec,
+)
 from repro.core.weighted_rf import WeightedRFEngine
 from repro.db.database import VideoDatabase
 from repro.db.schema import LabelRecord
@@ -229,8 +234,11 @@ class MultiClipQuerySession(_QuerySessionBase):
     one-class SVM scores exactly (the rest keep their cheap heuristic
     order after all candidates — a recall/latency knob).  With
     ``candidates_per_shard=None`` the ranking matches the monolithic
-    merged-dataset path.  ``sharded=False``, a non-default engine name,
-    or an explicit engine instance fall back to
+    merged-dataset path.  ``nominator="ivf"`` switches stage one from
+    the static heuristic prefilter to a probe of each shard's IVF index
+    (``index_cells`` / ``nprobe`` tune it) — sublinear nomination with
+    the same exact rerank.  ``sharded=False``, a non-default engine
+    name, or an explicit engine instance fall back to
     :func:`~repro.core.bags.merge_datasets`.
     """
 
@@ -242,6 +250,9 @@ class MultiClipQuerySession(_QuerySessionBase):
         *,
         sharded: bool = True,
         candidates_per_shard: int | None = None,
+        nominator: str = "heuristic",
+        index_cells: int | None = None,
+        nprobe: int | None = None,
         **kwargs,
     ) -> None:
         if not clip_ids:
@@ -255,9 +266,31 @@ class MultiClipQuerySession(_QuerySessionBase):
                 "candidates_per_shard requires the sharded 'mil_ocsvm' "
                 "path (sharded=True and no custom engine)"
             )
+        if nominator not in ("heuristic", "ivf"):
+            raise ConfigurationError(
+                f"nominator must be 'heuristic' or 'ivf', got {nominator!r}"
+            )
+        if nominator == "ivf" and not use_sharded:
+            raise ConfigurationError(
+                "nominator='ivf' requires the sharded 'mil_ocsvm' path "
+                "(sharded=True and no custom engine)"
+            )
+        if (nprobe is not None or index_cells is not None) \
+                and nominator != "ivf":
+            raise ConfigurationError(
+                "nprobe/index_cells only apply to the IVF nominator "
+                "(pass nominator='ivf')"
+            )
         if use_sharded:
             corpus = sharded_corpus(db, clip_ids, event_name)
             engine_kwargs = kwargs.pop("engine_kwargs", None) or {}
+            if nominator == "ivf":
+                ivf_kwargs = {}
+                if index_cells is not None:
+                    ivf_kwargs["n_cells"] = int(index_cells)
+                if nprobe is not None:
+                    ivf_kwargs["nprobe"] = int(nprobe)
+                engine_kwargs["nominator"] = IVFNominator(**ivf_kwargs)
             kwargs["engine"] = ShardedRetrievalEngine(
                 corpus, candidates_per_shard=candidates_per_shard,
                 **engine_kwargs)

@@ -1,0 +1,19 @@
+"""Vector indexes for sublinear candidate nomination.
+
+The two-stage ranker (:mod:`repro.core.sharded`) nominates candidate
+bags per shard before the exact one-class SVM rerank.  This package
+holds the index structures that make nomination *query-adaptive and
+sublinear*: instead of a static heuristic order, an
+:class:`~repro.index.ivf.IVFIndex` partitions a shard's instance
+vectors into k-means cells once at ingest and, at query time, probes
+only the cells nearest the relevant bags' instances.
+
+Everything is pure numpy — no FAISS, no sqlite extensions — and every
+build is deterministic under its seed, so an index built by the
+pipeline's Index stage at ingest is bit-identical to one built lazily
+at query time from the same dataset.
+"""
+
+from repro.index.ivf import IVFIndex, build_index_for_dataset, kmeans_cells
+
+__all__ = ["IVFIndex", "build_index_for_dataset", "kmeans_cells"]

@@ -63,6 +63,16 @@ DEFAULT_METRICS: tuple[tuple[str, str, str], ...] = (
      "bags scored exactly (SVM or heuristic fallback) across all shards"),
     ("counter", "sharded.bags_pruned",
      "bags the heuristic prefilter kept out of exact scoring"),
+    ("counter", "index.builds",
+     "IVF indexes built (k-means cells over a shard's instance rows)"),
+    ("counter", "index.cells_probed",
+     "IVF cells gathered across all probe calls"),
+    ("counter", "index.rows_gathered",
+     "instance rows touched by IVF probes (the sublinear scan cost)"),
+    ("counter", "index.bags_nominated",
+     "bags nominated by IVF probes before the top-M cap"),
+    ("gauge", "index.nomination_recall",
+     "fraction of the heuristic top-M set the latest IVF probe kept"),
     ("counter", "reliability.task.retries",
      "task attempts re-submitted after a transient failure, by reason"),
     ("counter", "reliability.task.timeouts",

@@ -13,6 +13,7 @@ compatibility shim over this package.
 
 from repro.pipeline.artifacts import ClipArtifacts
 from repro.pipeline.config import (
+    IndexConfig,
     OracleConfig,
     PipelineConfig,
     RenderConfig,
@@ -43,6 +44,7 @@ __all__ = [
     "OracleConfig",
     "SeriesConfig",
     "WindowConfig",
+    "IndexConfig",
     "PipelineConfig",
     "Stage",
     "StageContext",

@@ -7,6 +7,7 @@ from functools import cached_property
 
 from repro.core.bags import MILDataset
 from repro.events.models import event_model_for
+from repro.index.ivf import IVFIndex
 from repro.sim.ground_truth import GroundTruth
 from repro.sim.world import SimulationResult
 from repro.tracking.track import Track
@@ -25,6 +26,9 @@ class ClipArtifacts:
     #: stage name -> times the stage actually executed for this bundle
     #: (0 = served from the artifact store).
     stage_runs: dict[str, int] = field(default_factory=dict)
+    #: per-clip IVF index over the dataset's instance vectors (the
+    #: Index stage output; None for bundles built by older paths).
+    index: IVFIndex | None = None
 
     @cached_property
     def relevant_bag_ids(self) -> set[int]:

@@ -177,4 +177,5 @@ class PipelineRunner:
             dataset=outputs["dataset"],
             ground_truth=GroundTruth.from_result(result),
             stage_runs=stage_runs,
+            index=outputs.get("index"),
         )

@@ -14,6 +14,7 @@ from repro.core import MILRetrievalEngine, merge_datasets
 from repro.core.bags import Bag, Instance, MILDataset
 from repro.core.sharded import (
     CorpusShard,
+    IVFNominator,
     ShardSpec,
     ShardedCorpus,
     ShardedRetrievalEngine,
@@ -225,6 +226,122 @@ class TestPrunedRanking:
         empty = {b.bag_id for b in merged.bags if not b.instances}
         ranking = engine.rank()
         assert set(ranking[-len(empty):]) == empty
+
+
+class TestNominators:
+    def _fed_pair(self, datasets, *, m=6, n_cells=8, nprobe=8,
+                  rounds=2, top_k=10):
+        heur = ShardedRetrievalEngine(_corpus(datasets),
+                                      candidates_per_shard=m)
+        ivf = ShardedRetrievalEngine(
+            _corpus(datasets), candidates_per_shard=m,
+            nominator=IVFNominator(n_cells=n_cells, nprobe=nprobe))
+        merged = merge_datasets(datasets, merged_id="merged:test")
+        relevant = _spiked_global_ids(merged)
+        for _ in range(rounds):
+            labels = {b: b in relevant for b in heur.rank()[:top_k]}
+            heur.feed(labels)
+            ivf.feed(labels)
+        return heur, ivf
+
+    def test_exhaustive_probe_ranking_identical(self, three_clips):
+        """nprobe == n_cells probes every cell — by definition a full
+        scan — so the final ranking must equal the heuristic-nominated
+        two-stage ranking, round for round."""
+        heur, ivf = self._fed_pair(three_clips, n_cells=8, nprobe=8)
+        assert ivf.rank() == heur.rank()
+
+    def test_untrained_round_falls_back_to_heuristic(self, three_clips):
+        heur = ShardedRetrievalEngine(_corpus(three_clips),
+                                      candidates_per_shard=4)
+        ivf = ShardedRetrievalEngine(
+            _corpus(three_clips), candidates_per_shard=4,
+            nominator=IVFNominator(n_cells=8, nprobe=1))
+        assert ivf.rank() == heur.rank()
+
+    def test_partial_probe_keeps_candidate_contract(self, three_clips):
+        m = 4
+        _, ivf = self._fed_pair(three_clips, m=m, n_cells=8, nprobe=2)
+        ranking = ivf.rank()
+        assert sorted(ranking) == list(
+            range(sum(len(d.bags) for d in three_clips)))
+        nominated = ivf._round_nominated
+        assert nominated is not None
+        for shard in ivf.corpus.shards():
+            positions = nominated[shard.clip_id]
+            assert len(positions) <= m
+            assert len(np.unique(positions)) == len(positions)
+        n_candidates = sum(len(p) for p in nominated.values())
+        candidate_ids = {
+            int(shard.bag_offset + p)
+            for shard in ivf.corpus.shards()
+            for p in nominated[shard.clip_id]
+        }
+        assert set(ranking[:n_candidates]) == candidate_ids
+
+    def test_prebuilt_index_served_when_params_match(self, three_clips):
+        from repro.index import build_index_for_dataset
+
+        d = three_clips[0]
+        prebuilt = build_index_for_dataset(d, n_cells=8, seed=0, iters=15)
+        spec = ShardSpec(clip_id=d.clip_id, n_bags=len(d.bags),
+                         n_instances=d.n_instances, loader=lambda: d,
+                         index_loader=lambda: prebuilt)
+        shard = CorpusShard(spec, 0, 0)
+        assert shard.ivf_index(n_cells=8, seed=0, iters=15) is prebuilt
+        # mismatched params must not serve the stale structure
+        other = shard.ivf_index(n_cells=4, seed=0, iters=15)
+        assert other is not prebuilt and other.n_cells <= 4
+
+    def test_nominator_validation(self, three_clips):
+        corpus = _corpus(three_clips)
+        with pytest.raises(ConfigurationError, match="nominator"):
+            ShardedRetrievalEngine(corpus, nominator="faiss")
+        with pytest.raises(ConfigurationError, match="nominate"):
+            ShardedRetrievalEngine(corpus, nominator=object())
+        with pytest.raises(ConfigurationError, match="nprobe"):
+            IVFNominator(nprobe=0)
+        with pytest.raises(ConfigurationError, match="n_cells"):
+            IVFNominator(n_cells=0)
+
+
+class TestCandidateMemoization:
+    def test_candidate_positions_cached_per_m(self, three_clips):
+        shard = _corpus(three_clips).shard("a")
+        first = shard.candidate_positions(4)
+        assert shard.heuristic_order_computes == 1
+        assert shard.candidate_positions(4) is first
+        shard.candidate_positions(2)
+        shard.candidate_positions(None)
+        assert shard.heuristic_order_computes == 1
+
+    def test_reload_invalidates_stale_cache(self):
+        """A reloaded shard must not serve candidate prefixes computed
+        from the previous load's data."""
+        versions = {"current": _clip("r", 12, seed=1, spike_every=3)}
+        spec = ShardSpec(clip_id="r", n_bags=12,
+                         n_instances=versions["current"].n_instances,
+                         loader=lambda: versions["current"])
+        corpus = ShardedCorpus([spec], corpus_id="reload:test")
+        stale = corpus.shard("r")
+        before = stale.candidate_positions(3).copy()
+        assert stale.metadata_version == 0
+
+        versions["current"] = _clip("r", 12, seed=9, spike_every=4)
+        fresh = corpus.shard("r")
+        assert fresh is stale  # no reload yet -> cached shard
+
+        fresh = corpus.reload("r")
+        assert fresh is not stale
+        assert fresh.metadata_version == 1
+        after = fresh.candidate_positions(3)
+        assert not np.array_equal(before, after)
+        assert corpus.shard("r") is fresh
+
+    def test_reload_before_load_starts_at_version_one(self, three_clips):
+        corpus = _corpus(three_clips)
+        shard = corpus.reload("b")
+        assert shard.metadata_version == 1
 
 
 class TestShardedEngineState:

@@ -156,6 +156,40 @@ class TestShardedSession:
                                   candidates_per_shard=2,
                                   engine="weighted_rf")
 
+    def test_ivf_session_runs_feedback(self, two_clip_db, small_tunnel,
+                                       small_intersection):
+        db, truths = two_clip_db
+        session = MultiClipQuerySession(
+            db, [small_tunnel.name, small_intersection.name], "accident",
+            candidates_per_shard=4, nominator="ivf", index_cells=8,
+            nprobe=2, top_k=5)
+        nominator = session.engine.nominator
+        assert nominator.name == "ivf"
+        assert nominator.n_cells == 8 and nominator.nprobe == 2
+        oracle = MultiClipOracle(truths)
+        for _ in range(2):
+            bags = [session.dataset.bag_by_id(b)
+                    for b in session.results()]
+            session.feed(oracle.label_bags(bags))
+        assert sorted(session.engine.rank()) == \
+            list(range(len(session.dataset)))
+
+    def test_ivf_knobs_validated(self, two_clip_db, small_tunnel,
+                                 small_intersection):
+        db, _ = two_clip_db
+        clip_ids = [small_tunnel.name, small_intersection.name]
+        with pytest.raises(ConfigurationError, match="nominator='ivf'"):
+            MultiClipQuerySession(db, clip_ids, "accident",
+                                  nominator="ivf", sharded=False)
+        with pytest.raises(ConfigurationError, match="nominator='ivf'"):
+            MultiClipQuerySession(db, clip_ids, "accident",
+                                  nominator="ivf", engine="weighted_rf")
+        with pytest.raises(ConfigurationError, match="nprobe/index_cells"):
+            MultiClipQuerySession(db, clip_ids, "accident", nprobe=4)
+        with pytest.raises(ConfigurationError, match="nominator must be"):
+            MultiClipQuerySession(db, clip_ids, "accident",
+                                  nominator="faiss")
+
     def test_merged_fallback_engine_registry(self, two_clip_db,
                                              small_tunnel,
                                              small_intersection):

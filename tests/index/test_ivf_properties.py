@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the IVF nomination invariants.
+
+The load-bearing property: with an exhaustive probe (``nprobe ==
+n_cells``) the IVF-nominated two-stage ranking equals the
+heuristic-nominated one, for arbitrary shard shapes — including empty
+bags, single-bag shards, and duplicate feature vectors that leave
+k-means cells empty.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bags import Bag, Instance, MILDataset
+from repro.core.sharded import (
+    IVFNominator,
+    ShardSpec,
+    ShardedCorpus,
+    ShardedRetrievalEngine,
+)
+from repro.index import kmeans_cells
+
+
+@st.composite
+def shard_datasets(draw):
+    """1-3 clips of random bags; at least one instance corpus-wide."""
+    n_clips = draw(st.integers(1, 3))
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    duplicate = draw(st.booleans())
+    datasets, iid = [], 0
+    for c in range(n_clips):
+        n_bags = draw(st.integers(1, 7))
+        bags = []
+        for b in range(n_bags):
+            n_inst = draw(st.integers(0, 3))
+            instances = []
+            for _ in range(n_inst):
+                if duplicate:
+                    matrix = np.full((3, 2), float(b % 2))
+                else:
+                    matrix = rng.normal(size=(3, 2))
+                    if b % 3 == 0:
+                        matrix[1] += 4.0
+                instances.append(Instance(
+                    instance_id=iid, bag_id=b, track_id=iid,
+                    matrix=matrix))
+                iid += 1
+            bags.append(Bag(bag_id=b, clip_id=f"clip{c}",
+                            frame_lo=b * 10, frame_hi=b * 10 + 9,
+                            instances=tuple(instances)))
+        datasets.append(MILDataset(
+            clip_id=f"clip{c}", event_name="accident",
+            feature_names=("f0", "f1"), window_size=3,
+            sampling_rate=5, bags=bags))
+    if sum(d.n_instances for d in datasets) == 0:
+        # engines reject all-empty corpora; give clip0's bag 0 a row
+        d = datasets[0]
+        inst = Instance(instance_id=iid, bag_id=0, track_id=iid,
+                        matrix=rng.normal(size=(3, 2)))
+        d.bags[0] = Bag(bag_id=0, clip_id=d.clip_id, frame_lo=0,
+                        frame_hi=9, instances=(inst,))
+    return datasets
+
+
+def _corpus(datasets):
+    return ShardedCorpus([
+        ShardSpec(clip_id=d.clip_id, n_bags=len(d.bags),
+                  n_instances=d.n_instances, loader=(lambda d=d: d))
+        for d in datasets
+    ], corpus_id="prop")
+
+
+def _engines(datasets, n_cells, nprobe, m):
+    heur = ShardedRetrievalEngine(_corpus(datasets),
+                                  candidates_per_shard=m)
+    ivf = ShardedRetrievalEngine(
+        _corpus(datasets), candidates_per_shard=m,
+        nominator=IVFNominator(n_cells=n_cells, nprobe=nprobe))
+    return heur, ivf
+
+
+class TestExhaustiveProbeEquivalence:
+    @given(shard_datasets(), st.integers(1, 6), st.integers(1, 4),
+           st.integers(0, 9999))
+    @settings(max_examples=40, deadline=None)
+    def test_full_probe_ranking_matches_heuristic(self, datasets,
+                                                  n_cells, m, seed):
+        heur, ivf = _engines(datasets, n_cells, n_cells, m)
+        rng = np.random.default_rng(seed)
+        for _ in range(2):
+            heur_rank = heur.rank()
+            assert ivf.rank() == heur_rank
+            labels = {b: bool(rng.random() < 0.5)
+                      for b in heur_rank[:4]}
+            heur.feed(labels)
+            ivf.feed(labels)
+        assert ivf.rank() == heur.rank()
+
+    @given(shard_datasets(), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_partial_probe_ranks_a_permutation(self, datasets, nprobe):
+        heur, ivf = _engines(datasets, 4, nprobe, 2)
+        n = len(heur.corpus)
+        relevant = [b for b in heur.rank()[:3]]
+        labels = {b: True for b in relevant}
+        ivf.feed(labels)
+        assert sorted(ivf.rank()) == list(range(n))
+
+
+class TestKMeansProperties:
+    @given(st.integers(1, 60), st.integers(1, 12), st.integers(0, 9999))
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_and_well_formed(self, n, k, seed):
+        x = np.random.default_rng(seed).normal(size=(n, 3))
+        c1, a1 = kmeans_cells(x, k, seed=seed)
+        c2, a2 = kmeans_cells(x, k, seed=seed)
+        np.testing.assert_array_equal(c1, c2)
+        np.testing.assert_array_equal(a1, a2)
+        assert len(c1) == min(k, n)
+        assert np.isfinite(c1).all()
+        assert ((a1 >= 0) & (a1 < len(c1))).all()
+
+    @given(st.integers(2, 20), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_identical_points_collapse_without_nan(self, n, k):
+        x = np.zeros((n, 2))
+        centroids, assignments = kmeans_cells(x, k, seed=0)
+        assert np.isfinite(centroids).all()
+        # every point lands in one occupied cell; the rest stay empty
+        assert len(np.unique(assignments)) == 1

@@ -1,0 +1,128 @@
+"""The Index stage: content-addressed IVF artifacts per clip.
+
+Pins the acceptance contract of the sublinear-nomination work: the
+index is fingerprint-keyed behind every upstream stage (an upstream
+config edit rebuilds it), a corrupted index blob is quarantined and
+recomputed through the store's existing self-healing path, and the
+stage-built index is bit-identical to one built lazily at query time
+from the same dataset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sharded import CorpusShard, ShardSpec
+from repro.index import IVFIndex, build_index_for_dataset
+from repro.pipeline import (
+    DiskArtifactStore,
+    IndexConfig,
+    MemoryArtifactStore,
+    PipelineConfig,
+    PipelineRunner,
+    WindowConfig,
+)
+
+
+def oracle_config(**over) -> PipelineConfig:
+    kwargs = dict(mode="oracle")
+    kwargs.update(over)
+    return PipelineConfig(**kwargs)
+
+
+def _assert_same_index(a: IVFIndex, b: IVFIndex) -> None:
+    np.testing.assert_array_equal(a.centroids, b.centroids)
+    np.testing.assert_array_equal(a.cell_starts, b.cell_starts)
+    np.testing.assert_array_equal(a.cell_rows, b.cell_rows)
+    np.testing.assert_array_equal(a.row_bags, b.row_bags)
+    assert a.n_bags == b.n_bags and a.params == b.params
+
+
+class TestIndexArtifact:
+    def test_run_produces_index(self, small_tunnel):
+        artifacts = PipelineRunner(oracle_config()).run(small_tunnel)
+        index = artifacts.index
+        assert isinstance(index, IVFIndex)
+        assert index.n_bags == len(artifacts.dataset.bags)
+        assert index.n_rows == artifacts.dataset.n_instances
+
+    def test_stage_matches_lazy_query_build(self, small_tunnel):
+        """The ingest-time artifact and a query-time lazy build must be
+        bit-identical — the two paths may never disagree."""
+        cfg = oracle_config()
+        artifacts = PipelineRunner(cfg).run(small_tunnel)
+        lazy = build_index_for_dataset(
+            artifacts.dataset, n_cells=cfg.index.n_cells,
+            seed=cfg.index.seed, iters=cfg.index.iters)
+        _assert_same_index(artifacts.index, lazy)
+
+    def test_prebuilt_artifact_feeds_corpus_shard(self, small_tunnel):
+        artifacts = PipelineRunner(oracle_config()).run(small_tunnel)
+        d = artifacts.dataset
+        spec = ShardSpec(clip_id=d.clip_id, n_bags=len(d.bags),
+                         n_instances=d.n_instances, loader=lambda: d,
+                         index_loader=lambda: artifacts.index)
+        shard = CorpusShard(spec, 0, 0)
+        assert shard.ivf_index(n_cells=32, seed=0, iters=15) \
+            is artifacts.index
+
+
+class TestIndexInvalidation:
+    def test_index_config_change_recomputes_index_only(self, small_tunnel):
+        store = MemoryArtifactStore()
+        PipelineRunner(oracle_config(), store=store).run(small_tunnel)
+        swept = PipelineRunner(
+            oracle_config(index=IndexConfig(n_cells=8)),
+            store=store).run(small_tunnel)
+        assert swept.stage_runs == {
+            "oracle": 0, "series": 0, "windows": 0, "index": 1}
+        assert swept.index.n_cells <= 8
+
+    def test_upstream_change_rebuilds_index(self, small_tunnel):
+        """Content addressing: editing any upstream stage config must
+        invalidate the cached index along with the dataset."""
+        store = MemoryArtifactStore()
+        PipelineRunner(oracle_config(), store=store).run(small_tunnel)
+        swept = PipelineRunner(
+            oracle_config(windows=WindowConfig(window_size=5)),
+            store=store).run(small_tunnel)
+        assert swept.stage_runs["index"] == 1
+
+    def test_identical_config_serves_index_from_store(self, small_tunnel,
+                                                      tmp_path):
+        store = DiskArtifactStore(tmp_path / "cache")
+        cold = PipelineRunner(oracle_config(), store=store).run(small_tunnel)
+        warm = PipelineRunner(oracle_config(), store=store).run(small_tunnel)
+        assert warm.stage_runs["index"] == 0
+        _assert_same_index(warm.index, cold.index)
+
+
+class TestIndexSelfHealing:
+    def test_corrupted_index_blob_quarantined_and_recomputed(
+            self, small_tunnel, tmp_path):
+        store = DiskArtifactStore(tmp_path / "cache")
+        runner = PipelineRunner(oracle_config(), store=store)
+        clean = runner.run(small_tunnel)
+
+        key = runner.chain_keys(small_tunnel)[-1]  # index is last
+        blob = store._blob(key)
+        damaged = bytearray(blob.read_bytes())
+        damaged[len(damaged) // 2] ^= 0xFF
+        blob.write_bytes(bytes(damaged))
+
+        healer = PipelineRunner(oracle_config(), store=store)
+        healed = healer.run(small_tunnel)
+        assert healer.integrity_recoveries == 1
+        assert any(q["key"] == key for q in store.quarantined)
+        _assert_same_index(healed.index, clean.index)
+        # the store is healed: a third run serves the fresh blob
+        rerun = PipelineRunner(oracle_config(), store=store)
+        assert rerun.run(small_tunnel).stage_runs["index"] == 0
+
+
+@pytest.mark.parametrize("bad", [dict(n_cells=0), dict(iters=0)])
+def test_bad_index_config_fails_at_build(small_tunnel, bad):
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        PipelineRunner(oracle_config(index=IndexConfig(**bad))
+                       ).run(small_tunnel)

@@ -103,6 +103,43 @@ class TestQueryAndLabel:
                      "--engine", "weighted_rf", "--top-k", "3"]) == 0
 
 
+class TestNominatorFlags:
+    def _two_clips(self, db_path):
+        _simulate(db_path)
+        _simulate(db_path, scenario="intersection")
+
+    def test_ivf_query_multi_clip(self, db_path, capsys):
+        self._two_clips(db_path)
+        assert main(["query", "--db", db_path,
+                     "--clips", "tunnel,intersection",
+                     "--nominator", "ivf", "--index-cells", "16",
+                     "--nprobe", "4", "--top-k", "5"]) == 0
+        assert capsys.readouterr().out.count("VS") == 5
+
+    def test_nprobe_without_ivf_rejected(self, db_path, capsys):
+        self._two_clips(db_path)
+        assert main(["query", "--db", db_path,
+                     "--clips", "tunnel,intersection",
+                     "--nprobe", "4"]) == 1
+        assert "--nominator ivf" in capsys.readouterr().err
+
+    def test_nominator_needs_multi_clip(self, db_path, capsys):
+        _simulate(db_path)
+        assert main(["query", "--db", db_path, "--clip", "tunnel",
+                     "--nominator", "ivf"]) == 2
+        assert "multi-clip" in capsys.readouterr().err
+
+    def test_experiment_without_nominator_support_rejected(self, capsys):
+        assert main(["experiment", "--name", "other_events",
+                     "--nominator", "ivf"]) == 1
+        assert "does not take --nominator" in capsys.readouterr().err
+
+    def test_experiment_nprobe_requires_ivf(self, capsys):
+        assert main(["experiment", "--name", "sharded_nomination",
+                     "--nprobe", "2"]) == 1
+        assert "--nominator ivf" in capsys.readouterr().err
+
+
 class TestMaintenanceCommands:
     def test_export_import_roundtrip(self, db_path, tmp_path, capsys):
         _simulate(db_path)

@@ -1,0 +1,139 @@
+"""Streaming ingestion benchmark: time-to-first-queryable-window + lag.
+
+Two claims behind the streaming refactor, measured on the standard
+400-frame intersection clip and persisted to ``BENCH_streaming.json``
+(shared ``repro-bench-v1`` schema):
+
+* **Time to first queryable window.**  Streaming makes the clip's first
+  window bags queryable while later segments are still rendering; the
+  acceptance bar is < 1/2 of the full batch build (in practice the first
+  segment lands in ~1/4 of the batch time).
+* **Ingest lag under concurrent feedback rounds.**  An open multi-clip
+  query session runs relevance-feedback rounds *between segments* of a
+  concurrent streaming ingest; we record the frontier lag (frames
+  processed but not yet queryable), per-round latency, and that the
+  session's corpus grew mid-query without being recreated.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.db import MultiClipQuerySession, StreamingIngest, VideoDatabase
+from repro.eval import build_artifacts
+from repro.obs import Telemetry, merge_bench, set_telemetry
+from repro.pipeline import PipelineConfig, PipelineRunner, SegmentedRunner
+from repro.sim import intersection, tunnel
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_streaming.json"
+
+SEGMENT_FRAMES = 100  # 400-frame clip -> 4 segments
+
+
+def _bench_clip():
+    return intersection(n_frames=400, seed=4, n_collisions=2)
+
+
+def test_time_to_first_queryable_window():
+    sim = _bench_clip()
+
+    t0 = time.perf_counter()
+    batch = PipelineRunner(PipelineConfig()).run(sim)
+    batch_s = time.perf_counter() - t0
+
+    runner = SegmentedRunner(segment_frames=SEGMENT_FRAMES)
+    first_window_s = None
+    t0 = time.perf_counter()
+    for emission in runner.stream(sim):
+        if emission.bags and first_window_s is None:
+            first_window_s = time.perf_counter() - t0
+    stream_s = time.perf_counter() - t0
+
+    assert first_window_s is not None
+    assert len(runner.artifacts.dataset.bags) == len(batch.dataset.bags)
+    # The acceptance bar: first windows queryable in < 1/2 the batch
+    # build time.
+    assert first_window_s < 0.5 * batch_s
+
+    recorder = Telemetry()
+    wall = recorder.gauge(
+        "bench.build_s", "wall seconds until the stage is queryable")
+    wall.set(round(batch_s, 4), stage="batch_full")
+    wall.set(round(first_window_s, 4), stage="stream_first_window")
+    wall.set(round(stream_s, 4), stage="stream_full")
+    recorder.gauge(
+        "bench.first_window_fraction",
+        "first-queryable-window time as a fraction of the batch build",
+    ).set(round(first_window_s / batch_s, 4))
+    merge_bench(BENCH_PATH, "time_to_first_queryable_window", recorder,
+                meta={"scenario": "intersection-400",
+                      "segment_frames": SEGMENT_FRAMES,
+                      "acceptance": "first_window < 0.5 * batch"})
+
+
+def test_ingest_lag_under_concurrent_feedback():
+    registry = Telemetry()
+    previous = set_telemetry(registry)
+    try:
+        db = VideoDatabase()
+        base = tunnel(n_frames=400, seed=3,
+                      spawn_interval=(60.0, 90.0),
+                      n_wall_crashes=2, n_sudden_stops=1)
+        art = build_artifacts(base, mode="oracle")
+        db.ingest_simulation(base, art.tracks, art.dataset)
+
+        sim = _bench_clip()
+        ingest = StreamingIngest(db, sim,
+                                 segment_frames=SEGMENT_FRAMES)
+        session = None
+        round_latencies: list[float] = []
+        lags: list[float] = []
+        sizes: list[int] = []
+
+        def feedback_round(emission):
+            nonlocal session
+            lags.append(registry.gauge("ingest.lag_frames").value())
+            if session is None:
+                # First windows just landed: open the session mid-ingest.
+                session = MultiClipQuerySession(
+                    db, [base.name, sim.name], "accident", top_k=8)
+            t0 = time.perf_counter()
+            results = session.results()
+            session.feed({results[0]: True})
+            round_latencies.append(time.perf_counter() - t0)
+            sizes.append(len(session.dataset))
+
+        t0 = time.perf_counter()
+        ingest.run(progress=feedback_round)
+        ingest_s = time.perf_counter() - t0
+    finally:
+        set_telemetry(previous)
+
+    # The open session's corpus grew across the concurrent rounds.
+    assert session is not None
+    assert sizes[-1] > sizes[0]
+    assert sizes[-1] == len(db.dataset(sim.name, "accident")) + \
+        len(art.dataset)
+
+    recorder = Telemetry()
+    recorder.gauge("bench.ingest_s",
+                   "wall seconds for the full concurrent ingest").set(
+        round(ingest_s, 4))
+    lag = recorder.gauge("bench.lag_frames",
+                         "frontier lag when each feedback round ran")
+    lag.set(round(max(lags), 1), stat="max")
+    lag.set(round(sum(lags) / len(lags), 1), stat="mean")
+    rl = recorder.gauge("bench.round_latency_s",
+                        "feedback-round latency during the ingest")
+    rl.set(round(max(round_latencies), 4), stat="max")
+    rl.set(round(sum(round_latencies) / len(round_latencies), 4),
+           stat="mean")
+    recorder.gauge("bench.corpus_growth_bags",
+                   "bags the open session gained mid-query").set(
+        sizes[-1] - sizes[0])
+    merge_bench(BENCH_PATH, "ingest_lag_under_feedback", recorder,
+                meta={"scenario": "intersection-400 + tunnel-400",
+                      "segment_frames": SEGMENT_FRAMES,
+                      "rounds": len(round_latencies)})

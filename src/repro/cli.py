@@ -4,6 +4,8 @@ Subcommands mirror the lifecycle of the paper's system:
 
 * ``simulate``   — generate a surveillance clip, run the pipeline, and
   ingest everything into a video database.
+* ``ingest``     — the same, as a resumable segment stream: windows
+  become queryable while later segments are still processing.
 * ``clips``      — list stored clips, filterable by metadata.
 * ``info``       — show one clip's tracks/datasets/labels.
 * ``query``      — show the current top-k of a semantic query session.
@@ -195,6 +197,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(sim)
     _add_obs_args(sim)
 
+    ingest = sub.add_parser(
+        "ingest", help="stream a simulated clip into a db segment by "
+                       "segment (resumable, queryable mid-clip)")
+    ingest.add_argument("--scenario", choices=_SCENARIOS, default="tunnel")
+    ingest.add_argument("--frames", type=int, default=None,
+                        help="clip length (scenario default if omitted)")
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--db", required=True, help="SQLite database path")
+    ingest.add_argument("--event", default="accident",
+                        help="event model for the stored dataset")
+    ingest.add_argument("--clip-id", default=None,
+                        help="override the stored clip id")
+    ingest.add_argument("--stream", action="store_true",
+                        help="segment-incremental ingestion (required; "
+                             "whole-clip batch is 'repro simulate')")
+    ingest.add_argument("--segment-frames", type=int, default=200,
+                        metavar="N",
+                        help="frames per streamed segment (default 200)")
+    ingest.add_argument("--resume", action="store_true",
+                        help="skip segments already durably appended per "
+                             "the db's ingest_events journal (pair with "
+                             "--artifact-cache to also replay the "
+                             "pipeline work of finished segments)")
+    ingest.add_argument(
+        "--artifact-cache", default=None, metavar="DIR",
+        help="directory for the content-addressed per-segment artifact "
+             "store")
+    ingest.add_argument("--no-artifact-cache", action="store_true",
+                        help="disable artifact reuse entirely")
+    _add_obs_args(ingest)
+
     clips = sub.add_parser("clips", help="list clips in a database")
     clips.add_argument("--db", required=True)
     clips.add_argument("--location", default=None)
@@ -291,6 +324,34 @@ def _ids(text: str) -> list[int]:
     return [int(part) for part in text.split(",") if part.strip()]
 
 
+def _scenario_kwargs(scenario: str, frames: int | None, seed: int) -> dict:
+    """Builder kwargs for one scenario, scaling incident counts with
+    clip length so short clips stay feasible and long ones interesting."""
+    kwargs: dict = {"seed": seed}
+    if frames is not None:
+        kwargs["n_frames"] = frames
+        if scenario == "tunnel":
+            factor = frames / 2500
+            kwargs["n_wall_crashes"] = max(1, round(7 * factor))
+            kwargs["n_sudden_stops"] = max(1, round(5 * factor))
+        elif scenario == "intersection":
+            factor = frames / 600
+            kwargs["n_collisions"] = max(1, round(5 * factor))
+            kwargs["n_near_misses"] = max(1, round(4 * factor))
+        elif scenario == "highway":
+            factor = frames / 800
+            kwargs["n_uturns"] = max(1, round(5 * factor))
+            kwargs["n_speeding"] = max(1, round(4 * factor))
+        elif scenario == "curve":
+            factor = frames / 1200
+            kwargs["n_sudden_stops"] = max(1, round(4 * factor))
+        else:  # city_grid
+            factor = frames / 900
+            kwargs["n_collisions"] = max(1, round(3 * factor))
+            kwargs["n_sudden_stops"] = max(1, round(3 * factor))
+    return kwargs
+
+
 def _cmd_simulate(args) -> int:
     telemetry, span_cm = _start_obs(args, "simulate")
     try:
@@ -312,30 +373,7 @@ def _run_simulate(args) -> int:
     store = _cache_store(args)  # validate the flags before simulating
     if store is False:
         store = None
-    kwargs = {"seed": args.seed}
-    if args.frames is not None:
-        kwargs["n_frames"] = args.frames
-        # Scale the scenario's default incident counts with clip length
-        # so short clips stay feasible and long ones stay interesting.
-        if args.scenario == "tunnel":
-            factor = args.frames / 2500
-            kwargs["n_wall_crashes"] = max(1, round(7 * factor))
-            kwargs["n_sudden_stops"] = max(1, round(5 * factor))
-        elif args.scenario == "intersection":
-            factor = args.frames / 600
-            kwargs["n_collisions"] = max(1, round(5 * factor))
-            kwargs["n_near_misses"] = max(1, round(4 * factor))
-        elif args.scenario == "highway":
-            factor = args.frames / 800
-            kwargs["n_uturns"] = max(1, round(5 * factor))
-            kwargs["n_speeding"] = max(1, round(4 * factor))
-        elif args.scenario == "curve":
-            factor = args.frames / 1200
-            kwargs["n_sudden_stops"] = max(1, round(4 * factor))
-        else:  # city_grid
-            factor = args.frames / 900
-            kwargs["n_collisions"] = max(1, round(3 * factor))
-            kwargs["n_sudden_stops"] = max(1, round(3 * factor))
+    kwargs = _scenario_kwargs(args.scenario, args.frames, args.seed)
     manifest, fingerprint = None, None
     if args.resume:
         from repro.reliability import RunManifest, task_fingerprint
@@ -376,6 +414,67 @@ def _run_simulate(args) -> int:
                                          "clip_id": sim.name,
                                          "db": args.db})
         print(f"recorded completion in {args.resume}")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    telemetry, span_cm = _start_obs(args, "ingest")
+    try:
+        with span_cm:
+            code = _run_ingest(args)
+    finally:
+        _finish_obs(args, telemetry, command="ingest", db_path=args.db)
+    return code
+
+
+def _run_ingest(args) -> int:
+    import time
+
+    from repro.db import StreamingIngest, VideoDatabase
+    from repro.errors import ConfigurationError
+    from repro.sim import city_grid, curve, highway, intersection, tunnel
+
+    if not args.stream:
+        raise ConfigurationError(
+            "repro ingest is the streaming path: pass --stream "
+            "(whole-clip batch ingestion is 'repro simulate')")
+    store = _cache_store(args)
+    if store is False:
+        store = None
+    builders = {"tunnel": tunnel, "intersection": intersection,
+                "highway": highway, "curve": curve,
+                "city_grid": city_grid}
+    sim = builders[args.scenario](
+        **_scenario_kwargs(args.scenario, args.frames, args.seed))
+    if args.clip_id:
+        sim.name = args.clip_id
+    print(f"simulated {sim.name!r}: {sim.n_frames} frames, "
+          f"{len(sim.incidents)} incidents")
+    started = time.perf_counter()
+    first_window_s: float | None = None
+
+    def progress(e) -> None:
+        nonlocal first_window_s
+        if e.bags and first_window_s is None:
+            first_window_s = time.perf_counter() - started
+        how = "cached" if e.cached else "built"
+        print(f"  segment {e.index} [{e.frame_lo},{e.frame_hi}): "
+              f"{len(e.bags)} new windows ({how}), "
+              f"frontier={e.frontier}, open tracks={e.n_open_tracks}")
+
+    with VideoDatabase(args.db) as db:
+        ingest = StreamingIngest(db, sim, event=args.event,
+                                 segment_frames=args.segment_frames,
+                                 store=store)
+        artifacts = ingest.run(resume=args.resume, progress=progress)
+    total_s = time.perf_counter() - started
+    print(f"streamed into {args.db}: {len(artifacts.dataset)} video "
+          f"sequences over {ingest.segments_appended} appended segments "
+          f"({ingest.segments_skipped} already durable), "
+          f"{len(artifacts.tracks)} tracks")
+    if first_window_s is not None:
+        print(f"first windows queryable after {first_window_s:.2f}s "
+              f"(full stream: {total_s:.2f}s)")
     return 0
 
 
@@ -611,6 +710,7 @@ def _cmd_import_clip(args) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "ingest": _cmd_ingest,
     "clips": _cmd_clips,
     "info": _cmd_info,
     "query": _cmd_query,

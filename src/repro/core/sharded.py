@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import islice
 from typing import Callable, Iterator, Mapping
 
@@ -247,6 +247,102 @@ class CorpusShard:
         self._ivf_indexes[params] = index
         return index
 
+    def append_local(self, bags) -> int:
+        """Append newly streamed clip-local bags in place.
+
+        ``bags`` carry *local* ids (position == bag id, as the batch and
+        streaming window builders both number them); bags whose ids are
+        already present are ignored, so replaying an ingest delta is
+        idempotent.  Every ranking array and memo keyed on the old bag
+        set is recomputed or dropped — except the IVF index memo, which
+        deliberately survives: the nominator detects the stale tail
+        (``index.n_bags < shard.n_bags``) and routes it explicitly, so a
+        live shard never has to pay a k-means rebuild per segment.
+
+        Standardized state (``matrix``, ``gram_cache``) is reset to
+        ``None``: the global scaler must refit over the grown corpus,
+        and the engine's corpus sync re-standardizes on the next round.
+        """
+        fresh = sorted((b for b in bags if b.bag_id >= self.n_bags),
+                       key=lambda b: b.bag_id)
+        if not fresh:
+            return 0
+        want = list(range(self.n_bags, self.n_bags + len(fresh)))
+        if [b.bag_id for b in fresh] != want:
+            raise ConfigurationError(
+                f"shard {self.clip_id!r}: appended bag ids "
+                f"{[b.bag_id for b in fresh]} are not the contiguous tail "
+                f"{want}")
+        next_inst = self.instance_offset + self.n_instances
+        new_rows = []
+        for bag in fresh:
+            instances = []
+            for inst in bag.instances:
+                instances.append(Instance(
+                    instance_id=next_inst,
+                    bag_id=self.bag_offset + bag.bag_id,
+                    track_id=inst.track_id, matrix=inst.matrix,
+                ))
+                new_rows.append(inst.vector)
+                next_inst += 1
+            self.dataset.bags.append(Bag(
+                bag_id=self.bag_offset + bag.bag_id, clip_id=self.clip_id,
+                frame_lo=bag.frame_lo, frame_hi=bag.frame_hi,
+                instances=tuple(instances),
+            ))
+        self.n_bags = len(self.dataset.bags)
+        self.n_instances = self.dataset.n_instances
+        if new_rows:
+            block = np.ascontiguousarray(np.stack(new_rows),
+                                         dtype=np.float64)
+            self.matrix_raw = (block if self.matrix_raw is None
+                               else np.vstack([self.matrix_raw, block]))
+        instances = self.dataset.all_instances()
+        bag_scores, inst_scores = heuristic_scores(self.dataset)
+        self.heuristic_bags = bag_scores
+        self.heuristic_instances = np.array(
+            [inst_scores[inst.instance_id] for inst in instances])
+        self.bag_ranked_ids = {
+            bag.bag_id: tuple(
+                inst.instance_id
+                for inst in sorted(bag.instances,
+                                   key=lambda i: inst_scores[i.instance_id],
+                                   reverse=True)
+            )
+            for bag in self.dataset.bags
+        }
+        self.bag_sizes = np.array([b.n_instances for b in self.dataset.bags])
+        self.bag_starts = np.concatenate(
+            ([0], np.cumsum(self.bag_sizes)))[:-1].astype(int)
+        self._heuristic_order = None
+        self._heuristic_rank = None
+        self._candidate_cache.clear()
+        self.matrix = None
+        self.gram_cache = None
+        self.spec = replace(self.spec, n_bags=self.n_bags,
+                            n_instances=self.n_instances)
+        self.metadata_version += 1
+        get_telemetry().counter("sharded.bags_appended").inc(
+            len(fresh), clip=self.clip_id)
+        return len(fresh)
+
+    def rebuild_ivf_index(self, *, n_cells: int = 32, seed: int = 0,
+                          iters: int = 15) -> IVFIndex:
+        """Rebuild (and re-memoize) the IVF index over the current rows.
+
+        Bypasses ``spec.index_loader`` — a prebuilt artifact predates
+        any append by definition.  The nominator calls this when the
+        un-indexed tail has grown past its rebuild threshold.
+        """
+        params = (int(n_cells), int(seed), int(iters))
+        sizes = self.bag_sizes.astype(np.intp)
+        row_bags = np.repeat(np.arange(self.n_bags, dtype=np.intp), sizes)
+        index = IVFIndex.build(
+            self.matrix_raw, row_bags, self.n_bags,
+            n_cells=n_cells, seed=seed, iters=iters)
+        self._ivf_indexes[params] = index
+        return index
+
     def row_of(self, instance_id: int) -> int:
         return instance_id - self.instance_offset
 
@@ -292,6 +388,17 @@ class ShardedCorpus:
         self._n_instances = insts
         self._shards: dict[str, CorpusShard] = {}
         self._metadata_versions: dict[str, int] = {}
+        self._mutations = 0
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter of corpus mutations (reload / refresh).
+
+        Engines key their cross-shard state (global scaler, per-round
+        streams) on this, so an open query session notices a live-shard
+        append on its next round without being recreated.
+        """
+        return self._mutations
 
     def __len__(self) -> int:
         return self._n_bags
@@ -341,7 +448,68 @@ class ShardedCorpus:
         else:
             version = self._metadata_versions.get(clip_id, 0) + 1
         self._metadata_versions[clip_id] = version
+        self._mutations += 1
         return self.shard(clip_id)
+
+    def refresh(self, clip_id: str, *, n_bags: int,
+                n_instances: int) -> int:
+        """Adopt a clip's new catalog counts after a streamed append.
+
+        Returns the number of bags that arrived (0 when the counts
+        already match — a cheap no-op that never touches the loader).
+        An already-loaded shard absorbs the delta *in place* via
+        :meth:`CorpusShard.append_local`, keeping its offsets and every
+        previously issued global bag id stable; an unloaded shard just
+        gets an updated spec for its lazy load.  Later shards' global
+        offsets shift by the delta, so any of them already loaded are
+        dropped (with a version bump) and reload lazily under their new
+        offsets.
+        """
+        for i, spec in enumerate(self.specs):
+            if spec.clip_id == clip_id:
+                break
+        else:
+            raise ConfigurationError(f"no shard for clip {clip_id!r}")
+        if n_bags == spec.n_bags and n_instances == spec.n_instances:
+            return 0
+        if n_bags < spec.n_bags or n_instances < spec.n_instances:
+            raise ConfigurationError(
+                f"shard {clip_id!r}: refresh would shrink the shard "
+                f"({spec.n_bags}->{n_bags} bags); use reload() for "
+                f"destructive changes")
+        delta = n_bags - spec.n_bags
+        self.specs[i] = replace(spec, n_bags=n_bags,
+                                n_instances=n_instances)
+        shard = self._shards.get(clip_id)
+        if shard is not None:
+            local = self.specs[i].loader()
+            if (len(local.bags) != n_bags
+                    or local.n_instances != n_instances):
+                raise ConfigurationError(
+                    f"shard {clip_id!r}: loader returned "
+                    f"{len(local.bags)} bags / {local.n_instances} "
+                    f"instances, refresh declared {n_bags} / "
+                    f"{n_instances}")
+            shard.append_local(local.bags[shard.n_bags:])
+        for j in range(i + 1, len(self.specs)):
+            later = self.specs[j].clip_id
+            if later in self._shards:
+                self._shards.pop(later)
+                self._metadata_versions[later] = \
+                    self._metadata_versions.get(later, 0) + 1
+        bags = insts = 0
+        self._bag_offsets, self._instance_offsets = [], []
+        for spec in self.specs:
+            self._bag_offsets.append(bags)
+            self._instance_offsets.append(insts)
+            bags += spec.n_bags
+            insts += spec.n_instances
+        self._n_bags = bags
+        self._n_instances = insts
+        self._mutations += 1
+        get_telemetry().event("sharded.refresh", clip=clip_id,
+                              delta_bags=delta)
+        return delta
 
     def shards(self) -> Iterator[CorpusShard]:
         """All shards in spec order (loading any that aren't yet)."""
@@ -410,16 +578,23 @@ class IVFNominator:
     name = "ivf"
 
     def __init__(self, *, n_cells: int = 32, nprobe: int = 8,
-                 seed: int = 0, iters: int = 15) -> None:
+                 seed: int = 0, iters: int = 15,
+                 rebuild_tail_fraction: float = 0.5) -> None:
         if n_cells < 1:
             raise ConfigurationError(
                 f"n_cells must be >= 1, got {n_cells}")
         if nprobe < 1:
             raise ConfigurationError(f"nprobe must be >= 1, got {nprobe}")
+        check_in_range("rebuild_tail_fraction", rebuild_tail_fraction,
+                       0.0, 1.0, inclusive=(False, True))
         self.n_cells = int(n_cells)
         self.nprobe = int(nprobe)
         self.seed = int(seed)
         self.iters = int(iters)
+        #: When a live append leaves more than this fraction of the
+        #: shard outside the index, rebuild it instead of routing the
+        #: tail around it.
+        self.rebuild_tail_fraction = float(rebuild_tail_fraction)
 
     def nominate(self, engine: "ShardedRetrievalEngine",
                  shard: CorpusShard) -> np.ndarray:
@@ -427,11 +602,20 @@ class IVFNominator:
         queries = engine._query_vectors_raw()
         if queries is None:
             return shard.candidate_positions(m)
+        obs = get_telemetry()
         index = shard.ivf_index(n_cells=self.n_cells, seed=self.seed,
                                 iters=self.iters)
+        if index.n_bags < shard.n_bags:
+            # Bags streamed in after the index was built.  Past the
+            # rebuild threshold, re-cluster over the grown shard; below
+            # it, keep the index and route the tail explicitly below.
+            tail = shard.n_bags - index.n_bags
+            if tail >= self.rebuild_tail_fraction * shard.n_bags:
+                index = shard.rebuild_ivf_index(
+                    n_cells=self.n_cells, seed=self.seed, iters=self.iters)
+                obs.counter("index.rebuilds").inc()
         if index.n_cells == 0 or self.nprobe >= index.n_cells:
             return shard.candidate_positions(m)
-        obs = get_telemetry()
         with obs.span("index.probe", clip=shard.clip_id,
                       nprobe=self.nprobe, cells=index.n_cells) as sp:
             positions, stats = index.probe(queries, self.nprobe)
@@ -440,6 +624,16 @@ class IVFNominator:
         obs.counter("index.bags_nominated").inc(stats["bags_nominated"])
         if sp is not None:
             sp.set(**stats)
+        if index.n_bags < shard.n_bags:
+            # The index never saw the appended tail, so probing can
+            # never nominate it: always route un-indexed bags through
+            # stage two alongside the probe hits.  Any tail bag the
+            # heuristic baseline would surface in its top-M survives
+            # the cap below (its heuristic rank is < M by definition),
+            # so nomination recall over appended bags never hits zero.
+            stale = np.arange(index.n_bags, shard.n_bags, dtype=np.intp)
+            positions = np.union1d(positions, stale).astype(np.intp)
+            obs.counter("index.stale_tail_routed").inc(len(stale))
         # Keep the stage-two contract: at most M candidates, walked in
         # the heuristic prefilter's nomination order.
         rank = shard.heuristic_rank
@@ -558,6 +752,33 @@ class ShardedRetrievalEngine:
         self._round_nominated: dict[str, np.ndarray] | None = None
         self._training_ids: list[int] = []
         self._round_queries: np.ndarray | None = None
+        self._corpus_version = corpus.mutation_count
+
+    def _sync_corpus(self) -> None:
+        """Catch up with live-corpus mutations (appends / reloads).
+
+        A streamed append invalidates everything keyed on the old bag
+        population: the global scaler's statistics, every shard's
+        standardized matrix and Gram-cache columns, the per-round merge
+        streams and cached query vectors.  Drop them all, retrain on the
+        grown corpus when there is feedback, and the next round ranks
+        the appended bags alongside the old ones — no session restart.
+        """
+        if self._corpus_version == self.corpus.mutation_count:
+            return
+        self._corpus_version = self.corpus.mutation_count
+        self._scaler = None
+        for clip_id in self.corpus.loaded_clip_ids:
+            shard = self.corpus.shard(clip_id)
+            shard.matrix = None
+            shard.gram_cache = None
+        self._candidate_streams = None
+        self._leftover_streams = None
+        self._round_nominated = None
+        self._round_queries = None
+        get_telemetry().counter("sharded.corpus_syncs").inc()
+        if self.labels:
+            self._retrain()
 
     # -- feedback ---------------------------------------------------------
     def feed(self, labels: Mapping[int, bool]) -> None:
@@ -567,6 +788,7 @@ class ShardedRetrievalEngine:
         ``RetrievalEngine.feed``): a round with unknown bag ids leaves
         the engine untouched.
         """
+        self._sync_corpus()
         unknown = {int(b) for b in labels
                    if not 0 <= int(b) < len(self.corpus)}
         if unknown:
@@ -753,7 +975,8 @@ class ShardedRetrievalEngine:
 
     def _ensure_round(self) -> None:
         """Score all shards for the current feedback state (cached until
-        the next ``feed``)."""
+        the next ``feed`` or corpus mutation)."""
+        self._sync_corpus()
         if self._candidate_streams is not None:
             return
         obs = get_telemetry()

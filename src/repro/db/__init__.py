@@ -18,6 +18,7 @@ provides that layer:
 from repro.db.schema import ClipRecord, LabelRecord, TrackRecord
 from repro.db.storage import ArrayStore, InMemoryArrayStore, NpzArrayStore
 from repro.db.database import VideoDatabase
+from repro.db.ingest import StreamingIngest
 from repro.db.query import (
     MultiClipQuerySession,
     SemanticQuerySession,
@@ -32,6 +33,7 @@ __all__ = [
     "InMemoryArrayStore",
     "NpzArrayStore",
     "VideoDatabase",
+    "StreamingIngest",
     "SemanticQuerySession",
     "MultiClipQuerySession",
     "sharded_corpus",

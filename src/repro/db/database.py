@@ -96,6 +96,21 @@ CREATE TABLE IF NOT EXISTS artifact_entries (
 );
 CREATE INDEX IF NOT EXISTS idx_artifact_clip
     ON artifact_entries (clip_id);
+CREATE TABLE IF NOT EXISTS ingest_events (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    clip_id       TEXT NOT NULL,
+    event         TEXT NOT NULL,
+    segment_index INTEGER NOT NULL,
+    state         TEXT NOT NULL,
+    frame_lo      INTEGER NOT NULL DEFAULT 0,
+    frame_hi      INTEGER NOT NULL DEFAULT 0,
+    n_bags        INTEGER NOT NULL DEFAULT 0,
+    n_instances   INTEGER NOT NULL DEFAULT 0,
+    detail        TEXT NOT NULL DEFAULT '',
+    created_at    TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS idx_ingest_clip
+    ON ingest_events (clip_id, event, segment_index);
 CREATE TABLE IF NOT EXISTS run_metrics (
     run_id     TEXT PRIMARY KEY,
     command    TEXT NOT NULL DEFAULT '',
@@ -104,6 +119,16 @@ CREATE TABLE IF NOT EXISTS run_metrics (
     summary    TEXT NOT NULL DEFAULT '{}'
 );
 """
+
+
+#: Legal per-segment ingest states, in normal progression order.
+INGEST_STATES = ("pending", "built", "appended", "failed")
+
+
+def _utc_now() -> str:
+    import time
+
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
 def _floats_to_text(values) -> str:
@@ -295,6 +320,149 @@ class VideoDatabase:
                     "matrices": np.stack([i.matrix for i in instances]),
                 },
             )
+        self._metadata_version += 1
+
+    def append_dataset(self, delta: MILDataset, *,
+                       segment: tuple[int, int, int] | None = None) -> None:
+        """Append a streamed delta to a stored dataset, exactly-once.
+
+        ``delta`` holds newly final bags whose ids extend the stored
+        dataset (the streaming emitter numbers them exactly as the batch
+        pipeline would).  Re-appending the same delta is idempotent: the
+        catalog rows are upserted and the array bundle is rebuilt with
+        the delta's instance ids filtered out of the existing rows
+        first.  When ``segment`` — ``(segment_index, frame_lo,
+        frame_hi)`` — is given, an ``appended`` row lands in the
+        ``ingest_events`` log *in the same transaction* as the catalog
+        rows, so a killed ingest either durably appended the segment or
+        left no trace of it; the resume replays it without duplicates.
+        """
+        self.clip(delta.clip_id)
+        meta = self._conn.execute(
+            "SELECT feature_names, window_size, sampling_rate FROM datasets"
+            " WHERE clip_id=? AND event=?",
+            (delta.clip_id, delta.event_name)).fetchone()
+        if meta is not None:
+            stored = (tuple(meta[0].split(",")), int(meta[1]), int(meta[2]))
+            ours = (tuple(delta.feature_names), int(delta.window_size),
+                    int(delta.sampling_rate))
+            if stored != ours:
+                raise StorageError(
+                    f"dataset delta for clip {delta.clip_id!r} / event "
+                    f"{delta.event_name!r} does not match the stored "
+                    f"dataset: {ours} != {stored}")
+        instances = delta.all_instances()
+        if instances:
+            key = f"{delta.clip_id}/dataset-{delta.event_name}"
+            delta_ids = {i.instance_id for i in instances}
+            ids = [i.instance_id for i in instances]
+            mats = [i.matrix for i in instances]
+            if self.arrays.exists(key):
+                bundle = self.arrays.load(key)
+                keep = [k for k, iid in enumerate(bundle["instance_ids"])
+                        if int(iid) not in delta_ids]
+                ids = [int(bundle["instance_ids"][k]) for k in keep] + ids
+                mats = [bundle["matrices"][k] for k in keep] + mats
+            # The bulk write lands before the catalog commit: a crash in
+            # between leaves orphan matrices (harmless — readers key off
+            # the catalog) and no ``appended`` row, so resume re-appends.
+            self.arrays.save(key, {
+                "instance_ids": np.array(ids),
+                "matrices": np.stack(mats),
+            })
+        with self._conn:
+            if meta is None:
+                self._conn.execute(
+                    "INSERT INTO datasets VALUES (?,?,?,?,?)",
+                    (delta.clip_id, delta.event_name,
+                     ",".join(delta.feature_names), delta.window_size,
+                     delta.sampling_rate))
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO bags VALUES (?,?,?,?,?)",
+                [(delta.clip_id, delta.event_name, b.bag_id,
+                  b.frame_lo, b.frame_hi) for b in delta.bags])
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO instances VALUES (?,?,?,?,?)",
+                [(delta.clip_id, delta.event_name, i.instance_id,
+                  i.bag_id, i.track_id) for i in instances])
+            if segment is not None:
+                seg, lo, hi = segment
+                self._conn.execute(
+                    "INSERT INTO ingest_events (clip_id, event,"
+                    " segment_index, state, frame_lo, frame_hi, n_bags,"
+                    " n_instances, detail, created_at)"
+                    " VALUES (?,?,?,?,?,?,?,?,?,?)",
+                    (delta.clip_id, delta.event_name, int(seg), "appended",
+                     int(lo), int(hi), len(delta.bags), len(instances),
+                     "", _utc_now()))
+        self._metadata_version += 1
+
+    # ----------------------------------------------------- ingest journal
+    def record_ingest_event(self, clip_id: str, event_name: str,
+                            segment_index: int, state: str, *,
+                            frame_lo: int = 0, frame_hi: int = 0,
+                            n_bags: int = 0, n_instances: int = 0,
+                            detail: str = "") -> None:
+        """Append one row to the per-segment ingest journal.
+
+        The journal is append-only; the *latest* row per ``(clip, event,
+        segment)`` is that segment's current state (see
+        :meth:`ingest_state`).  ``appended`` rows are normally written
+        by :meth:`append_dataset` inside the catalog transaction — use
+        this directly for ``pending``/``built``/``failed`` transitions.
+        """
+        if state not in INGEST_STATES:
+            raise StorageError(
+                f"unknown ingest state {state!r}; expected one of "
+                f"{INGEST_STATES}")
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO ingest_events (clip_id, event, segment_index,"
+                " state, frame_lo, frame_hi, n_bags, n_instances, detail,"
+                " created_at) VALUES (?,?,?,?,?,?,?,?,?,?)",
+                (clip_id, event_name, int(segment_index), state,
+                 int(frame_lo), int(frame_hi), int(n_bags),
+                 int(n_instances), detail, _utc_now()))
+
+    def ingest_state(self, clip_id: str, event_name: str) -> dict[int, dict]:
+        """Current state per segment: latest journal row wins.
+
+        Returns ``{segment_index: {state, frame_lo, frame_hi, n_bags,
+        n_instances, detail, created_at}}`` — the resume scan skips
+        segments whose latest state is ``appended``.
+        """
+        rows = self._conn.execute(
+            "SELECT segment_index, state, frame_lo, frame_hi, n_bags,"
+            " n_instances, detail, created_at FROM ingest_events"
+            " WHERE clip_id=? AND event=? ORDER BY id",
+            (clip_id, event_name)).fetchall()
+        state: dict[int, dict] = {}
+        for seg, st, lo, hi, nb, ni, detail, created in rows:
+            state[int(seg)] = {
+                "state": st, "frame_lo": int(lo), "frame_hi": int(hi),
+                "n_bags": int(nb), "n_instances": int(ni),
+                "detail": detail, "created_at": created,
+            }
+        return state
+
+    def ingest_log(self, clip_id: str,
+                   event_name: str | None = None) -> list[dict]:
+        """Full append-only journal for a clip, in write order."""
+        sql = ("SELECT event, segment_index, state, frame_lo, frame_hi,"
+               " n_bags, n_instances, detail, created_at FROM ingest_events"
+               " WHERE clip_id=?")
+        params: list = [clip_id]
+        if event_name is not None:
+            sql += " AND event=?"
+            params.append(event_name)
+        sql += " ORDER BY id"
+        return [
+            {"event": r[0], "segment_index": int(r[1]), "state": r[2],
+             "frame_lo": int(r[3]), "frame_hi": int(r[4]),
+             "n_bags": int(r[5]), "n_instances": int(r[6]),
+             "detail": r[7], "created_at": r[8]}
+            for r in self._conn.execute(sql, params).fetchall()
+        ]
 
     def dataset(self, clip_id: str, event_name: str) -> MILDataset:
         """Reconstruct a stored MIL dataset."""

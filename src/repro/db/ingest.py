@@ -1,0 +1,142 @@
+"""Streaming clip ingestion: segments land in the database as they finish.
+
+:class:`StreamingIngest` drives a
+:class:`~repro.pipeline.segmented.SegmentedRunner` over one simulated
+clip and appends each segment's newly final window bags to the
+:class:`~repro.db.database.VideoDatabase` the moment they are emitted —
+so the clip becomes queryable window by window instead of only after the
+whole build.
+
+Durability is the ``ingest_events`` journal's job.  Per segment the
+normal progression is ``pending -> built -> appended``; the ``appended``
+row is written by :meth:`VideoDatabase.append_dataset` inside the same
+transaction as the bag/instance rows, which makes it the exactly-once
+marker: a killed ingest resumes by replaying the segment stream (cheap —
+per-segment artifacts are content addressed) and skipping every segment
+whose latest journal state is ``appended``.  A failed append journals a
+``failed`` row with the error and re-raises; re-running picks the
+segment up again.
+"""
+
+from __future__ import annotations
+
+from repro.core.bags import MILDataset
+from repro.db.schema import ClipRecord
+from repro.obs import get_telemetry
+from repro.pipeline.artifacts import ClipArtifacts
+from repro.pipeline.config import PipelineConfig, WindowConfig
+from repro.pipeline.segmented import SegmentedRunner, SegmentEmission
+
+__all__ = ["StreamingIngest"]
+
+
+class StreamingIngest:
+    """Ingest one clip as a resumable segment stream.
+
+    Parameters mirror :meth:`VideoDatabase.ingest_simulation` where they
+    overlap; ``event`` picks the event model when no ``config`` is given
+    (with a ``config``, the event comes from ``config.windows.event``).
+    ``store`` is an optional content-addressed artifact store shared
+    with the runner, so a resumed ingest replays finished segments from
+    cache instead of recomputing them.
+    """
+
+    def __init__(self, db, result, *, event: str = "accident",
+                 segment_frames: int = 200,
+                 config: PipelineConfig | None = None,
+                 store=None, start_time: str = "",
+                 vehicle_classes: dict[int, str] | None = None) -> None:
+        self.db = db
+        self.result = result
+        self.config = config or PipelineConfig(
+            windows=WindowConfig(event=event))
+        self.runner = SegmentedRunner(
+            self.config, segment_frames=segment_frames, store=store)
+        self.start_time = start_time
+        self.vehicle_classes = vehicle_classes
+        self.model = self.config.resolve_event_model()
+        self.clip_record: ClipRecord | None = None
+        #: Filled by :meth:`run`: segments appended vs skipped-as-durable.
+        self.segments_appended = 0
+        self.segments_skipped = 0
+
+    def _record(self) -> ClipRecord:
+        result = self.result
+        return ClipRecord(
+            clip_id=result.name,
+            location=str(result.metadata.get("location", "")),
+            camera=str(result.metadata.get("camera", "")),
+            start_time=self.start_time,
+            fps=self.config.render.fps,
+            n_frames=result.n_frames,
+            width=result.width,
+            height=result.height,
+            extra={"scenario": result.metadata.get("scenario", "")},
+        )
+
+    def _delta(self, emission: SegmentEmission) -> MILDataset:
+        return MILDataset(
+            clip_id=self.result.name,
+            event_name=self.model.name,
+            feature_names=tuple(self.model.feature_names),
+            window_size=self.config.windows.window_size,
+            sampling_rate=self.config.series.sampling.sampling_rate,
+            bags=list(emission.bags),
+        )
+
+    def run(self, *, resume: bool = True,
+            progress=None) -> ClipArtifacts:
+        """Stream the clip in; returns the batch-identical artifacts.
+
+        With ``resume`` (default), segments whose latest journal state
+        is ``appended`` are replayed but not re-appended, so a killed
+        ingest continues exactly-once from the last durable segment.
+        ``progress`` (optional) is called with each
+        :class:`SegmentEmission` after it has been handled.
+        """
+        obs = get_telemetry()
+        db, result, event = self.db, self.result, self.model.name
+        clip_id = result.name
+        self.clip_record = self._record()
+        db.add_clip(self.clip_record)
+        durable = db.ingest_state(clip_id, event) if resume else {}
+        for lo, hi in self.runner.segment_bounds(result.n_frames):
+            index = lo // self.runner.segment_frames
+            if durable.get(index, {}).get("state") != "appended":
+                db.record_ingest_event(clip_id, event, index, "pending",
+                                       frame_lo=lo, frame_hi=hi)
+
+        def on_emission(e: SegmentEmission) -> None:
+            if durable.get(e.index, {}).get("state") == "appended":
+                self.segments_skipped += 1
+                obs.counter("ingest.segments_skipped").inc()
+                return
+            n_instances = sum(b.n_instances for b in e.bags)
+            db.record_ingest_event(
+                clip_id, event, e.index, "built",
+                frame_lo=e.frame_lo, frame_hi=e.frame_hi,
+                n_bags=len(e.bags), n_instances=n_instances)
+            try:
+                db.append_dataset(
+                    self._delta(e),
+                    segment=(e.index, e.frame_lo, e.frame_hi))
+            except Exception as exc:
+                db.record_ingest_event(
+                    clip_id, event, e.index, "failed",
+                    frame_lo=e.frame_lo, frame_hi=e.frame_hi,
+                    detail=f"{type(exc).__name__}: {exc}")
+                raise
+            self.segments_appended += 1
+            obs.counter("ingest.segments_appended").inc()
+
+        def handle(e: SegmentEmission) -> None:
+            on_emission(e)
+            if progress is not None:
+                progress(e)
+
+        with obs.span("ingest.clip", clip=clip_id, event=event,
+                      segment_frames=self.runner.segment_frames):
+            artifacts = self.runner.run(result, on_emission=handle)
+        db.add_tracks(clip_id, artifacts.tracks,
+                      vehicle_classes=self.vehicle_classes)
+        return artifacts

@@ -124,6 +124,14 @@ class _QuerySessionBase:
         if stored:
             self.engine.feed(stored)
 
+    def _before_round(self) -> None:
+        """Hook called before every ranking read and feedback round.
+
+        Sessions over live corpora override this to sync with the
+        database (pick up bags appended by a concurrent streaming
+        ingest) without being recreated.  Default: no-op.
+        """
+
     def _vehicle_classes(self, clip_id: str) -> dict[int, str]:
         """Session-level vehicle-class cache, one DB read per clip.
 
@@ -152,6 +160,7 @@ class _QuerySessionBase:
         matches, so clips past the cut are neither scored globally nor
         have their metadata fetched.
         """
+        self._before_round()
         if vehicle_class is None:
             return self.engine.top_k(self.top_k)
         out: list[int] = []
@@ -186,6 +195,7 @@ class _QuerySessionBase:
         """
         if not labels:
             raise ConfigurationError("feedback round must label >= 1 bag")
+        self._before_round()
         self.engine.feed(labels)
         self.db.add_labels([
             LabelRecord(clip_id=self.corpus_id,
@@ -261,6 +271,8 @@ class MultiClipQuerySession(_QuerySessionBase):
         self.clip_ids = list(clip_ids)
         engine = kwargs.get("engine", "mil_ocsvm")
         use_sharded = sharded and engine == "mil_ocsvm"
+        self._sharded = use_sharded
+        self._db_version = db.metadata_version
         if candidates_per_shard is not None and not use_sharded:
             raise ConfigurationError(
                 "candidates_per_shard requires the sharded 'mil_ocsvm' "
@@ -299,3 +311,26 @@ class MultiClipQuerySession(_QuerySessionBase):
             datasets = [db.dataset(c, event_name) for c in clip_ids]
             merged = merge_datasets(datasets, merged_id=corpus_id)
             super().__init__(db, corpus_id, event_name, merged, **kwargs)
+
+    def _before_round(self) -> None:
+        """Pick up bags a streaming ingest appended since the last round.
+
+        Keyed on :attr:`VideoDatabase.metadata_version` (bumped by every
+        dataset write), so idle rounds cost one integer compare.  On a
+        change, each member clip's catalog counts are re-read and the
+        live shard absorbs the delta in place
+        (:meth:`~repro.core.sharded.ShardedCorpus.refresh`); the engine
+        notices the corpus mutation on its next rank/feed and retrains
+        over the grown corpus.  The merged (non-sharded) path keeps its
+        construction-time snapshot.
+        """
+        if not self._sharded:
+            return
+        version = self.db.metadata_version
+        if version == self._db_version:
+            return
+        self._db_version = version
+        for clip_id in self.clip_ids:
+            meta = self.db.dataset_meta(clip_id, self.event_name)
+            self.dataset.refresh(clip_id, n_bags=meta["n_bags"],
+                                 n_instances=meta["n_instances"])

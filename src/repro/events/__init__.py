@@ -23,6 +23,7 @@ from repro.events.models import (
     register_event_model,
     registered_event_models,
 )
+from repro.events.streaming import StreamingWindowEmitter, stable_frontier
 from repro.events.windows import build_dataset, window_frame_span
 
 __all__ = [
@@ -39,4 +40,6 @@ __all__ = [
     "registered_event_models",
     "build_dataset",
     "window_frame_span",
+    "stable_frontier",
+    "StreamingWindowEmitter",
 ]

@@ -1,0 +1,182 @@
+"""Incremental Video-Sequence emission with a batch-equivalence guarantee.
+
+Streaming ingestion processes a clip segment by segment, but the paper's
+windowing (Section 5.1) is defined over *final* tracks: smoothing looks a
+few checkpoints ahead, ``inv_mdist`` depends on every vehicle present at
+a checkpoint, and a window's instance set depends on which tracks end up
+covering it.  Emitting a window early would risk disagreeing with the
+batch pipeline.
+
+This module computes the **stable frontier**: the highest frame index
+``F`` such that every feature value at checkpoints ``<= F`` — and the
+membership and emptiness of every window ending at or before ``F`` — can
+no longer change, no matter what future frames contain.  Windows whose
+last checkpoint is at or before the frontier are final and safe to
+append to the live corpus; everything later is carried over to the next
+segment boundary.
+
+Per open (still-matchable) track the frontier is pinned by:
+
+* an *uncertain* track — too short to survive the tracker's
+  ``min_track_length`` gate, or covering fewer than ``h + 2``
+  checkpoints (``h`` = smoothing half-window), so its smoothed positions
+  and even its existence in the final dataset are unknown — pins the
+  frontier below its first observation;
+* a *certain* track pins the frontier at its last checkpoint minus
+  ``h`` checkpoints: positions up to there have their full smoothing
+  window observed, and every feature channel is backward-looking.
+
+New tracks can only begin at unprocessed frames, so they can never join,
+re-phase, or un-empty a window at or before the frontier.  The frontier
+is monotone across boundaries, which keeps emitted bag ids stable.
+
+:class:`StreamingWindowEmitter` re-derives the full window dataset from
+the current track snapshot at each segment boundary and emits the newly
+final prefix; a digest of everything already emitted is re-verified each
+time, so any violation of the frontier contract fails loudly instead of
+silently diverging from the batch pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from repro.core.bags import Bag
+from repro.errors import PipelineError
+from repro.events.features import SamplingConfig, extract_series
+from repro.events.models import EventModel
+from repro.events.windows import build_dataset
+
+__all__ = ["stable_frontier", "StreamingWindowEmitter"]
+
+
+def stable_frontier(open_tracks, *, processed_frames: int,
+                    min_track_length: int,
+                    config: SamplingConfig | None = None) -> int:
+    """Highest frame index whose checkpoint features are final.
+
+    ``open_tracks`` are the tracker's still-active tracks after
+    ``processed_frames`` frames (exclusive — frames ``< processed_frames``
+    have been seen).  Closed tracks never pin the frontier: their
+    observations, smoothing, and checkpoint coverage are all final.
+    """
+    cfg = config or SamplingConfig()
+    rate = cfg.sampling_rate
+    h = (cfg.smooth_window - 1) // 2
+    frontier = processed_frames - 1
+    for track in open_tracks:
+        if len(track) == 0:  # pragma: no cover - tracker never yields these
+            continue
+        first_cp = -(-track.first_frame // rate) * rate
+        last_cp = (track.last_frame // rate) * rate
+        n_cps = (last_cp - first_cp) // rate + 1 if last_cp >= first_cp else 0
+        if len(track) < min_track_length or n_cps < max(2, h + 2):
+            # Might be dropped entirely, might re-phase the window grid,
+            # and (n_cps < h + 2) its first smoothed positions — which
+            # velocity[0] reads — are still moving targets.
+            frontier = min(frontier, track.first_frame - 1)
+        else:
+            frontier = min(frontier, last_cp - h * rate)
+    return frontier
+
+
+class StreamingWindowEmitter:
+    """Emit the stable prefix of a clip's bags as segments arrive.
+
+    One emitter instance lives for one clip's ingest (picklable, so a
+    resumed ingest restores it mid-clip).  At each segment boundary,
+    :meth:`emit` recomputes the window dataset over the current track
+    snapshot (closed tracks + open tracks — ``extract_series`` skips
+    those covering < 2 checkpoints) and returns the bags beyond the last
+    emitted one whose windows end at or before the stable frontier.
+    Concatenating every emission plus the ``final=True`` flush yields,
+    bag for bag and feature for feature, the batch pipeline's dataset.
+    """
+
+    def __init__(self, model: EventModel, *, clip_id: str,
+                 window_size: int = 3, step: int | None = None,
+                 config: SamplingConfig | None = None,
+                 keep_empty: bool = False,
+                 min_track_length: int = 5) -> None:
+        self.model = model
+        self.clip_id = clip_id
+        self.window_size = int(window_size)
+        self.step = step
+        self.sampling = config or SamplingConfig()
+        self.keep_empty = bool(keep_empty)
+        self.min_track_length = int(min_track_length)
+        self.n_emitted = 0
+        self.n_instances_emitted = 0
+        self.last_frontier = -1
+        #: Full dataset from the most recent snapshot; after the
+        #: ``final=True`` flush this is the clip's batch-identical
+        #: :class:`~repro.core.bags.MILDataset`.
+        self.last_dataset = None
+        self._emitted_digest = hashlib.sha256().hexdigest()
+
+    @staticmethod
+    def _digest(bags: list[Bag]) -> str:
+        h = hashlib.sha256()
+        for bag in bags:
+            h.update(repr((bag.bag_id, bag.frame_lo, bag.frame_hi)).encode())
+            for inst in bag.instances:
+                h.update(repr((inst.instance_id, inst.track_id)).encode())
+                h.update(inst.matrix.tobytes())
+        return h.hexdigest()
+
+    def _snapshot_dataset(self, tracks):
+        ordered = sorted(tracks, key=lambda t: t.track_id)
+        series = extract_series(ordered, self.sampling)
+        return build_dataset(
+            series, self.model, clip_id=self.clip_id,
+            window_size=self.window_size, step=self.step,
+            config=self.sampling, keep_empty=self.keep_empty,
+        )
+
+    def emit(self, finished_tracks, open_tracks, *,
+             processed_frames: int, final: bool = False) -> list[Bag]:
+        """Newly final bags after ``processed_frames`` frames.
+
+        ``finished_tracks`` are the tracker's kept retired tracks;
+        ``open_tracks`` its still-active ones (empty when ``final`` —
+        pass the tracker's ``finish()`` output as finished instead).
+        """
+        if final and open_tracks:
+            raise PipelineError(
+                "final emission must come after the tracker's finish()"
+            )
+        dataset = self._snapshot_dataset(
+            list(finished_tracks) + list(open_tracks))
+        self.last_dataset = dataset
+        if final:
+            frontier = max(processed_frames - 1, self.last_frontier)
+            cut = len(dataset.bags)
+        else:
+            frontier = stable_frontier(
+                open_tracks, processed_frames=processed_frames,
+                min_track_length=self.min_track_length,
+                config=self.sampling)
+            frontier = max(frontier, self.last_frontier)
+            cut = bisect_right([b.frame_hi for b in dataset.bags], frontier)
+        if cut < self.n_emitted:
+            raise PipelineError(
+                f"clip {self.clip_id!r}: stable frontier regressed "
+                f"({cut} < {self.n_emitted} emitted bags)"
+            )
+        # Re-derive the digest of the already-emitted prefix from this
+        # snapshot: if any emitted bag's span, membership, or features
+        # changed, the frontier contract was violated — fail loudly.
+        prefix = self._digest(dataset.bags[:self.n_emitted])
+        if prefix != self._emitted_digest:
+            raise PipelineError(
+                f"clip {self.clip_id!r}: emitted windows changed after "
+                f"emission (streaming/batch divergence at bag "
+                f"<{self.n_emitted})"
+            )
+        fresh = dataset.bags[self.n_emitted:cut]
+        self.n_emitted = cut
+        self.n_instances_emitted += sum(b.n_instances for b in fresh)
+        self.last_frontier = frontier
+        self._emitted_digest = self._digest(dataset.bags[:cut])
+        return fresh

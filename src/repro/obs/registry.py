@@ -73,6 +73,28 @@ DEFAULT_METRICS: tuple[tuple[str, str, str], ...] = (
      "bags nominated by IVF probes before the top-M cap"),
     ("gauge", "index.nomination_recall",
      "fraction of the heuristic top-M set the latest IVF probe kept"),
+    ("counter", "index.stale_tail_routed",
+     "un-indexed appended bags routed around a stale IVF index"),
+    ("counter", "index.rebuilds",
+     "IVF indexes re-clustered after the appended tail crossed the "
+     "rebuild threshold"),
+    ("counter", "ingest.segments",
+     "clip segments pushed through the streaming pipeline, by outcome"),
+    ("counter", "ingest.bags_emitted",
+     "window bags emitted as final by the streaming frontier"),
+    ("counter", "ingest.segments_appended",
+     "segments whose bags were durably appended to the database"),
+    ("counter", "ingest.segments_skipped",
+     "already-durable segments skipped by an exactly-once resume"),
+    ("gauge", "ingest.lag_frames",
+     "frames processed but not yet queryable (behind the stable "
+     "frontier)"),
+    ("gauge", "ingest.segments_per_sec",
+     "streaming ingest throughput over the current clip"),
+    ("counter", "sharded.bags_appended",
+     "bags absorbed in place by live corpus shards, by clip"),
+    ("counter", "sharded.corpus_syncs",
+     "engine cache invalidations triggered by live corpus mutations"),
     ("counter", "reliability.task.retries",
      "task attempts re-submitted after a transient failure, by reason"),
     ("counter", "reliability.task.timeouts",

@@ -25,6 +25,11 @@ from repro.pipeline.config import (
     WindowConfig,
 )
 from repro.pipeline.runner import PipelineRunner, clip_digest
+from repro.pipeline.segmented import (
+    SegmentArtifact,
+    SegmentEmission,
+    SegmentedRunner,
+)
 from repro.pipeline.stages import Stage, StageContext, build_stages
 from repro.pipeline.store import (
     ArtifactStore,
@@ -51,6 +56,9 @@ __all__ = [
     "build_stages",
     "PipelineRunner",
     "clip_digest",
+    "SegmentedRunner",
+    "SegmentEmission",
+    "SegmentArtifact",
     "ArtifactStore",
     "MemoryArtifactStore",
     "DiskArtifactStore",

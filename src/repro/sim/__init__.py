@@ -22,6 +22,7 @@ from repro.sim.world import (
     Vehicle,
     VehicleSpec,
     VehicleState,
+    segment_bounds,
 )
 from repro.sim.incidents import (
     CollisionCrash,
@@ -51,6 +52,7 @@ __all__ = [
     "Vehicle",
     "VehicleSpec",
     "VehicleState",
+    "segment_bounds",
     "IncidentRecord",
     "SuddenStop",
     "WallCrash",

@@ -214,6 +214,26 @@ class SimulationResult:
     def max_concurrency(self) -> int:
         return max((len(fs) for fs in self.states), default=0)
 
+    def segment_states(self, segment_frames: int
+                       ) -> "list[list[list[VehicleState]]]":
+        """Per-frame states grouped into fixed-size ingest segments."""
+        return [self.states[lo:hi]
+                for lo, hi in segment_bounds(self.n_frames, segment_frames)]
+
+
+def segment_bounds(n_frames: int, segment_frames: int
+                   ) -> list[tuple[int, int]]:
+    """Split ``n_frames`` into contiguous ``[lo, hi)`` ingest segments.
+
+    Every segment holds ``segment_frames`` frames except possibly the
+    last; the bounds tile the clip exactly (no gaps, no overlap).
+    """
+    check_positive("segment_frames", segment_frames)
+    if n_frames < 0:
+        raise ConfigurationError(f"n_frames must be >= 0, got {n_frames}")
+    return [(lo, min(lo + segment_frames, n_frames))
+            for lo in range(0, n_frames, segment_frames)]
+
 
 class TrafficWorld:
     """Discrete-time world that advances all vehicles one frame at a time.

@@ -94,6 +94,18 @@ class CentroidTracker:
         if len(track) >= self.min_track_length:
             self._finished.append(track)
 
+    @property
+    def open_tracks(self) -> list[Track]:
+        """Tracks still eligible for matches (read-only view for the
+        streaming frontier — do not mutate)."""
+        return [t for t, _ in self._active]
+
+    @property
+    def finished_tracks(self) -> list[Track]:
+        """Retired tracks that passed the ``min_track_length`` gate, in
+        retirement order (``finish()`` returns them sorted by id)."""
+        return list(self._finished)
+
     def finish(self) -> list[Track]:
         """Close all active tracks and return every kept track."""
         for track, _ in self._active:

@@ -121,3 +121,23 @@ class SegmentationPipeline:
                 self.background.learn(seq)
             frames = iter(seq)
         return [self.detect(i, frame) for i, frame in enumerate(frames)]
+
+    def process_range(self, clip, lo: int, hi: int) -> list[list[Detection]]:
+        """Process frames ``[lo, hi)`` of a clip, carrying model state.
+
+        Streaming building block: feeding contiguous ranges in order
+        through one pipeline instance reproduces :meth:`process` exactly,
+        because the background bootstrap (first call only) samples the
+        whole clip just as the batch path does, and the selective running
+        average then sees the frames in the same global order.  The
+        pipeline object is picklable between calls, so a resumed ingest
+        can restore it mid-clip.
+        """
+        if not 0 <= lo <= hi <= len(clip):
+            raise PipelineError(
+                f"frame range [{lo}, {hi}) outside clip of {len(clip)} frames"
+            )
+        if not self.background.is_fitted:
+            self.background.learn(clip)
+        read = clip.get if hasattr(clip, "get") else clip.__getitem__
+        return [self.detect(i, read(i)) for i in range(lo, hi)]

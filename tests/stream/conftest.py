@@ -1,0 +1,22 @@
+"""Shared fixtures for the streaming-ingestion suite.
+
+The batch (whole-clip) vision artifacts are the equivalence baseline for
+every streamed variant, and they are the expensive part — compute them
+once per session.
+"""
+
+import pytest
+
+from repro.pipeline import PipelineConfig, PipelineRunner
+
+
+@pytest.fixture(scope="session")
+def tunnel_batch(small_tunnel):
+    """Batch vision-pipeline artifacts for the tunnel fixture clip."""
+    return PipelineRunner(PipelineConfig()).run(small_tunnel)
+
+
+@pytest.fixture(scope="session")
+def intersection_batch(small_intersection):
+    """Batch vision-pipeline artifacts for the intersection clip."""
+    return PipelineRunner(PipelineConfig()).run(small_intersection)

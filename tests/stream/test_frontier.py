@@ -1,0 +1,126 @@
+"""Unit tests for the stable frontier and the streaming window emitter.
+
+The frontier is the correctness core of streaming ingestion: a window
+emitted at or before it must never change once future frames arrive.
+These tests pin the per-track rules (uncertain vs certain open tracks),
+monotonicity, and the emitter's fail-loud divergence checks on small
+synthetic tracks where the expected frontier can be computed by hand.
+"""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.events import StreamingWindowEmitter, stable_frontier
+from repro.events.features import SamplingConfig
+from repro.events.models import event_model_for
+from repro.tracking import Track
+from repro.vision.blobs import Blob
+
+
+def make_track(track_id: int, first: int, last: int) -> Track:
+    """A straight-line track with one observation per frame."""
+    track = Track(track_id)
+    for frame in range(first, last + 1):
+        track.add(frame, Blob(cx=float(frame), cy=10.0,
+                              x0=frame, y0=8, x1=frame + 4, y1=12,
+                              area=16, mean_intensity=0.5))
+    return track
+
+
+class TestStableFrontier:
+    # Defaults: sampling_rate=5, smooth_window=3 -> h=1; a track is
+    # certain once it has >= 5 observations and >= max(2, h+2)=3
+    # checkpoints.
+
+    def test_no_open_tracks_frontier_is_last_processed_frame(self):
+        assert stable_frontier([], processed_frames=120,
+                               min_track_length=5) == 119
+
+    def test_short_track_pins_below_its_first_frame(self):
+        # 3 observations < min_track_length: the track may be dropped
+        # entirely, so nothing from its span onward is final.
+        track = make_track(0, first=40, last=42)
+        assert stable_frontier([track], processed_frames=100,
+                               min_track_length=5) == 39
+
+    def test_few_checkpoints_pin_below_first_frame(self):
+        # 8 observations pass the length gate but cover only
+        # checkpoints {40, 45} — fewer than h+2=3, so the smoothed
+        # positions that velocity[0] reads are still moving targets.
+        track = make_track(0, first=40, last=47)
+        assert stable_frontier([track], processed_frames=100,
+                               min_track_length=5) == 39
+
+    def test_certain_track_pins_at_last_checkpoint_minus_h(self):
+        # Checkpoints 0..30; the last smoothed position with a full
+        # window is checkpoint 25 (= 30 - h*rate).
+        track = make_track(0, first=0, last=30)
+        assert stable_frontier([track], processed_frames=31,
+                               min_track_length=5) == 25
+
+    def test_most_conservative_open_track_wins(self):
+        certain = make_track(0, first=0, last=60)
+        young = make_track(1, first=50, last=52)
+        assert stable_frontier([certain, young], processed_frames=70,
+                               min_track_length=5) == 49
+
+    def test_wider_smoothing_pulls_the_frontier_back(self):
+        track = make_track(0, first=0, last=60)
+        near = stable_frontier([track], processed_frames=61,
+                               min_track_length=5,
+                               config=SamplingConfig(smooth_window=3))
+        far = stable_frontier([track], processed_frames=61,
+                              min_track_length=5,
+                              config=SamplingConfig(smooth_window=5))
+        assert far < near
+
+
+class TestStreamingWindowEmitter:
+    def _emitter(self, **over):
+        kwargs = dict(clip_id="clip", window_size=3,
+                      min_track_length=5)
+        kwargs.update(over)
+        return StreamingWindowEmitter(event_model_for("accident"),
+                                      **kwargs)
+
+    def test_final_emission_with_open_tracks_rejected(self):
+        emitter = self._emitter()
+        with pytest.raises(PipelineError, match="finish"):
+            emitter.emit([], [make_track(0, 0, 50)],
+                         processed_frames=51, final=True)
+
+    def test_frontier_is_monotone_across_boundaries(self):
+        emitter = self._emitter()
+        track = make_track(0, first=0, last=99)
+        emitter.emit([], [track], processed_frames=100)
+        high = emitter.last_frontier
+        # A young second track would pin the raw frontier way back;
+        # the emitter must never regress below what it already emitted.
+        young = make_track(1, first=100, last=101)
+        emitter.emit([], [track, young], processed_frames=102)
+        assert emitter.last_frontier >= high
+
+    def test_incremental_emissions_concatenate_to_batch(self):
+        emitter = self._emitter()
+        track = make_track(0, first=0, last=119)
+        emitted = []
+        for processed in (40, 80, 100):
+            emitted += emitter.emit([], [track],
+                                    processed_frames=processed)
+        emitted += emitter.emit([track], [], processed_frames=120,
+                                final=True)
+        batch = self._emitter()
+        expected = batch.emit([track], [], processed_frames=120,
+                              final=True)
+        assert [b.bag_id for b in emitted] == \
+            [b.bag_id for b in expected]
+        assert [(b.frame_lo, b.frame_hi) for b in emitted] == \
+            [(b.frame_lo, b.frame_hi) for b in expected]
+        assert emitter.last_dataset is not None
+        assert len(emitter.last_dataset.bags) == len(expected)
+
+    def test_nothing_beyond_frontier_is_emitted(self):
+        emitter = self._emitter()
+        track = make_track(0, first=0, last=59)
+        bags = emitter.emit([], [track], processed_frames=60)
+        assert all(b.frame_hi <= emitter.last_frontier for b in bags)

@@ -1,0 +1,149 @@
+"""Chaos benchmark: what degraded mode costs and how fast shards rejoin.
+
+Two questions the fault-isolation layer must answer with numbers:
+
+* **Degraded-round latency** — a round served with a quarantined shard
+  must not be slower than a healthy round (it scores strictly less
+  data; the probe/coverage bookkeeping must stay in the noise).
+* **Recovery time vs fault rate** — with shard loads failing at a given
+  seeded rate, how many feedback rounds until the corpus serves
+  complete coverage again.  Reprobe scheduling is deterministic
+  (zero-jitter retry policy, fake clock), so these numbers are exact,
+  not sampled.
+
+Results land in ``BENCH_chaos.json`` (``repro-bench-v1`` schema) at the
+repo root so they travel with the code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.sharded import ShardedCorpus, ShardedRetrievalEngine
+from repro.errors import ShardUnavailableError
+from repro.obs import Telemetry, merge_bench
+from repro.reliability import FaultInjector, FaultPlan, FaultRule, RetryPolicy
+
+from tests.core.test_sharded import _clip, _specs
+from tests.core.test_sharded_degraded import FakeClock, FlakyLoader
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+N_SHARDS = 6
+BAGS_PER_SHARD = 120
+ROUNDS = 5
+FAULT_RATES = (0.2, 0.5, 0.8)
+FAULT_BUDGET = 6  # each rate's rule fires at most this many times
+
+
+def _datasets():
+    return [_clip(f"clip-{i}", BAGS_PER_SHARD, seed=i + 1,
+                  spike_every=7 + i)
+            for i in range(N_SHARDS)]
+
+
+def _policy():
+    return RetryPolicy(base_delay=1.0, backoff=2.0, max_delay=4.0,
+                       jitter=0.0)
+
+
+def _timed_rounds(engine, *, rounds=ROUNDS):
+    """Median wall-ms per rank() round with a feed between rounds."""
+    times = []
+    for r in range(rounds):
+        t0 = time.perf_counter()
+        ranking = engine.rank()
+        times.append((time.perf_counter() - t0) * 1e3)
+        engine.feed({ranking[0]: True, ranking[-1]: False})
+    return sorted(times)[len(times) // 2]
+
+
+def test_degraded_round_latency():
+    datasets = _datasets()
+    clock = FakeClock()
+    loaders = {d.clip_id: FlakyLoader(d) for d in datasets}
+    specs = [replace(s, loader=loaders[s.clip_id])
+             for s in _specs(datasets)]
+    corpus = ShardedCorpus(specs, corpus_id="merged:bench",
+                           retry_policy=_policy(), clock=clock)
+    engine = ShardedRetrievalEngine(corpus, failure_policy="degraded")
+
+    healthy_ms = _timed_rounds(engine)
+
+    # Kill one shard; its next refresh quarantines it for the round.
+    victim = datasets[0].clip_id
+    loaders[victim].fail = True
+    try:
+        corpus.refresh(victim, n_bags=BAGS_PER_SHARD + 1,
+                       n_instances=corpus.specs[0].n_instances + 2)
+    except ShardUnavailableError:
+        pass
+    degraded_ms = _timed_rounds(engine)
+    assert engine.last_coverage.degraded
+
+    recorder = Telemetry()
+    gauge = recorder.gauge(
+        "bench.round_ms", "median rank() wall ms by corpus health")
+    gauge.set(round(healthy_ms, 3), mode="healthy")
+    gauge.set(round(degraded_ms, 3), mode="degraded")
+    recorder.gauge(
+        "bench.degraded_overhead_pct",
+        "degraded-round latency vs healthy, % (negative = faster)").set(
+        round((degraded_ms / healthy_ms - 1.0) * 100.0, 2))
+    merge_bench(BENCH_PATH, "degraded_round_latency", recorder,
+                meta={"n_shards": N_SHARDS,
+                      "bags_per_shard": BAGS_PER_SHARD,
+                      "rounds": ROUNDS})
+    # A degraded round scores one shard less — generous 1.5x bound
+    # guards against the probe/coverage bookkeeping blowing up.
+    assert degraded_ms < healthy_ms * 1.5
+
+
+def test_recovery_time_vs_fault_rate():
+    recorder = Telemetry()
+    rounds_gauge = recorder.gauge(
+        "bench.recovery_rounds",
+        "feedback rounds until complete coverage, by fault rate")
+    frac_gauge = recorder.gauge(
+        "bench.degraded_round_fraction",
+        "fraction of rounds served degraded, by fault rate")
+
+    for rate in FAULT_RATES:
+        injector = FaultInjector(FaultPlan([
+            FaultRule(op="shard.load", kind="io-error", rate=rate,
+                      limit=FAULT_BUDGET),
+        ], seed=int(rate * 100)))
+        clock = FakeClock()
+        corpus = ShardedCorpus(
+            injector.wrap_shard_specs(_specs(_datasets())),
+            corpus_id="merged:bench", retry_policy=_policy(), clock=clock)
+        engine = ShardedRetrievalEngine(corpus, failure_policy="degraded")
+
+        degraded, recovery_round = 0, None
+        max_rounds = 30
+        for round_no in range(1, max_rounds + 1):
+            engine.rank()
+            if engine.last_coverage.degraded:
+                degraded += 1
+                recovery_round = None
+            elif recovery_round is None:
+                recovery_round = round_no
+                if not injector.plan.rules or round_no > 1:
+                    # coverage is complete *after* faults were seen;
+                    # with the budget spent it stays complete.
+                    if injector.counts().get("shard.load", 0) \
+                            and len(injector.injected) >= FAULT_BUDGET:
+                        break
+            clock.advance(1.0)
+        assert recovery_round is not None, (
+            f"rate={rate}: never recovered within {max_rounds} rounds")
+        rounds_gauge.set(recovery_round, rate=str(rate))
+        frac_gauge.set(round(degraded / max_rounds, 3), rate=str(rate))
+
+    merge_bench(BENCH_PATH, "recovery_vs_fault_rate", recorder,
+                meta={"n_shards": N_SHARDS,
+                      "bags_per_shard": BAGS_PER_SHARD,
+                      "fault_budget": FAULT_BUDGET,
+                      "rates": list(FAULT_RATES)})

@@ -11,6 +11,13 @@ Subcommands mirror the lifecycle of the paper's system:
 * ``query``      — show the current top-k of a semantic query session.
 * ``label``      — record one round of relevance feedback.
 * ``experiment`` — run a named paper experiment and print its table.
+* ``verify-db``  — integrity-check a database (``PRAGMA quick_check``
+  plus catalog/array cross-checks); ``--repair`` rebuilds damaged
+  datasets from the artifact cache or prunes them to consistency.
+
+Multi-clip queries take ``--strict`` (default: a failing clip aborts
+the query) or ``--degraded`` (serve the healthy shards and print an
+explicit coverage report).
 
 Example session::
 
@@ -68,6 +75,21 @@ def _add_nominator_args(parser: "argparse.ArgumentParser") -> None:
     parser.add_argument(
         "--nprobe", type=int, default=None, metavar="P",
         help="IVF cells probed per query (requires --nominator ivf)")
+
+
+def _add_policy_args(parser: "argparse.ArgumentParser") -> None:
+    policy = parser.add_mutually_exclusive_group()
+    policy.add_argument(
+        "--strict", dest="failure_policy", action="store_const",
+        const="strict", default=None,
+        help="fail the query if any member clip's storage is "
+             "unavailable (default)")
+    policy.add_argument(
+        "--degraded", dest="failure_policy", action="store_const",
+        const="degraded",
+        help="serve partial results over the healthy shards when a "
+             "clip's storage fails, with an explicit coverage report; "
+             "failed shards rejoin automatically once they heal")
 
 
 def _nominator_kwargs(args) -> dict:
@@ -248,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--top-k", type=int, default=20)
     query.add_argument("--engine", default="mil_ocsvm",
                        choices=("mil_ocsvm", "weighted_rf"))
+    _add_policy_args(query)
     query.add_argument("--candidates-per-shard", type=int, default=None,
                        help="exact-score at most M bags per shard "
                             "(multi-clip only; rest keep heuristic order)")
@@ -263,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     label.add_argument("--user", default="default")
     label.add_argument("--relevant", default="",
                        help="comma-separated relevant bag ids")
+    _add_policy_args(label)
     label.add_argument("--irrelevant", default="",
                        help="comma-separated irrelevant bag ids")
 
@@ -317,6 +341,20 @@ def build_parser() -> argparse.ArgumentParser:
     import_.add_argument("--db", required=True)
     import_.add_argument("--bundle", required=True)
     import_.add_argument("--replace", action="store_true")
+
+    verify = sub.add_parser(
+        "verify-db",
+        help="check catalog integrity and dataset/array consistency")
+    verify.add_argument("--db", required=True)
+    verify.add_argument(
+        "--repair", action="store_true",
+        help="fix damaged datasets: rebuild from the artifact cache "
+             "when possible, otherwise prune to the consistent subset")
+    verify.add_argument(
+        "--artifact-cache", default=None, metavar="DIR",
+        help="content-addressed pipeline store to rebuild damaged "
+             "window datasets from (the same directory past ingest "
+             "runs were pointed at)")
     return parser
 
 
@@ -529,8 +567,14 @@ def _open_session(db, args, **kwargs):
     if clip is None and clips is None:
         return None
     if clips is not None:
+        if kwargs.get("failure_policy") is None:
+            kwargs.pop("failure_policy", None)
         return MultiClipQuerySession(db, clips, args.event,
                                      user_id=args.user, **kwargs)
+    if kwargs.pop("failure_policy", None) == "degraded":
+        print("--degraded needs a multi-clip query (--clips): the shard "
+              "is the failure domain", file=sys.stderr)
+        return None
     if kwargs.pop("candidates_per_shard", None) is not None:
         print("--candidates-per-shard needs a multi-clip query (--clips)",
               file=sys.stderr)
@@ -551,6 +595,7 @@ def _cmd_query(args) -> int:
         session = _open_session(
             db, args, engine=args.engine, top_k=args.top_k,
             candidates_per_shard=args.candidates_per_shard,
+            failure_policy=args.failure_policy,
             **_nominator_kwargs(args))
         if session is None:
             return 2
@@ -560,6 +605,9 @@ def _cmd_query(args) -> int:
         for rank, (bag_id, lo, hi) in enumerate(session.result_windows(),
                                                 start=1):
             print(f"  {rank:2d}. VS {bag_id:4d}  frames {lo}-{hi}")
+        coverage = getattr(session, "last_coverage", None)
+        if coverage is not None and coverage.degraded:
+            print(f"  ** {coverage.summary()}")
     return 0
 
 
@@ -573,7 +621,8 @@ def _cmd_label(args) -> int:
               file=sys.stderr)
         return 2
     with VideoDatabase(args.db) as db:
-        session = _open_session(db, args)
+        session = _open_session(db, args,
+                                failure_policy=args.failure_policy)
         if session is None:
             return 2
         session.feed(labels)
@@ -708,6 +757,31 @@ def _cmd_import_clip(args) -> int:
     return 0
 
 
+def _cmd_verify_db(args) -> int:
+    from repro.db import VideoDatabase
+    from repro.pipeline.store import DiskArtifactStore
+
+    store = (DiskArtifactStore(args.artifact_cache)
+             if args.artifact_cache else None)
+    # quick_check=False: verify-db must be able to open a database that
+    # the on-open check would reject — verify() re-runs the check and
+    # reports it instead of refusing to look.
+    with VideoDatabase(args.db, quick_check=False) as db:
+        report = db.verify(repair=args.repair, artifact_store=store)
+    print(f"quick_check: {report['quick_check']}")
+    print(f"datasets checked: {report['datasets_checked']}")
+    for issue in report["issues"]:
+        action = issue.get("action") or "detected"
+        print(f"  {issue['clip_id']}/{issue['event']}: "
+              f"{issue['problem']} [{action}]")
+    if report["issues"] and not args.repair:
+        print("re-run with --repair (and --artifact-cache DIR) to "
+              "rebuild or prune damaged datasets")
+    print(f"repaired: {report['repaired']}")
+    print("healthy" if report["healthy"] else "NOT healthy")
+    return 0 if report["healthy"] else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "ingest": _cmd_ingest,
@@ -721,6 +795,7 @@ _COMMANDS = {
     "delete-clip": _cmd_delete_clip,
     "export-clip": _cmd_export_clip,
     "import-clip": _cmd_import_clip,
+    "verify-db": _cmd_verify_db,
 }
 
 

@@ -23,6 +23,8 @@ from repro.core.diverse_density import DiverseDensityEngine
 from repro.core.emdd import EMDDEngine
 from repro.core.sharded import (
     CorpusShard,
+    CoverageReport,
+    ShardOutage,
     ShardSpec,
     ShardedCorpus,
     ShardedRetrievalEngine,
@@ -57,4 +59,6 @@ __all__ = [
     "CorpusShard",
     "ShardedCorpus",
     "ShardedRetrievalEngine",
+    "ShardOutage",
+    "CoverageReport",
 ]

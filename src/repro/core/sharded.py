@@ -35,6 +35,7 @@ lazily-loading specs without this module importing the storage layer.
 from __future__ import annotations
 
 import heapq
+import time
 from bisect import bisect_right
 from dataclasses import dataclass, field, replace
 from itertools import islice
@@ -45,9 +46,14 @@ import numpy as np
 from repro.core.bags import Bag, Instance, MILDataset
 from repro.core.engine import _parse_policy
 from repro.core.heuristics import heuristic_scores
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    ShardUnavailableError,
+    StorageError,
+)
 from repro.index.ivf import IVFIndex
 from repro.obs import get_telemetry
+from repro.reliability.retry import RetryPolicy
 from repro.svm.gram_cache import GramCache
 from repro.svm.kernels import Kernel, RBFKernel
 from repro.svm.one_class import OneClassSVM
@@ -55,7 +61,8 @@ from repro.svm.scaling import StandardScaler
 from repro.utils import check_in_range, row_sq_norms
 
 __all__ = ["ShardSpec", "CorpusShard", "ShardedCorpus",
-           "ShardedRetrievalEngine", "HeuristicNominator", "IVFNominator"]
+           "ShardedRetrievalEngine", "HeuristicNominator", "IVFNominator",
+           "ShardOutage", "CoverageReport"]
 
 
 @dataclass(frozen=True)
@@ -351,6 +358,61 @@ class CorpusShard:
                 f"instances={self.n_instances})")
 
 
+@dataclass(frozen=True)
+class ShardOutage:
+    """One shard skipped this round because its storage is failing.
+
+    ``retry_in_s`` is the time remaining until the corpus reprobes the
+    shard's loader (0 when the reprobe is already due); ``n_bags`` is
+    the catalog's bag count for the clip — the ranking coverage this
+    outage hides.
+    """
+
+    clip_id: str
+    reason: str
+    failures: int
+    retry_in_s: float
+    n_bags: int
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """What fraction of the corpus a ranking round actually saw.
+
+    Attached to every round by :class:`ShardedRetrievalEngine` (see
+    ``last_coverage``).  Under the default ``strict`` policy a shard
+    failure raises instead, so a report you can observe is always
+    *honest*: ``degraded`` is True iff any shard was skipped, and the
+    skipped clips/bags are enumerated — degraded results are never
+    silently presented as complete.
+    """
+
+    shards_total: int
+    shards_served: tuple[str, ...]
+    shards_skipped: tuple[ShardOutage, ...]
+    bags_total: int
+    bags_missing: int
+    training_bags_skipped: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.shards_skipped)
+
+    @property
+    def missing_clip_ids(self) -> tuple[str, ...]:
+        return tuple(o.clip_id for o in self.shards_skipped)
+
+    def summary(self) -> str:
+        """One-line human rendering (used by the CLI)."""
+        if not self.degraded:
+            return (f"complete: {self.shards_total} shard(s), "
+                    f"{self.bags_total} bags")
+        missing = ", ".join(self.missing_clip_ids)
+        return (f"DEGRADED: {len(self.shards_served)}/{self.shards_total} "
+                f"shards served; missing {self.bags_missing} bag(s) from "
+                f"[{missing}]")
+
+
 class ShardedCorpus:
     """Per-clip shards behind one global, contiguous bag-id space.
 
@@ -364,7 +426,9 @@ class ShardedCorpus:
 
     def __init__(self, specs: list[ShardSpec], *,
                  corpus_id: str = "sharded",
-                 event_name: str = "") -> None:
+                 event_name: str = "",
+                 retry_policy: RetryPolicy | None = None,
+                 clock: Callable[[], float] | None = None) -> None:
         if not specs:
             raise ConfigurationError("ShardedCorpus needs >= 1 shard spec")
         seen: set[str] = set()
@@ -376,6 +440,12 @@ class ShardedCorpus:
         self.specs = list(specs)
         self.corpus_id = corpus_id
         self.event_name = event_name
+        #: Backoff schedule for quarantined shards: failure ``n`` blocks
+        #: reprobes for ``retry_policy.delay(n, key=clip_id)`` seconds
+        #: (deterministic per clip).  ``clock`` is injectable so tests
+        #: can step time instead of sleeping.
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._clock = clock or time.monotonic
         self._bag_offsets: list[int] = []
         self._instance_offsets: list[int] = []
         bags = insts = 0
@@ -389,6 +459,9 @@ class ShardedCorpus:
         self._shards: dict[str, CorpusShard] = {}
         self._metadata_versions: dict[str, int] = {}
         self._mutations = 0
+        # clip_id -> {"failures", "next_probe_at", "reason"}
+        self._quarantine: dict[str, dict] = {}
+        self._availability = 0
 
     @property
     def mutation_count(self) -> int:
@@ -416,22 +489,110 @@ class ShardedCorpus:
         """Clips whose shards have been materialized so far."""
         return [s.clip_id for s in self.specs if s.clip_id in self._shards]
 
+    @property
+    def availability_version(self) -> int:
+        """Monotonic counter of quarantine-set changes.
+
+        Bumped when a healthy shard enters quarantine and when a
+        quarantined shard recovers — engines key their per-round merge
+        streams on this so a mid-session outage re-ranks instead of
+        serving a stale round that still includes the dead shard.
+        """
+        return self._availability
+
+    @property
+    def quarantined_clip_ids(self) -> list[str]:
+        return [s.clip_id for s in self.specs
+                if s.clip_id in self._quarantine]
+
+    def shard_outage(self, clip_id: str) -> ShardOutage | None:
+        """The clip's current outage record, or ``None`` if healthy."""
+        info = self._quarantine.get(clip_id)
+        if info is None:
+            return None
+        spec = next(s for s in self.specs if s.clip_id == clip_id)
+        return ShardOutage(
+            clip_id=clip_id, reason=info["reason"],
+            failures=info["failures"],
+            retry_in_s=max(0.0, info["next_probe_at"] - self._clock()),
+            n_bags=spec.n_bags)
+
+    def _record_shard_failure(self, clip_id: str,
+                              exc: BaseException) -> ShardUnavailableError:
+        """Quarantine a shard after a storage failure; build the error.
+
+        Each consecutive failure pushes the next reprobe further out on
+        the :class:`RetryPolicy`'s backoff curve; a successful load
+        (:meth:`_clear_quarantine`) resets the count.
+        """
+        prior = self._quarantine.get(clip_id)
+        failures = (prior["failures"] if prior else 0) + 1
+        delay = self.retry_policy.delay(failures, key=clip_id)
+        reason = f"{type(exc).__name__}: {exc}"
+        self._quarantine[clip_id] = {
+            "failures": failures,
+            "next_probe_at": self._clock() + delay,
+            "reason": reason,
+        }
+        obs = get_telemetry()
+        obs.counter("sharded.shard_failures").inc(clip=clip_id)
+        obs.gauge("sharded.quarantined_shards").set(len(self._quarantine))
+        obs.event("sharded.shard_quarantined", level="warning",
+                  clip=clip_id, failures=failures,
+                  retry_in_s=round(delay, 4), reason=reason)
+        if prior is None:
+            self._availability += 1
+        return ShardUnavailableError(clip_id, reason, failures=failures,
+                                     retry_in_s=delay)
+
+    def _clear_quarantine(self, clip_id: str) -> None:
+        info = self._quarantine.pop(clip_id, None)
+        if info is None:
+            return
+        obs = get_telemetry()
+        obs.counter("sharded.shard_recoveries").inc(clip=clip_id)
+        obs.gauge("sharded.quarantined_shards").set(len(self._quarantine))
+        obs.event("sharded.shard_recovered", clip=clip_id,
+                  failures=info["failures"])
+        self._availability += 1
+        # A recovered shard was invisible to the engine's global scaler;
+        # bump the mutation counter so engines refit over the full
+        # corpus instead of ranking the shard with no standardized rows.
+        self._mutations += 1
+
     def shard(self, clip_id: str) -> CorpusShard:
-        """The clip's shard, loading (and renumbering) it on first use."""
+        """The clip's shard, loading (and renumbering) it on first use.
+
+        A shard whose loader failed is *quarantined*: until its
+        backoff-and-reprobe deadline passes, this raises
+        :class:`ShardUnavailableError` immediately (no I/O); once due,
+        the loader is reprobed — success rejoins the shard and clears
+        the quarantine, another ``StorageError``/``OSError`` extends it.
+        """
         loaded = self._shards.get(clip_id)
         if loaded is not None:
             return loaded
+        info = self._quarantine.get(clip_id)
+        if info is not None and self._clock() < info["next_probe_at"]:
+            raise ShardUnavailableError(
+                clip_id, info["reason"], failures=info["failures"],
+                retry_in_s=info["next_probe_at"] - self._clock())
         for i, spec in enumerate(self.specs):
             if spec.clip_id == clip_id:
                 obs = get_telemetry()
-                with obs.span("sharded.shard.load", clip=clip_id,
-                              bags=spec.n_bags, instances=spec.n_instances):
-                    shard = CorpusShard(
-                        spec, self._bag_offsets[i],
-                        self._instance_offsets[i],
-                        metadata_version=self._metadata_versions.get(
-                            clip_id, 0))
+                try:
+                    with obs.span("sharded.shard.load", clip=clip_id,
+                                  bags=spec.n_bags,
+                                  instances=spec.n_instances):
+                        shard = CorpusShard(
+                            spec, self._bag_offsets[i],
+                            self._instance_offsets[i],
+                            metadata_version=self._metadata_versions.get(
+                                clip_id, 0))
+                except (StorageError, OSError) as exc:
+                    raise self._record_shard_failure(clip_id, exc) from exc
                 self._shards[clip_id] = shard
+                self._clear_quarantine(clip_id)
                 return shard
         raise ConfigurationError(f"no shard for clip {clip_id!r}")
 
@@ -478,11 +639,19 @@ class ShardedCorpus:
                 f"({spec.n_bags}->{n_bags} bags); use reload() for "
                 f"destructive changes")
         delta = n_bags - spec.n_bags
-        self.specs[i] = replace(spec, n_bags=n_bags,
-                                n_instances=n_instances)
         shard = self._shards.get(clip_id)
         if shard is not None:
-            local = self.specs[i].loader()
+            try:
+                local = spec.loader()
+            except (StorageError, OSError) as exc:
+                # The delta could not be read: keep the *old* spec (the
+                # caller will re-refresh once the shard heals), drop the
+                # loaded shard, and quarantine.  Nothing global moved,
+                # so other shards' offsets and caches stay valid.
+                self._shards.pop(clip_id, None)
+                self._metadata_versions[clip_id] = \
+                    shard.metadata_version + 1
+                raise self._record_shard_failure(clip_id, exc) from exc
             if (len(local.bags) != n_bags
                     or local.n_instances != n_instances):
                 raise ConfigurationError(
@@ -490,7 +659,12 @@ class ShardedCorpus:
                     f"{len(local.bags)} bags / {local.n_instances} "
                     f"instances, refresh declared {n_bags} / "
                     f"{n_instances}")
+            self.specs[i] = replace(spec, n_bags=n_bags,
+                                    n_instances=n_instances)
             shard.append_local(local.bags[shard.n_bags:])
+        else:
+            self.specs[i] = replace(spec, n_bags=n_bags,
+                                    n_instances=n_instances)
         for j in range(i + 1, len(self.specs)):
             later = self.specs[j].clip_id
             if later in self._shards:
@@ -682,6 +856,12 @@ class ShardedRetrievalEngine:
       bags' training instances — query-adaptive and sublinear in shard
       size).  An :class:`IVFNominator` instance can be passed directly
       to set ``n_cells`` / ``nprobe``.
+    * ``failure_policy`` makes the shard the failure domain: under
+      ``"degraded"`` a shard whose storage fails is skipped for the
+      round (it is quarantined on the corpus' backoff-and-reprobe
+      schedule) and ``last_coverage`` reports exactly which clips/bags
+      the ranking is missing; under ``"strict"`` (default) the
+      :class:`~repro.errors.ShardUnavailableError` propagates.
 
     The engine deliberately duck-types ``RetrievalEngine`` (``feed`` /
     ``rank`` / ``top_k`` / ``labels`` / ``dataset``) instead of
@@ -701,9 +881,14 @@ class ShardedRetrievalEngine:
         training_policy: str = "top1",
         nu_bounds: tuple[float, float] = (0.05, 0.95),
         learner: str = "ocsvm",
+        failure_policy: str = "strict",
     ) -> None:
         if len(corpus) == 0:
             raise ConfigurationError("dataset has no bags to rank")
+        if failure_policy not in ("strict", "degraded"):
+            raise ConfigurationError(
+                f"failure_policy must be 'strict' or 'degraded', got "
+                f"{failure_policy!r}")
         if corpus.n_instances == 0:
             raise ConfigurationError(
                 "dataset has no instances (every bag is empty) — nothing "
@@ -734,6 +919,14 @@ class ShardedRetrievalEngine:
         self.training_policy = training_policy
         self.nu_bounds = (float(lo), float(hi))
         self.learner = learner
+        #: ``strict`` (default): a failing shard raises
+        #: :class:`ShardUnavailableError` out of rank/feed.
+        #: ``degraded``: the round proceeds over the healthy shards and
+        #: ``last_coverage`` reports exactly what was skipped.
+        self.failure_policy = failure_policy
+        #: Coverage of the most recent ranking round (``None`` before
+        #: the first round).
+        self.last_coverage: CoverageReport | None = None
         self.labels: dict[int, bool] = {}
         self._scaler: StandardScaler | None = None
         self._model = None
@@ -753,6 +946,9 @@ class ShardedRetrievalEngine:
         self._training_ids: list[int] = []
         self._round_queries: np.ndarray | None = None
         self._corpus_version = corpus.mutation_count
+        self._availability_version = corpus.availability_version
+        self._training_bags_skipped = 0
+        self._round_shards: list[CorpusShard] = []
 
     def _sync_corpus(self) -> None:
         """Catch up with live-corpus mutations (appends / reloads).
@@ -779,6 +975,27 @@ class ShardedRetrievalEngine:
         get_telemetry().counter("sharded.corpus_syncs").inc()
         if self.labels:
             self._retrain()
+
+    def _probe_shards(self) -> tuple[list[CorpusShard], list[ShardOutage]]:
+        """(healthy shards in spec order, outages for the rest).
+
+        Probing a quarantined shard whose reprobe deadline passed
+        re-runs its loader, so this is also where automatic recovery
+        happens.  Under ``strict`` the first unavailable shard raises.
+        """
+        shards: list[CorpusShard] = []
+        outages: list[ShardOutage] = []
+        for spec in self.corpus.specs:
+            try:
+                shards.append(self.corpus.shard(spec.clip_id))
+            except ShardUnavailableError as exc:
+                if self.failure_policy == "strict":
+                    raise
+                outages.append(ShardOutage(
+                    clip_id=spec.clip_id, reason=exc.reason,
+                    failures=exc.failures, retry_in_s=exc.retry_in_s,
+                    n_bags=spec.n_bags))
+        return shards, outages
 
     # -- feedback ---------------------------------------------------------
     def feed(self, labels: Mapping[int, bool]) -> None:
@@ -825,14 +1042,17 @@ class ShardedRetrievalEngine:
         The scaler sees the vstack of the shards' raw matrices — the
         exact rows, in the exact order, the monolithic engine stacks —
         so per-shard standardized matrices are bit-identical to the
-        corresponding monolithic rows.
+        corresponding monolithic rows.  In degraded mode quarantined
+        shards are excluded from the fit; a recovery bumps the corpus
+        mutation counter, which resets the scaler so the healed corpus
+        is refit in full.
         """
         if self._scaler is not None:
             return
-        blocks = [s.matrix_raw for s in self.corpus.shards()
-                  if s.matrix_raw is not None]
+        shards, _ = self._probe_shards()
+        blocks = [s.matrix_raw for s in shards if s.matrix_raw is not None]
         self._scaler = StandardScaler().fit(np.vstack(blocks))
-        for shard in self.corpus.shards():
+        for shard in shards:
             if shard.matrix_raw is None or shard.matrix is not None:
                 continue
             shard.matrix = np.ascontiguousarray(
@@ -849,11 +1069,23 @@ class ShardedRetrievalEngine:
 
     def _training_instance_ids(self, relevant: list[int]) -> list[int]:
         ids: list[int] = []
+        skipped = 0
         for bag_id in relevant:
-            shard = self.corpus.shard_for_bag(bag_id)
+            try:
+                shard = self.corpus.shard_for_bag(bag_id)
+            except ShardUnavailableError:
+                if self.failure_policy == "strict":
+                    raise
+                skipped += 1
+                continue
             ranked = shard.bag_ranked_ids[bag_id]
             take = len(ranked) if self._top_m is None else self._top_m
             ids.extend(ranked[:take])
+        self._training_bags_skipped = skipped
+        if skipped:
+            get_telemetry().event(
+                "sharded.training_bags_skipped", level="warning",
+                skipped=skipped, relevant=len(relevant))
         return ids
 
     def _query_vectors_raw(self) -> np.ndarray | None:
@@ -866,9 +1098,20 @@ class ShardedRetrievalEngine:
         if self._round_queries is None:
             rows = []
             for i in self._training_ids:
-                shard = self.corpus.shard_for_instance(i)
+                try:
+                    shard = self.corpus.shard_for_instance(i)
+                except ShardUnavailableError:
+                    # Degraded: a training instance's shard died after
+                    # the model was fit.  The model itself is fine (its
+                    # support vectors are materialized); only the IVF
+                    # probe loses this query row.
+                    if self.failure_policy == "strict":
+                        raise
+                    continue
                 assert shard.matrix_raw is not None
                 rows.append(shard.matrix_raw[shard.row_of(i)])
+            if not rows:
+                return None
             self._round_queries = np.ascontiguousarray(np.stack(rows))
         return self._round_queries
 
@@ -884,7 +1127,12 @@ class ShardedRetrievalEngine:
             return
         self._ensure_standardized()
         x = self._standardized_rows(training_ids)
-        nu = 1.0 - (len(relevant) / len(training_ids) + self.z)
+        # Eq. (9) over the bags that actually contributed training
+        # rows: in degraded mode relevant bags on a dead shard are
+        # excluded from both numerator and training set, so nu keeps
+        # its meaning; with every shard healthy this is len(relevant).
+        included = len(relevant) - self._training_bags_skipped
+        nu = 1.0 - (included / len(training_ids) + self.z)
         nu = float(np.clip(nu, *self.nu_bounds))
         self.last_nu_ = nu
         self.training_size_ = len(training_ids)
@@ -973,11 +1221,31 @@ class ShardedRetrievalEngine:
             return positions, self._full_shard_scores(shard)[positions]
         return positions, self._candidate_shard_scores(shard, positions)
 
+    def _coverage_report(self, shards: list[CorpusShard],
+                         outages: list[ShardOutage]) -> CoverageReport:
+        return CoverageReport(
+            shards_total=len(self.corpus.specs),
+            shards_served=tuple(s.clip_id for s in shards),
+            shards_skipped=tuple(outages),
+            bags_total=len(self.corpus),
+            bags_missing=sum(o.n_bags for o in outages),
+            training_bags_skipped=self._training_bags_skipped)
+
     def _ensure_round(self) -> None:
-        """Score all shards for the current feedback state (cached until
-        the next ``feed`` or corpus mutation)."""
+        """Score all healthy shards for the current feedback state
+        (cached until the next ``feed``, corpus mutation, or change in
+        shard availability)."""
+        shards, outages = self._probe_shards()
         self._sync_corpus()
+        if self._availability_version != self.corpus.availability_version:
+            # A shard died or rejoined since the cached round: the
+            # cached merge streams cover the wrong shard set.
+            self._availability_version = self.corpus.availability_version
+            self._candidate_streams = None
+            self._leftover_streams = None
+            self._round_nominated = None
         if self._candidate_streams is not None:
+            self.last_coverage = self._coverage_report(shards, outages)
             return
         obs = get_telemetry()
         streams: dict[str, list[tuple[float, int]]] = {}
@@ -988,7 +1256,7 @@ class ShardedRetrievalEngine:
                       nominator=getattr(self.nominator, "name", "custom"),
                       candidates_per_shard=self.candidates_per_shard
                       or 0) as sp:
-            for shard in self.corpus.shards():
+            for shard in shards:
                 positions, scores = self._score_shard(shard)
                 nominated[shard.clip_id] = positions
                 bag_ids = shard.bag_offset + positions
@@ -1013,6 +1281,15 @@ class ShardedRetrievalEngine:
                 sp.set(scored=total_scored, pruned=total_pruned)
         self._candidate_streams = streams
         self._round_nominated = nominated
+        self._round_shards = shards
+        self.last_coverage = self._coverage_report(shards, outages)
+        if outages:
+            obs.counter("sharded.degraded_rounds").inc()
+            obs.event(
+                "sharded.degraded_round", level="warning",
+                served=len(shards), skipped=len(outages),
+                missing_bags=self.last_coverage.bags_missing,
+                clips=",".join(o.clip_id for o in outages))
 
     def _ensure_leftovers(self) -> None:
         """Heuristic-ordered streams of the bags stage one pruned."""
@@ -1021,7 +1298,7 @@ class ShardedRetrievalEngine:
         self._ensure_round()
         assert self._round_nominated is not None
         streams: dict[str, list[tuple[float, int]]] = {}
-        for shard in self.corpus.shards():
+        for shard in self._round_shards:
             positions = self._round_nominated[shard.clip_id]
             if len(positions) == shard.n_bags:
                 continue

@@ -20,10 +20,10 @@ import numpy as np
 from repro.core.bags import Bag, Instance, MILDataset
 from repro.db.schema import ClipRecord, LabelRecord, TrackRecord
 from repro.db.storage import ArrayStore, InMemoryArrayStore, NpzArrayStore
-from repro.errors import StorageError
+from repro.errors import DatabaseBusyError, StorageError
 from repro.trajectory.curve import TrajectoryModel
 
-__all__ = ["VideoDatabase"]
+__all__ = ["VideoDatabase", "connect_sqlite"]
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS clips (
@@ -131,6 +131,102 @@ def _utc_now() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
+def _translate_sqlite_error(exc: sqlite3.Error) -> StorageError:
+    """Map a raw sqlite3 error onto the library's storage taxonomy.
+
+    Lock contention that outlived ``busy_timeout`` becomes the
+    retryable :class:`DatabaseBusyError`; everything else (corruption,
+    malformed schema, constraint violations on damaged catalogs)
+    becomes a plain :class:`StorageError` so callers never have to
+    catch ``sqlite3.*`` directly.
+    """
+    message = str(exc)
+    lowered = message.lower()
+    if isinstance(exc, sqlite3.OperationalError) and (
+            "locked" in lowered or "busy" in lowered):
+        return DatabaseBusyError(f"sqlite catalog busy: {message}")
+    return StorageError(f"sqlite catalog error: {message}")
+
+
+class _CatalogConnection:
+    """Typed-error boundary around one ``sqlite3.Connection``.
+
+    Every statement and transaction exit translates ``sqlite3.Error``
+    into :class:`StorageError`/:class:`DatabaseBusyError`, so the rest
+    of the system (query sessions, streaming ingest, the sharded
+    corpus's failure domain) sees one coherent error taxonomy whatever
+    the backing connection does — including fault-injected ones.
+    """
+
+    def __init__(self, raw: sqlite3.Connection) -> None:
+        self._raw = raw
+
+    def execute(self, sql: str, params=()):
+        try:
+            return self._raw.execute(sql, params)
+        except sqlite3.Error as exc:
+            raise _translate_sqlite_error(exc) from exc
+
+    def executemany(self, sql: str, rows):
+        try:
+            return self._raw.executemany(sql, rows)
+        except sqlite3.Error as exc:
+            raise _translate_sqlite_error(exc) from exc
+
+    def executescript(self, script: str):
+        try:
+            return self._raw.executescript(script)
+        except sqlite3.Error as exc:
+            raise _translate_sqlite_error(exc) from exc
+
+    def commit(self) -> None:
+        try:
+            self._raw.commit()
+        except sqlite3.Error as exc:
+            raise _translate_sqlite_error(exc) from exc
+
+    def close(self) -> None:
+        self._raw.close()
+
+    def __enter__(self) -> "_CatalogConnection":
+        self._raw.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        try:
+            return self._raw.__exit__(exc_type, exc, tb)
+        except sqlite3.Error as raw_exc:
+            raise _translate_sqlite_error(raw_exc) from raw_exc
+
+
+def connect_sqlite(path: str, *, busy_timeout_ms: int = 5000,
+                   factory=None) -> sqlite3.Connection:
+    """Open one catalog connection with the contention-safe pragmas.
+
+    This is the connection factory the whole db layer funnels through:
+    WAL journaling (file-backed databases only — readers never block
+    the writer and vice versa, so a concurrent
+    :class:`~repro.db.ingest.StreamingIngest` and open query sessions
+    stop racing), ``busy_timeout`` so residual lock waits spin inside
+    SQLite instead of failing instantly, and ``synchronous=NORMAL``
+    (durable-enough-with-WAL fsync policy).  ``factory`` overrides the
+    raw ``sqlite3.connect`` — the deterministic fault injector hooks in
+    here.
+    """
+    raw_connect = factory or sqlite3.connect
+    conn = raw_connect(path, timeout=busy_timeout_ms / 1000.0)
+    try:
+        conn.execute("PRAGMA foreign_keys = ON")
+        conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+        if path != ":memory:":
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+    except sqlite3.Error as exc:
+        conn.close()
+        raise _translate_sqlite_error(exc) from exc
+    return conn
+
+
 def _floats_to_text(values) -> str:
     return ",".join(repr(float(v)) for v in values)
 
@@ -151,14 +247,34 @@ class VideoDatabase:
         Override the bulk-array backend; defaults to in-memory for
         ``:memory:`` and an npz directory next to the SQLite file
         otherwise.
+    busy_timeout_ms:
+        How long SQLite spins on a held lock before surfacing
+        :class:`~repro.errors.DatabaseBusyError` (WAL mode makes
+        reader/writer contention rare; this covers writer/writer).
+    connection_factory:
+        Override the raw ``sqlite3.connect`` used to open the catalog
+        (see :func:`connect_sqlite`); the deterministic fault injector
+        (:mod:`repro.reliability.faults`) hooks in here.
+    quick_check:
+        Run ``PRAGMA quick_check`` on open (file-backed databases
+        only) and raise :class:`~repro.errors.StorageError` on
+        corruption instead of failing later mid-query.  ``repro
+        verify-db`` opens with this disabled so a damaged catalog can
+        still be inspected and repaired.
     """
 
     def __init__(self, path: str | Path = ":memory:",
-                 array_store: ArrayStore | None = None) -> None:
+                 array_store: ArrayStore | None = None, *,
+                 busy_timeout_ms: int = 5000,
+                 connection_factory=None,
+                 quick_check: bool = True) -> None:
         self.path = str(path)
         self._metadata_version = 0
-        self._conn = sqlite3.connect(self.path)
-        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn = _CatalogConnection(connect_sqlite(
+            self.path, busy_timeout_ms=busy_timeout_ms,
+            factory=connection_factory))
+        if quick_check and self.path != ":memory:":
+            self._quick_check()
         self._conn.executescript(_SCHEMA)
         if array_store is not None:
             self.arrays = array_store
@@ -487,6 +603,13 @@ class VideoDatabase:
             " WHERE clip_id=? AND event=? ORDER BY instance_id",
             (clip_id, event_name),
         ).fetchall()
+        missing = [iid for iid, _, _ in inst_rows if iid not in matrices]
+        if missing:
+            raise StorageError(
+                f"array bundle for clip {clip_id!r} / event {event_name!r}"
+                f" is missing {len(missing)} instance matrice(s)"
+                f" (first: {missing[0]}) — run 'repro verify-db --db"
+                f" {self.path} --repair' to prune or rebuild")
         by_bag: dict[int, list[Instance]] = {}
         for iid, bag_id, track_id in inst_rows:
             by_bag.setdefault(bag_id, []).append(
@@ -650,6 +773,185 @@ class VideoDatabase:
         ]
 
     # ------------------------------------------------------- maintenance
+    def _quick_check(self) -> None:
+        """Fail fast on a corrupt catalog (``PRAGMA quick_check``)."""
+        problems = self._run_quick_check()
+        if problems != "ok":
+            raise StorageError(
+                f"database {self.path!r} failed quick_check: "
+                f"{problems} — run 'repro verify-db "
+                f"--db {self.path}' to inspect and repair")
+
+    def _run_quick_check(self) -> str:
+        """``PRAGMA quick_check`` as a string: ``"ok"`` or the problems.
+
+        Severe corruption makes the pragma itself raise instead of
+        returning problem rows; either way the caller gets a report,
+        not an exception — ``verify-db`` must work on exactly the
+        databases that are broken.
+        """
+        try:
+            rows = [r[0] for r in
+                    self._conn.execute("PRAGMA quick_check").fetchall()]
+        except StorageError as exc:
+            return str(exc)
+        return "ok" if rows == ["ok"] else "; ".join(rows[:5])
+
+    def verify(self, *, repair: bool = False,
+               artifact_store=None) -> dict:
+        """Cross-check the catalog against the bulk-array store.
+
+        Checks, per stored dataset, that every catalog instance row has
+        its feature matrix in the array bundle and vice versa (the
+        torn state a crash between the bulk-array write and the catalog
+        commit can leave), plus a fresh ``PRAGMA quick_check``.
+
+        With ``repair=True`` damaged datasets are rebuilt: preferably
+        from the content-addressed pipeline artifact store (pass the
+        :class:`~repro.pipeline.store.DiskArtifactStore` whose
+        ``windows``-stage entries were recorded via
+        :meth:`record_artifact_entries` — the stored
+        :class:`MILDataset` is re-added wholesale), otherwise by
+        pruning: orphan matrices are dropped from the bundle and
+        catalog rows whose matrices are gone are deleted, which
+        restores loadability at the cost of the missing instances.
+
+        Returns a report dict: ``{quick_check, datasets_checked,
+        issues: [{clip_id, event, problem, missing_matrices,
+        orphan_matrices, action}], repaired, healthy}``.
+        """
+        from repro.obs import get_telemetry
+
+        obs = get_telemetry()
+        report: dict = {"quick_check": self._run_quick_check(),
+                        "datasets_checked": 0,
+                        "issues": [], "repaired": 0}
+        pairs = self._conn.execute(
+            "SELECT clip_id, event FROM datasets"
+            " ORDER BY clip_id, event").fetchall()
+        for clip_id, event in pairs:
+            report["datasets_checked"] += 1
+            issue = self._verify_dataset(clip_id, event)
+            if issue is None:
+                continue
+            issue["action"] = "reported"
+            if repair:
+                issue["action"] = self._repair_dataset(
+                    clip_id, event, issue, artifact_store)
+                if issue["action"] != "reported":
+                    report["repaired"] += 1
+            obs.event("db.dataset_damaged", level="warning",
+                      clip=clip_id, event_name=event,
+                      problem=issue["problem"], action=issue["action"])
+            report["issues"].append(issue)
+        report["healthy"] = (report["quick_check"] == "ok"
+                             and not report["issues"])
+        return report
+
+    def _verify_dataset(self, clip_id: str, event: str) -> dict | None:
+        """One dataset's catalog-vs-bundle consistency; None if healthy."""
+        catalog_ids = {
+            int(r[0]) for r in self._conn.execute(
+                "SELECT instance_id FROM instances"
+                " WHERE clip_id=? AND event=?", (clip_id, event))
+        }
+        key = f"{clip_id}/dataset-{event}"
+        issue = {"clip_id": clip_id, "event": event,
+                 "missing_matrices": 0, "orphan_matrices": 0}
+        if not self.arrays.exists(key):
+            if not catalog_ids:
+                return None  # empty dataset needs no bundle
+            issue.update(problem="missing-bundle",
+                         missing_matrices=len(catalog_ids))
+            return issue
+        try:
+            bundle_ids = {int(i)
+                          for i in self.arrays.load(key)["instance_ids"]}
+        except (StorageError, OSError, KeyError, ValueError) as exc:
+            issue.update(problem=f"unreadable-bundle ({exc})",
+                         missing_matrices=len(catalog_ids))
+            return issue
+        missing = catalog_ids - bundle_ids
+        orphans = bundle_ids - catalog_ids
+        if not missing and not orphans:
+            return None
+        issue.update(problem="catalog-bundle-mismatch",
+                     missing_matrices=len(missing),
+                     orphan_matrices=len(orphans))
+        return issue
+
+    def _repair_dataset(self, clip_id: str, event: str, issue: dict,
+                        artifact_store) -> str:
+        """Repair one damaged dataset; returns the action taken."""
+        if artifact_store is not None:
+            dataset = self._dataset_from_artifacts(
+                clip_id, event, artifact_store)
+            if dataset is not None:
+                self.add_dataset(dataset)
+                return "rebuilt-from-artifacts"
+        # Prune to the intersection: keep only instances whose catalog
+        # row AND matrix both survive, so dataset() loads again.
+        key = f"{clip_id}/dataset-{event}"
+        keep_ids: set[int] = set()
+        if self.arrays.exists(key):
+            try:
+                bundle = self.arrays.load(key)
+            except (StorageError, OSError):
+                bundle = None
+            if bundle is not None:
+                catalog_ids = {
+                    int(r[0]) for r in self._conn.execute(
+                        "SELECT instance_id FROM instances"
+                        " WHERE clip_id=? AND event=?", (clip_id, event))
+                }
+                keep = [k for k, iid in enumerate(bundle["instance_ids"])
+                        if int(iid) in catalog_ids]
+                keep_ids = {int(bundle["instance_ids"][k]) for k in keep}
+                if keep:
+                    self.arrays.save(key, {
+                        "instance_ids": np.array(
+                            [int(bundle["instance_ids"][k]) for k in keep]),
+                        "matrices": np.stack(
+                            [bundle["matrices"][k] for k in keep]),
+                    })
+                else:
+                    self.arrays.delete(key)
+        with self._conn:
+            if keep_ids:
+                placeholders = ",".join("?" * len(keep_ids))
+                self._conn.execute(
+                    f"DELETE FROM instances WHERE clip_id=? AND event=?"
+                    f" AND instance_id NOT IN ({placeholders})",
+                    (clip_id, event, *sorted(keep_ids)))
+            else:
+                self._conn.execute(
+                    "DELETE FROM instances WHERE clip_id=? AND event=?",
+                    (clip_id, event))
+        self._metadata_version += 1
+        return "pruned"
+
+    def _dataset_from_artifacts(self, clip_id: str, event: str,
+                                store) -> MILDataset | None:
+        """Recover a clip's dataset from the pipeline artifact store.
+
+        Uses the ``artifact_entries`` provenance rows (stage
+        ``windows``) recorded at ingest time; the stored artifact *is*
+        the :class:`MILDataset`, so a matching one rebuilds the catalog
+        and bundle exactly.
+        """
+        for entry in self.artifact_entries(clip_id):
+            if entry["stage"] != "windows":
+                continue
+            try:
+                candidate = store.load(entry["key"])
+            except (StorageError, OSError):
+                continue
+            if (isinstance(candidate, MILDataset)
+                    and candidate.clip_id == clip_id
+                    and candidate.event_name == event):
+                return candidate
+        return None
+
     def _array_keys_for(self, clip_id: str) -> list[str]:
         prefix = f"{clip_id}/"
         return [k for k in self.arrays.keys() if k.startswith(prefix)]

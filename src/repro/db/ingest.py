@@ -59,6 +59,9 @@ class StreamingIngest:
         #: Filled by :meth:`run`: segments appended vs skipped-as-durable.
         self.segments_appended = 0
         self.segments_skipped = 0
+        #: Segments re-appended because their latest journal state was
+        #: ``failed`` — the retry half of the resume contract.
+        self.segments_retried = 0
 
     def _record(self) -> ClipRecord:
         result = self.result
@@ -91,8 +94,14 @@ class StreamingIngest:
         With ``resume`` (default), segments whose latest journal state
         is ``appended`` are replayed but not re-appended, so a killed
         ingest continues exactly-once from the last durable segment.
-        ``progress`` (optional) is called with each
-        :class:`SegmentEmission` after it has been handled.
+        Segments whose latest state is ``failed`` (a previous run's
+        append died) are explicitly *retried*, not skipped — their
+        count lands in :attr:`segments_retried` and the
+        ``ingest.segments_retried`` counter, and the prior failure's
+        detail is preserved in the journal history (the journal is
+        append-only; latest row wins).  ``progress`` (optional) is
+        called with each :class:`SegmentEmission` after it has been
+        handled.
         """
         obs = get_telemetry()
         db, result, event = self.db, self.result, self.model.name
@@ -107,10 +116,21 @@ class StreamingIngest:
                                        frame_lo=lo, frame_hi=hi)
 
         def on_emission(e: SegmentEmission) -> None:
-            if durable.get(e.index, {}).get("state") == "appended":
+            prior = durable.get(e.index, {}).get("state")
+            if prior == "appended":
                 self.segments_skipped += 1
                 obs.counter("ingest.segments_skipped").inc()
                 return
+            if prior == "failed":
+                # Retry, explicitly: the journal's latest word on this
+                # segment is a dead append, and only "appended" rows are
+                # durable.  Re-append below (idempotent — append_dataset
+                # upserts by id) and account for the retry.
+                self.segments_retried += 1
+                obs.counter("ingest.segments_retried").inc()
+                obs.event("ingest.segment_retried", clip=clip_id,
+                          segment=e.index,
+                          prior_detail=durable[e.index].get("detail", ""))
             n_instances = sum(b.n_instances for b in e.bags)
             db.record_ingest_event(
                 clip_id, event, e.index, "built",

@@ -22,6 +22,7 @@ from typing import Mapping
 from repro.core.bags import merge_datasets
 from repro.core.engine import MILRetrievalEngine
 from repro.core.sharded import (
+    CoverageReport,
     IVFNominator,
     ShardedCorpus,
     ShardedRetrievalEngine,
@@ -30,7 +31,9 @@ from repro.core.sharded import (
 from repro.core.weighted_rf import WeightedRFEngine
 from repro.db.database import VideoDatabase
 from repro.db.schema import LabelRecord
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StorageError
+from repro.obs import get_telemetry
+from repro.reliability.retry import RetryPolicy
 
 __all__ = ["SemanticQuerySession", "MultiClipQuerySession",
            "sharded_corpus", "ENGINE_FACTORIES"]
@@ -42,14 +45,18 @@ ENGINE_FACTORIES = {
 
 
 def sharded_corpus(db: VideoDatabase, clip_ids: list[str],
-                   event_name: str) -> ShardedCorpus:
+                   event_name: str, *,
+                   retry_policy: RetryPolicy | None = None,
+                   clock=None) -> ShardedCorpus:
     """Build a lazily-loading :class:`ShardedCorpus` over stored clips.
 
     Only catalog metadata is read here (:meth:`VideoDatabase.dataset_meta`);
     each shard's bulk instance matrices load on first use.  Cross-clip
     compatibility (event model, features, windowing) is validated up
     front with the same contract as
-    :func:`~repro.core.bags.merge_datasets`.
+    :func:`~repro.core.bags.merge_datasets`.  ``retry_policy`` /
+    ``clock`` configure the corpus' shard quarantine backoff schedule
+    (see :class:`~repro.core.sharded.ShardedCorpus`).
     """
     if not clip_ids:
         raise ConfigurationError("need >= 1 clip id")
@@ -69,8 +76,13 @@ def sharded_corpus(db: VideoDatabase, clip_ids: list[str],
                   loader=partial(db.dataset, meta["clip_id"], event_name))
         for meta in metas
     ]
+    kwargs = {}
+    if retry_policy is not None:
+        kwargs["retry_policy"] = retry_policy
+    if clock is not None:
+        kwargs["clock"] = clock
     return ShardedCorpus(specs, corpus_id="merged:" + "+".join(clip_ids),
-                         event_name=event_name)
+                         event_name=event_name, **kwargs)
 
 
 class _QuerySessionBase:
@@ -250,6 +262,15 @@ class MultiClipQuerySession(_QuerySessionBase):
     the same exact rerank.  ``sharded=False``, a non-default engine
     name, or an explicit engine instance fall back to
     :func:`~repro.core.bags.merge_datasets`.
+
+    ``failure_policy`` picks what happens when a member clip's storage
+    fails mid-session: ``"strict"`` (default) raises
+    :class:`~repro.errors.ShardUnavailableError`, ``"degraded"`` keeps
+    the session alive on the healthy shards and reports the skipped
+    coverage via :attr:`last_coverage` /
+    :meth:`results_with_coverage`.  Failed shards sit on a
+    ``retry_policy`` backoff schedule and rejoin automatically once
+    their artifacts heal.
     """
 
     def __init__(
@@ -263,6 +284,9 @@ class MultiClipQuerySession(_QuerySessionBase):
         nominator: str = "heuristic",
         index_cells: int | None = None,
         nprobe: int | None = None,
+        failure_policy: str = "strict",
+        retry_policy: RetryPolicy | None = None,
+        clock=None,
         **kwargs,
     ) -> None:
         if not clip_ids:
@@ -273,6 +297,16 @@ class MultiClipQuerySession(_QuerySessionBase):
         use_sharded = sharded and engine == "mil_ocsvm"
         self._sharded = use_sharded
         self._db_version = db.metadata_version
+        if failure_policy not in ("strict", "degraded"):
+            raise ConfigurationError(
+                f"failure_policy must be 'strict' or 'degraded', got "
+                f"{failure_policy!r}")
+        if failure_policy == "degraded" and not use_sharded:
+            raise ConfigurationError(
+                "failure_policy='degraded' requires the sharded "
+                "'mil_ocsvm' path (the shard is the failure domain; a "
+                "merged dataset has none)")
+        self.failure_policy = failure_policy
         if candidates_per_shard is not None and not use_sharded:
             raise ConfigurationError(
                 "candidates_per_shard requires the sharded 'mil_ocsvm' "
@@ -294,7 +328,8 @@ class MultiClipQuerySession(_QuerySessionBase):
                 "(pass nominator='ivf')"
             )
         if use_sharded:
-            corpus = sharded_corpus(db, clip_ids, event_name)
+            corpus = sharded_corpus(db, clip_ids, event_name,
+                                    retry_policy=retry_policy, clock=clock)
             engine_kwargs = kwargs.pop("engine_kwargs", None) or {}
             if nominator == "ivf":
                 ivf_kwargs = {}
@@ -303,6 +338,7 @@ class MultiClipQuerySession(_QuerySessionBase):
                 if nprobe is not None:
                     ivf_kwargs["nprobe"] = int(nprobe)
                 engine_kwargs["nominator"] = IVFNominator(**ivf_kwargs)
+            engine_kwargs.setdefault("failure_policy", failure_policy)
             kwargs["engine"] = ShardedRetrievalEngine(
                 corpus, candidates_per_shard=candidates_per_shard,
                 **engine_kwargs)
@@ -323,14 +359,54 @@ class MultiClipQuerySession(_QuerySessionBase):
         notices the corpus mutation on its next rank/feed and retrains
         over the grown corpus.  The merged (non-sharded) path keeps its
         construction-time snapshot.
+
+        Under ``failure_policy="degraded"`` a clip whose catalog read or
+        delta load fails (busy database, corrupt blob) does not kill the
+        round: the failure is logged, the round proceeds on the state the
+        session already has, and — because the version cursor only
+        advances when *every* clip refreshed cleanly — the failed
+        refresh is retried on the next round.
         """
         if not self._sharded:
             return
         version = self.db.metadata_version
         if version == self._db_version:
             return
-        self._db_version = version
+        all_refreshed = True
         for clip_id in self.clip_ids:
-            meta = self.db.dataset_meta(clip_id, self.event_name)
-            self.dataset.refresh(clip_id, n_bags=meta["n_bags"],
-                                 n_instances=meta["n_instances"])
+            try:
+                meta = self.db.dataset_meta(clip_id, self.event_name)
+                self.dataset.refresh(clip_id, n_bags=meta["n_bags"],
+                                     n_instances=meta["n_instances"])
+            except (StorageError, OSError) as exc:
+                # ShardUnavailableError lands here too: refresh() has
+                # already quarantined the shard and the engine's next
+                # round reports it in its coverage.
+                if self.failure_policy == "strict":
+                    raise
+                all_refreshed = False
+                get_telemetry().event(
+                    "session.refresh_deferred", level="warning",
+                    clip=clip_id, corpus=self.corpus_id,
+                    reason=f"{type(exc).__name__}: {exc}")
+        if all_refreshed:
+            self._db_version = version
+
+    @property
+    def last_coverage(self) -> CoverageReport | None:
+        """Shard coverage of the most recent ranking round.
+
+        ``None`` for non-sharded sessions and before the first round;
+        otherwise a :class:`~repro.core.sharded.CoverageReport` whose
+        ``degraded`` flag says whether any quarantined shard was skipped
+        (only possible under ``failure_policy="degraded"``).
+        """
+        return getattr(self.engine, "last_coverage", None)
+
+    def results_with_coverage(
+        self, *, vehicle_class: str | None = None,
+    ) -> tuple[list[int], CoverageReport | None]:
+        """:meth:`results` plus the coverage report for that round —
+        the honest-degraded contract in one call."""
+        ids = self.results(vehicle_class=vehicle_class)
+        return ids, self.last_coverage

@@ -35,6 +35,29 @@ class IntegrityError(StorageError):
     """
 
 
+class ShardUnavailableError(StorageError):
+    """A corpus shard's backing storage failed and it is quarantined.
+
+    Raised by :class:`~repro.core.sharded.ShardedCorpus` when a shard's
+    loader (or a mid-session refresh) hits a
+    :class:`StorageError`/:class:`IntegrityError`/``OSError``.  The
+    shard enters a backoff-and-reprobe schedule; under the engine's
+    ``degraded`` policy the round proceeds without it and the skipped
+    coverage is reported explicitly, under ``strict`` this error
+    propagates to the caller.
+    """
+
+    def __init__(self, clip_id: str, reason: str, *,
+                 failures: int = 1, retry_in_s: float = 0.0) -> None:
+        super().__init__(
+            f"shard {clip_id!r} unavailable ({reason}); "
+            f"reprobe in {retry_in_s:.2f}s after {failures} failure(s)")
+        self.clip_id = clip_id
+        self.reason = reason
+        self.failures = failures
+        self.retry_in_s = retry_in_s
+
+
 class PipelineError(ReproError):
     """A video-processing pipeline stage received unusable input."""
 
@@ -49,3 +72,14 @@ class RetryableError(ReproError):
 
 class TaskTimeoutError(ReproError):
     """A batch task exceeded its wall-clock budget and was abandoned."""
+
+
+class DatabaseBusyError(StorageError, RetryableError):
+    """The SQLite catalog was locked/busy beyond its ``busy_timeout``.
+
+    WAL mode plus ``PRAGMA busy_timeout`` absorb ordinary reader/writer
+    contention inside SQLite itself; this error surfaces only when a
+    lock outlived the timeout (or a fault injector simulated one).  It
+    is transient by nature — the :class:`RetryableError` base opts it
+    into :meth:`~repro.reliability.RetryPolicy.is_retryable` loops.
+    """

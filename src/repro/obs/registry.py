@@ -105,6 +105,24 @@ DEFAULT_METRICS: tuple[tuple[str, str, str], ...] = (
      "process pools rebuilt after a BrokenExecutor"),
     ("histogram", "reliability.retry.backoff_ms",
      "total backoff slept per RetryPolicy.run call"),
+    ("counter", "sharded.shard_failures",
+     "shard loads/refreshes that failed and entered quarantine, by clip"),
+    ("counter", "sharded.shard_recoveries",
+     "quarantined shards that rejoined after a successful reprobe"),
+    ("counter", "sharded.degraded_rounds",
+     "ranking rounds served with >= 1 shard skipped (degraded policy)"),
+    ("gauge", "sharded.quarantined_shards",
+     "corpus shards currently quarantined by the backoff schedule"),
+    ("counter", "ingest.segments_retried",
+     "segments re-processed because their last journal state was "
+     "'failed'"),
+    ("counter", "faults.injected",
+     "chaos-layer faults fired, by operation seam and fault kind"),
+    ("counter", "sim.projection_clipped",
+     "simulated track points dropped at the camera horizon during "
+     "rendering"),
+    ("counter", "store.tmp_unlink_failures",
+     "atomic-write temp files that could not be cleaned up, by store"),
 )
 
 

@@ -265,8 +265,18 @@ class DiskArtifactStore(ArtifactStore):
         except BaseException:
             try:
                 os.unlink(tmp)
-            except OSError:
-                pass
+            except FileNotFoundError:
+                pass  # os.replace won the race; nothing to clean up.
+            except OSError as exc:
+                # Read-only filesystem, permission flip, etc.  The tmp
+                # file leaks — say so rather than hiding it, but keep
+                # the original failure as the one that propagates.
+                obs = get_telemetry()
+                obs.counter("store.tmp_unlink_failures").inc(
+                    error=type(exc).__name__)
+                obs.event("store.tmp_unlink_failed", level="warning",
+                          tmp=str(tmp), target=str(path),
+                          reason=f"{type(exc).__name__}: {exc}")
             raise
 
     def keys(self) -> list[str]:

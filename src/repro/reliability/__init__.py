@@ -13,7 +13,10 @@ already modeled in :mod:`repro.eval.robustness`:
   broken pool without discarding completed results, and enforces
   per-task wall-clock timeouts;
 * :class:`RunManifest` / :func:`task_fingerprint` — durable, atomic
-  sweep progress so a killed multi-seed run resumes where it died.
+  sweep progress so a killed multi-seed run resumes where it died;
+* :class:`FaultPlan` / :class:`FaultInjector` — seeded deterministic
+  chaos injection over the storage seams (artifact store, shard
+  loaders, SQLite catalog), driving the ``tests/chaos`` suite.
 
 The error taxonomy lives in :mod:`repro.errors`
 (:class:`~repro.errors.RetryableError`,
@@ -26,6 +29,21 @@ from repro.reliability.manifest import RunManifest, task_fingerprint
 from repro.reliability.retry import RetryPolicy
 from repro.reliability.tasks import BatchResult, TaskFailure, run_tasks
 
+_FAULT_NAMES = ("FaultRule", "FaultPlan", "FaultInjector")
+
+
+def __getattr__(name):
+    # The chaos layer is re-exported lazily: faults.py needs the
+    # pipeline's ArtifactStore, but repro.core.sharded imports this
+    # package for RetryPolicy while the pipeline/events packages are
+    # still initializing — an eager import here closes that cycle.
+    if name in _FAULT_NAMES:
+        from repro.reliability import faults
+
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "RetryPolicy",
     "TaskFailure",
@@ -33,4 +51,7 @@ __all__ = [
     "run_tasks",
     "RunManifest",
     "task_fingerprint",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
 ]

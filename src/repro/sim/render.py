@@ -13,6 +13,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+from repro.obs import get_telemetry
 from repro.sim.camera import CameraModel
 from repro.sim.world import SimulationResult, VehicleState
 from repro.utils import as_rng, check_positive
@@ -177,7 +179,15 @@ class Renderer:
             image_pos = self.camera.project([[state.x, state.y]])[0]
             ahead = self.camera.project(
                 [[state.x + state.vx, state.y + state.vy]])[0]
-        except Exception:
+        except ConfigurationError as exc:
+            # The point sits on the camera's horizon plane — a geometry
+            # outcome of this vehicle's position, not a renderer bug.
+            # Count and log it instead of swallowing every error here.
+            obs = get_telemetry()
+            obs.counter("sim.projection_clipped").inc()
+            obs.event("render.projection_clipped", level="warning",
+                      vid=state.vid, x=round(state.x, 2),
+                      y=round(state.y, 2), reason=str(exc))
             return None
         scale = self.camera.local_scale([state.x, state.y])
         if scale <= 1e-6:

@@ -1,0 +1,17 @@
+"""Chaos-suite fixtures: telemetry isolation per test.
+
+The chaos runs assert on fault/degraded-round counters, so each test
+gets its own process-wide registry (same pattern as ``tests/obs``).
+"""
+
+import pytest
+
+from repro.obs import Telemetry, set_telemetry
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    telemetry = Telemetry()
+    previous = set_telemetry(telemetry)
+    yield telemetry
+    set_telemetry(previous)

@@ -101,9 +101,50 @@ class TestStreamingIngest:
         resumed.run()
         assert resumed.segments_skipped == 1
         assert resumed.segments_appended == 2
+        # The failed segment was explicitly *retried*, not skipped: its
+        # latest journal row said ``failed``, and only ``appended`` rows
+        # are durable.
+        assert resumed.segments_retried == 1
         state = db.ingest_state(small_intersection.name, "accident")
         assert all(s["state"] == "appended" for s in state.values())
         assert_stored_equals_batch(db, small_intersection, batch)
+
+    def test_kill_inside_append_transaction_keeps_journal_consistent(
+            self, tmp_path, small_intersection, store, batch):
+        """A fault *inside* the catalog transaction (between the bag
+        upserts and the ``appended`` marker) must roll back atomically:
+        no partial bags, no lying marker — and a fresh process resumes
+        to the exact batch store."""
+        from repro.reliability import FaultInjector, FaultPlan, FaultRule
+
+        injector = FaultInjector(FaultPlan(
+            [FaultRule(op="db.execute", kind="busy", rate=1.0, limit=1,
+                       key_substring="INSERT OR REPLACE INTO bags")]))
+        path = tmp_path / "v.db"
+        db = VideoDatabase(path, connection_factory=injector.connect)
+        with pytest.raises(StorageError, match="busy"):
+            stream_clip(db, small_intersection, store).run()
+        assert len(injector.injected) == 1
+
+        state = db.ingest_state(small_intersection.name, "accident")
+        assert state[0]["state"] == "failed"
+        assert "Busy" in state[0]["detail"]
+        assert state[1]["state"] == "pending"
+        # The rolled-back transaction left no catalog rows behind.
+        with pytest.raises(StorageError, match="no dataset"):
+            db.dataset(small_intersection.name, "accident")
+        db.close()
+
+        # "Process restart": a clean connection over the same file.
+        db = VideoDatabase(path)
+        resumed = stream_clip(db, small_intersection, store)
+        resumed.run()
+        assert resumed.segments_retried == 1
+        assert resumed.segments_appended == 3
+        state = db.ingest_state(small_intersection.name, "accident")
+        assert all(s["state"] == "appended" for s in state.values())
+        assert_stored_equals_batch(db, small_intersection, batch)
+        db.close()
 
     def test_replay_without_resume_is_idempotent(self, small_intersection,
                                                  store, batch):

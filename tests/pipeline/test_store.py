@@ -92,3 +92,37 @@ class TestResolveStore:
     def test_bad_spec_rejected(self):
         with pytest.raises(StorageError):
             resolve_store(42)
+
+
+class TestAtomicWriteCleanup:
+    def test_unlink_failure_is_reported_not_swallowed(self, tmp_path,
+                                                      monkeypatch):
+        """When the tmp-file cleanup itself fails (read-only fs,
+        permission flip), the original error still propagates and the
+        leaked tmp file is surfaced through telemetry."""
+        from repro.obs import Telemetry, set_telemetry
+        from repro.pipeline import store as store_mod
+
+        disk = DiskArtifactStore(tmp_path / "store")
+
+        def broken_replace(src, dst):
+            raise OSError("disk full (simulated)")
+
+        def broken_unlink(path):
+            raise PermissionError("read-only filesystem (simulated)")
+
+        monkeypatch.setattr(store_mod.os, "replace", broken_replace)
+        monkeypatch.setattr(store_mod.os, "unlink", broken_unlink)
+        telemetry = Telemetry()
+        previous = set_telemetry(telemetry)
+        try:
+            with pytest.raises(OSError, match="disk full"):
+                disk.save("aa" * 8, {"x": 1})
+            assert telemetry.counter(
+                "store.tmp_unlink_failures").total() == 1
+            events = [e for e in telemetry.events
+                      if e["name"] == "store.tmp_unlink_failed"]
+            assert len(events) == 1
+            assert "read-only filesystem" in events[0]["reason"]
+        finally:
+            set_telemetry(previous)

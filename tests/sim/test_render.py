@@ -108,3 +108,29 @@ class TestRenderer:
             assert np.array_equal(frame, renderer.render(i))
             if i >= 3:
                 break
+
+
+class TestCameraProjectionClipping:
+    def test_horizon_vehicle_skipped_and_counted(self, small_tunnel):
+        """A vehicle on the camera's horizon plane is dropped from the
+        frame — and the drop is observable, not silently swallowed."""
+        from repro.obs import Telemetry, set_telemetry
+        from repro.sim.camera import CameraModel
+        from repro.sim.world import VehicleState
+
+        # Homography with w = y + 1: a vehicle at y=-1 projects to
+        # infinity (the camera's horizon line).
+        camera = CameraModel(np.array([[1.0, 0.0, 0.0],
+                                       [0.0, 0.0, 1.0],
+                                       [0.0, 1.0, 1.0]]))
+        renderer = Renderer(small_tunnel, camera=camera)
+        horizon = VehicleState(vid=1, kind="car", x=10.0, y=-1.0,
+                               vx=1.0, vy=0.0, length=4.0, width=2.0,
+                               intensity=200.0)
+        telemetry = Telemetry()
+        previous = set_telemetry(telemetry)
+        try:
+            assert renderer._through_camera(horizon) is None
+            assert telemetry.counter("sim.projection_clipped").total() == 1
+        finally:
+            set_telemetry(previous)

@@ -124,6 +124,11 @@ def _add_obs_args(parser: "argparse.ArgumentParser") -> None:
         "--metrics-dump", default=None, metavar="PATH",
         help="write a Prometheus text dump of every metric after the "
              "command finishes")
+    parser.add_argument(
+        "--live-metrics", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus text) and /healthz (SLO "
+             "health) on this port for the duration of the command "
+             "(0 picks a free port)")
 
 
 def _start_obs(args, command: str):
@@ -137,6 +142,12 @@ def _start_obs(args, command: str):
     telemetry = obs.get_telemetry()
     if args.trace:
         telemetry.configure(trace_path=args.trace)
+    args._live_server = None
+    if getattr(args, "live_metrics", None) is not None:
+        args._live_server = obs.LiveMetricsServer(
+            port=args.live_metrics).start()
+        print(f"live metrics at {args._live_server.url}/metrics "
+              f"(health: /healthz)")
     return telemetry, telemetry.span(f"cli.{command}")
 
 
@@ -145,6 +156,8 @@ def _finish_obs(args, telemetry, *, command: str,
     """Flush exporters and persist the run summary once a command ends."""
     from repro.obs.report import run_summary
 
+    if getattr(args, "_live_server", None) is not None:
+        args._live_server.stop()
     telemetry.flush()
     telemetry.merge_worker_traces()
     summary = run_summary(telemetry)
@@ -174,6 +187,26 @@ def _finish_obs(args, telemetry, *, command: str,
         else:
             print(f"run metrics recorded as {run_id!r} "
                   f"(inspect with: repro stats --db {db_path})")
+
+
+def _add_session_obs_args(parser: "argparse.ArgumentParser") -> None:
+    parser.add_argument(
+        "--profile-threshold-ms", type=float, default=None, metavar="MS",
+        help="arm the sampling tail profiler: rounds slower than MS "
+             "keep a collapsed-stack profile in the quality ledger")
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not persist per-round quality-ledger rows")
+
+
+def _session_obs_kwargs(args) -> dict:
+    out: dict = {}
+    if getattr(args, "no_ledger", False):
+        out["ledger"] = False
+    threshold = getattr(args, "profile_threshold_ms", None)
+    if threshold is not None:
+        out["profiler"] = threshold
+    return out
 
 
 def _cache_store(args):
@@ -275,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exact-score at most M bags per shard "
                             "(multi-clip only; rest keep heuristic order)")
     _add_nominator_args(query)
+    _add_session_obs_args(query)
 
     label = sub.add_parser("label", help="record a feedback round")
     label.add_argument("--db", required=True)
@@ -289,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_policy_args(label)
     label.add_argument("--irrelevant", default="",
                        help="comma-separated irrelevant bag ids")
+    _add_session_obs_args(label)
 
     experiment = sub.add_parser("experiment",
                                 help="run a paper experiment")
@@ -317,6 +352,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run id to render (default: latest run)")
     stats.add_argument("--list", action="store_true",
                        help="only list stored runs, do not render one")
+
+    explain = sub.add_parser(
+        "explain",
+        help="reconstruct a query session's per-round span trees from "
+             "the quality ledger (why was round 7 slow?)")
+    explain.add_argument("--db", required=True)
+    explain.add_argument("session", nargs="?", default=None,
+                         help="session id (user:corpus:event) or query "
+                              "id; omit to list ledgered sessions")
+    explain.add_argument("--round", type=int, default=None,
+                         help="only this round index")
+    explain.add_argument("--trace", default=None, metavar="PATH",
+                         help="also fold in spans from this JSONL trace "
+                              "(adds worker-process spans sharing the "
+                              "round's query_id)")
 
     report = sub.add_parser(
         "report", help="run the whole experiment suite, emit markdown")
@@ -596,7 +646,7 @@ def _cmd_query(args) -> int:
             db, args, engine=args.engine, top_k=args.top_k,
             candidates_per_shard=args.candidates_per_shard,
             failure_policy=args.failure_policy,
-            **_nominator_kwargs(args))
+            **_nominator_kwargs(args), **_session_obs_kwargs(args))
         if session is None:
             return 2
         target = args.clip or args.clips
@@ -608,7 +658,23 @@ def _cmd_query(args) -> int:
         coverage = getattr(session, "last_coverage", None)
         if coverage is not None and coverage.degraded:
             print(f"  ** {coverage.summary()}")
+        _report_session_obs(args, session)
     return 0
+
+
+def _report_session_obs(args, session) -> None:
+    """Point the user at the ledger/profiles a session just produced."""
+    if session.ledger:
+        print(f"  (ledgered as session {session.session_id!r}; inspect "
+              f"with: repro explain --db {args.db} "
+              f"{session.session_id})")
+    profiler = session.profiler
+    if profiler is not None and profiler.profiles:
+        worst = max(p.wall_ms for p in profiler.profiles)
+        print(f"  ** {len(profiler.profiles)} tail profile(s) captured "
+              f"(worst {worst:.1f} ms >= "
+              f"{profiler.threshold_ms:g} ms threshold); stored in the "
+              f"quality ledger")
 
 
 def _cmd_label(args) -> int:
@@ -622,13 +688,15 @@ def _cmd_label(args) -> int:
         return 2
     with VideoDatabase(args.db) as db:
         session = _open_session(db, args,
-                                failure_policy=args.failure_policy)
+                                failure_policy=args.failure_policy,
+                                **_session_obs_kwargs(args))
         if session is None:
             return 2
         session.feed(labels)
         print(f"recorded round {session.round_index - 1}: "
               f"{sum(labels.values())} relevant, "
               f"{len(labels) - sum(labels.values())} irrelevant")
+        _report_session_obs(args, session)
     return 0
 
 
@@ -716,6 +784,52 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    from repro.db import VideoDatabase
+    from repro.obs.explain import (
+        load_trace_spans,
+        render_round,
+        render_session_listing,
+    )
+
+    with VideoDatabase(args.db) as db:
+        if args.session is None:
+            print(render_session_listing(db.query_sessions()))
+            return 0
+        rows = db.query_rounds(session_id=args.session)
+        if not rows:
+            rows = db.query_rounds(query_id=args.session)
+        if not rows:
+            print(f"error: no ledgered rounds for {args.session!r} in "
+                  f"{args.db} (list sessions with: repro explain "
+                  f"--db {args.db})", file=sys.stderr)
+            return 1
+        if args.round is not None:
+            rows = [r for r in rows if r["round_index"] == args.round]
+            if not rows:
+                print(f"error: no ledgered round {args.round} for "
+                      f"{args.session!r}", file=sys.stderr)
+                return 1
+    head = rows[0]
+    print(f"session {head['session_id']} · corpus {head['corpus_id']} · "
+          f"event {head['event']} · user {head['user_id']} · "
+          f"{len(rows)} round(s)")
+    trace_spans_by_query: dict = {}
+    for row in rows:
+        extra = ()
+        if args.trace:
+            qid = row["query_id"]
+            if qid not in trace_spans_by_query:
+                trace_spans_by_query[qid] = load_trace_spans(
+                    args.trace, query_id=qid)
+            extra = [e for e in trace_spans_by_query[qid]
+                     if e.get("attrs", {}).get("query_round")
+                     == row["round_index"]]
+        print()
+        print(render_round(row, extra_spans=extra))
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.eval.report import generate_report
 
@@ -791,6 +905,7 @@ _COMMANDS = {
     "label": _cmd_label,
     "experiment": _cmd_experiment,
     "stats": _cmd_stats,
+    "explain": _cmd_explain,
     "report": _cmd_report,
     "delete-clip": _cmd_delete_clip,
     "export-clip": _cmd_export_clip,

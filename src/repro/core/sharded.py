@@ -723,6 +723,10 @@ class HeuristicNominator:
 
     name = "heuristic"
 
+    #: Recall of the latest nominate() vs the heuristic baseline; the
+    #: heuristic *is* the baseline, so exact by construction.
+    last_recall: float | None = 1.0
+
     def nominate(self, engine: "ShardedRetrievalEngine",
                  shard: CorpusShard) -> np.ndarray:
         return shard.candidate_positions(engine.candidates_per_shard)
@@ -769,11 +773,15 @@ class IVFNominator:
         #: shard outside the index, rebuild it instead of routing the
         #: tail around it.
         self.rebuild_tail_fraction = float(rebuild_tail_fraction)
+        #: Recall of the latest probe vs the heuristic baseline, per
+        #: shard call — the quality ledger reads it after each shard.
+        self.last_recall: float | None = None
 
     def nominate(self, engine: "ShardedRetrievalEngine",
                  shard: CorpusShard) -> np.ndarray:
         m = engine.candidates_per_shard
         queries = engine._query_vectors_raw()
+        self.last_recall = None
         if queries is None:
             return shard.candidate_positions(m)
         obs = get_telemetry()
@@ -817,6 +825,7 @@ class IVFNominator:
         baseline = shard.candidate_positions(m)
         if len(baseline):
             recall = float(np.isin(baseline, positions).mean())
+            self.last_recall = recall
             obs.gauge("index.nomination_recall").set(recall)
         return positions
 
@@ -927,6 +936,10 @@ class ShardedRetrievalEngine:
         #: Coverage of the most recent ranking round (``None`` before
         #: the first round).
         self.last_coverage: CoverageReport | None = None
+        #: Per-shard cost/quality stats of the most recent *scored*
+        #: round (``None`` until one is computed; survives cache hits).
+        #: The quality ledger (:mod:`repro.db.query`) persists this.
+        self.last_round_stats: dict | None = None
         self.labels: dict[int, bool] = {}
         self._scaler: StandardScaler | None = None
         self._model = None
@@ -1250,6 +1263,7 @@ class ShardedRetrievalEngine:
         obs = get_telemetry()
         streams: dict[str, list[tuple[float, int]]] = {}
         nominated: dict[str, np.ndarray] = {}
+        shard_stats: list[dict] = []
         total_scored = total_pruned = 0
         with obs.span("sharded.rank", shards=len(self.corpus.specs),
                       trained=self.is_trained,
@@ -1257,17 +1271,33 @@ class ShardedRetrievalEngine:
                       candidates_per_shard=self.candidates_per_shard
                       or 0) as sp:
             for shard in shards:
-                positions, scores = self._score_shard(shard)
+                with obs.span("sharded.shard.score",
+                              clip=shard.clip_id,
+                              n_bags=shard.n_bags) as shard_sp:
+                    positions, scores = self._score_shard(shard)
+                    n_candidates = len(positions)
+                    n_pruned = shard.n_bags - n_candidates
+                    if shard_sp is not None:
+                        shard_sp.set(candidates=n_candidates,
+                                     pruned=n_pruned)
                 nominated[shard.clip_id] = positions
                 bag_ids = shard.bag_offset + positions
                 order = np.lexsort((bag_ids, -scores))
                 streams[shard.clip_id] = [
                     (-float(scores[i]), int(bag_ids[i])) for i in order
                 ]
-                n_candidates = len(positions)
-                n_pruned = shard.n_bags - n_candidates
                 total_scored += n_candidates
                 total_pruned += n_pruned
+                recall = getattr(self.nominator, "last_recall", None)
+                shard_stats.append({
+                    "clip_id": shard.clip_id,
+                    "n_bags": shard.n_bags,
+                    "candidates": n_candidates,
+                    "pruned": n_pruned,
+                    "nomination_recall": recall,
+                    "wall_ms": (round(shard_sp.wall_ms, 3)
+                                if shard_sp is not None else None),
+                })
                 obs.histogram("sharded.shard.candidates").observe(
                     n_candidates)
                 if n_pruned:
@@ -1283,6 +1313,25 @@ class ShardedRetrievalEngine:
         self._round_nominated = nominated
         self._round_shards = shards
         self.last_coverage = self._coverage_report(shards, outages)
+        bags_total = len(self.corpus)
+        recalls = [s["nomination_recall"] for s in shard_stats
+                   if s["nomination_recall"] is not None]
+        self.last_round_stats = {
+            "shards": shard_stats,
+            "bags_total": bags_total,
+            "bags_scored": total_scored,
+            "bags_pruned": total_pruned,
+            "bags_scanned_fraction": (total_scored / bags_total
+                                      if bags_total else 1.0),
+            "nomination_recall": (float(np.mean(recalls))
+                                  if recalls else None),
+            "nominator": getattr(self.nominator, "name", "custom"),
+            "trained": self.is_trained,
+        }
+        coverage_fraction = (
+            (bags_total - self.last_coverage.bags_missing) / bags_total
+            if bags_total else 1.0)
+        obs.gauge("query.coverage_fraction").set(coverage_fraction)
         if outages:
             obs.counter("sharded.degraded_rounds").inc()
             obs.event(

@@ -118,6 +118,25 @@ CREATE TABLE IF NOT EXISTS run_metrics (
     wall_ms    REAL NOT NULL DEFAULT 0,
     summary    TEXT NOT NULL DEFAULT '{}'
 );
+CREATE TABLE IF NOT EXISTS query_rounds (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    session_id  TEXT NOT NULL,
+    query_id    TEXT NOT NULL,
+    corpus_id   TEXT NOT NULL,
+    event       TEXT NOT NULL,
+    user_id     TEXT NOT NULL DEFAULT 'default',
+    round_index INTEGER NOT NULL,
+    op          TEXT NOT NULL,
+    created_at  TEXT NOT NULL DEFAULT '',
+    latency_ms  REAL NOT NULL DEFAULT 0,
+    detail      TEXT NOT NULL DEFAULT '{}',
+    spans       TEXT NOT NULL DEFAULT '[]',
+    profile     TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS idx_query_rounds_session
+    ON query_rounds (session_id, round_index);
+CREATE INDEX IF NOT EXISTS idx_query_rounds_query
+    ON query_rounds (query_id, round_index);
 """
 
 
@@ -770,6 +789,88 @@ class VideoDatabase:
             {"run_id": r[0], "command": r[1], "created_at": r[2],
              "wall_ms": r[3], "summary": json.loads(r[4])}
             for r in self._conn.execute(sql, params)
+        ]
+
+    # ---------------------------------------------------- quality ledger
+    def record_query_round(self, *, session_id: str, query_id: str,
+                           corpus_id: str, event: str, round_index: int,
+                           op: str, user_id: str = "default",
+                           latency_ms: float = 0.0,
+                           detail: dict | None = None,
+                           spans: list | None = None,
+                           profile: str = "",
+                           created_at: str = "") -> None:
+        """Append one round to the quality ledger.
+
+        ``detail`` is the per-round quality record (stage latency
+        breakdown, cache hit rates, nomination recall, coverage);
+        ``spans`` the serialized span events of the round so ``repro
+        explain`` can rebuild the trace tree offline; ``profile`` a
+        collapsed-stack tail profile when one was captured.  Append-only
+        by design — re-running a round adds a row, history is evidence.
+        """
+        import json
+
+        if not session_id or not query_id:
+            raise StorageError(
+                "session_id and query_id must be non-empty")
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO query_rounds (session_id, query_id, "
+                "corpus_id, event, user_id, round_index, op, created_at, "
+                "latency_ms, detail, spans, profile) "
+                "VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
+                (session_id, query_id, corpus_id, event, user_id,
+                 int(round_index), op, created_at or _utc_now(),
+                 float(latency_ms),
+                 json.dumps(detail or {}, sort_keys=True),
+                 json.dumps(spans or []),
+                 profile),
+            )
+
+    def query_rounds(self, *, session_id: str | None = None,
+                     query_id: str | None = None,
+                     round_index: int | None = None) -> list[dict]:
+        """Ledger rows in recording order, optionally filtered."""
+        import json
+
+        sql = ("SELECT session_id, query_id, corpus_id, event, user_id, "
+               "round_index, op, created_at, latency_ms, detail, spans, "
+               "profile FROM query_rounds")
+        clauses, params = [], []
+        if session_id is not None:
+            clauses.append("session_id = ?")
+            params.append(session_id)
+        if query_id is not None:
+            clauses.append("query_id = ?")
+            params.append(query_id)
+        if round_index is not None:
+            clauses.append("round_index = ?")
+            params.append(int(round_index))
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY id"
+        return [
+            {"session_id": r[0], "query_id": r[1], "corpus_id": r[2],
+             "event": r[3], "user_id": r[4], "round_index": r[5],
+             "op": r[6], "created_at": r[7], "latency_ms": r[8],
+             "detail": json.loads(r[9]), "spans": json.loads(r[10]),
+             "profile": r[11]}
+            for r in self._conn.execute(sql, params)
+        ]
+
+    def query_sessions(self) -> list[dict]:
+        """One row per ledger session: identity, round count, last seen."""
+        sql = ("SELECT session_id, query_id, corpus_id, event, user_id, "
+               "COUNT(*), MAX(round_index), MAX(created_at) "
+               "FROM query_rounds "
+               "GROUP BY session_id, query_id "
+               "ORDER BY MAX(id)")
+        return [
+            {"session_id": r[0], "query_id": r[1], "corpus_id": r[2],
+             "event": r[3], "user_id": r[4], "rounds": r[5],
+             "last_round": r[6], "last_at": r[7]}
+            for r in self._conn.execute(sql)
         ]
 
     # ------------------------------------------------------- maintenance

@@ -16,6 +16,7 @@ scores exactly each round.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from functools import partial
 from typing import Mapping
 
@@ -32,7 +33,7 @@ from repro.core.weighted_rf import WeightedRFEngine
 from repro.db.database import VideoDatabase
 from repro.db.schema import LabelRecord
 from repro.errors import ConfigurationError, StorageError
-from repro.obs import get_telemetry
+from repro.obs import TailProfiler, get_telemetry, new_query_id, query_context
 from repro.reliability.retry import RetryPolicy
 
 __all__ = ["SemanticQuerySession", "MultiClipQuerySession",
@@ -104,6 +105,9 @@ class _QuerySessionBase:
         engine="mil_ocsvm",
         top_k: int = 20,
         engine_kwargs: dict | None = None,
+        ledger: bool = True,
+        profiler: TailProfiler | float | None = None,
+        query_id: str | None = None,
     ) -> None:
         if top_k <= 0:
             raise ConfigurationError("top_k must be positive")
@@ -113,6 +117,17 @@ class _QuerySessionBase:
         self.user_id = user_id
         self.top_k = int(top_k)
         self.dataset = dataset
+        #: Stable identity for the feedback history this session extends
+        #: — a resumed session lands in the same ledger session.
+        self.session_id = f"{user_id}:{corpus_id}:{event_name}"
+        #: Fresh per-session-object correlation id, stamped (via
+        #: :func:`repro.obs.query_context`) onto every span and event
+        #: either side of the process boundary.
+        self.query_id = query_id or new_query_id()
+        self.ledger = bool(ledger)
+        if isinstance(profiler, (int, float)):
+            profiler = TailProfiler(float(profiler))
+        self.profiler = profiler
         self._class_cache: dict[str, dict[int, str]] = {}
         self._class_cache_version: int | None = None
         if isinstance(engine, str):
@@ -144,6 +159,116 @@ class _QuerySessionBase:
         ingest) without being recreated.  Default: no-op.
         """
 
+    @contextmanager
+    def _observed_round(self, op: str):
+        """Correlate, time, optionally profile and ledger one round.
+
+        Everything under the ``with`` runs inside this session's
+        :func:`~repro.obs.query_context`, so every span down to shard
+        scoring, IVF probes and Gram-cache fills carries the same
+        ``query_id`` — including worker-process spans, which re-enter
+        the context via :func:`~repro.obs.carry_context`.  On success
+        the round is appended to the quality ledger; a ledger write
+        failure (busy/read-only catalog) degrades to a warning event,
+        never a failed query.
+        """
+        obs = get_telemetry()
+        if not obs.enabled:
+            yield
+            return
+        round_index = self.round_index
+        hits0 = obs.counter("svm.gram.columns_reused").total()
+        miss0 = obs.counter("svm.gram.columns_computed").total()
+        span_mark = len(obs.spans) + obs.spans_dropped
+        prof = None
+        with query_context(self.query_id, session_id=self.session_id,
+                           query_round=round_index):
+            if self.profiler is not None:
+                prof_cm = self.profiler.round(
+                    op=op, corpus=self.corpus_id, round=round_index)
+            else:
+                prof_cm = None
+            with obs.span("query.round", op=op,
+                          corpus=self.corpus_id) as sp:
+                if prof_cm is not None:
+                    with prof_cm as prof:
+                        yield
+                else:
+                    yield
+        latency_ms = sp.wall_ms
+        obs.histogram("query.round.latency_ms").observe(latency_ms, op=op)
+        if not self.ledger:
+            return
+        # Only spans recorded by this round (the buffer is append-only
+        # modulo rotation) and stamped with this query's id belong in
+        # the ledger row.
+        start = max(0, span_mark - obs.spans_dropped)
+        round_spans = [
+            s.to_event() for s in obs.spans[start:]
+            if s.attrs.get("query_id") == self.query_id
+        ]
+        detail = self._round_detail(
+            obs, op, latency_ms, round_spans, hits0, miss0)
+        profile_text = ""
+        if prof is not None and prof.kept:
+            profile_text = prof.collapsed()
+            detail["profile_wall_ms"] = round(prof.wall_ms, 3)
+        try:
+            self.db.record_query_round(
+                session_id=self.session_id, query_id=self.query_id,
+                corpus_id=self.corpus_id, event=self.event_name,
+                user_id=self.user_id, round_index=round_index, op=op,
+                latency_ms=latency_ms, detail=detail, spans=round_spans,
+                profile=profile_text)
+            obs.counter("query.ledger_rounds").inc(op=op)
+        except (StorageError, OSError) as exc:
+            obs.event("query.ledger_write_failed", level="warning",
+                      corpus=self.corpus_id, op=op,
+                      reason=f"{type(exc).__name__}: {exc}")
+
+    def _round_detail(self, obs, op: str, latency_ms: float,
+                      round_spans: list[dict],
+                      hits0: float, miss0: float) -> dict:
+        """The per-round quality record the ledger persists."""
+        stages: dict[str, dict] = {}
+        for event in round_spans:
+            if event["name"] == "query.round":
+                continue
+            agg = stages.setdefault(
+                event["name"], {"count": 0, "wall_ms": 0.0})
+            agg["count"] += 1
+            agg["wall_ms"] = round(agg["wall_ms"] + event["wall_ms"], 3)
+        hits = obs.counter("svm.gram.columns_reused").total() - hits0
+        misses = obs.counter("svm.gram.columns_computed").total() - miss0
+        looked_up = hits + misses
+        detail: dict = {
+            "op": op,
+            "latency_ms": round(latency_ms, 3),
+            "stages": stages,
+            "cache": {
+                "gram_columns_reused": hits,
+                "gram_columns_computed": misses,
+                "hit_rate": (hits / looked_up) if looked_up else None,
+            },
+        }
+        stats = getattr(self.engine, "last_round_stats", None)
+        if stats is not None:
+            detail["engine"] = stats
+            detail["nomination_recall"] = stats.get("nomination_recall")
+            detail["bags_scanned_fraction"] = stats.get(
+                "bags_scanned_fraction")
+        coverage = getattr(self.engine, "last_coverage", None)
+        if coverage is not None:
+            detail["coverage"] = {
+                "summary": coverage.summary(),
+                "degraded": coverage.degraded,
+                "shards_served": len(coverage.shards_served),
+                "shards_total": coverage.shards_total,
+                "bags_missing": coverage.bags_missing,
+                "bags_total": coverage.bags_total,
+            }
+        return detail
+
     def _vehicle_classes(self, clip_id: str) -> dict[int, str]:
         """Session-level vehicle-class cache, one DB read per clip.
 
@@ -172,19 +297,20 @@ class _QuerySessionBase:
         matches, so clips past the cut are neither scored globally nor
         have their metadata fetched.
         """
-        self._before_round()
-        if vehicle_class is None:
-            return self.engine.top_k(self.top_k)
-        out: list[int] = []
-        for bag_id in self.engine.rank_iter():
-            bag = self.dataset.bag_by_id(bag_id)
-            classes = self._vehicle_classes(bag.clip_id)
-            if any(classes.get(i.track_id) == vehicle_class
-                   for i in bag.instances):
-                out.append(bag_id)
-                if len(out) >= self.top_k:
-                    break
-        return out
+        with self._observed_round("results"):
+            self._before_round()
+            if vehicle_class is None:
+                return self.engine.top_k(self.top_k)
+            out: list[int] = []
+            for bag_id in self.engine.rank_iter():
+                bag = self.dataset.bag_by_id(bag_id)
+                classes = self._vehicle_classes(bag.clip_id)
+                if any(classes.get(i.track_id) == vehicle_class
+                       for i in bag.instances):
+                    out.append(bag_id)
+                    if len(out) >= self.top_k:
+                        break
+            return out
 
     def result_windows(self) -> list[tuple[int, int, int]]:
         """(bag_id, frame_lo, frame_hi) for the current results — what a
@@ -207,17 +333,18 @@ class _QuerySessionBase:
         """
         if not labels:
             raise ConfigurationError("feedback round must label >= 1 bag")
-        self._before_round()
-        self.engine.feed(labels)
-        self.db.add_labels([
-            LabelRecord(clip_id=self.corpus_id,
-                        event_name=self.event_name,
-                        bag_id=int(bag_id), user_id=self.user_id,
-                        round_index=self.round_index,
-                        relevant=bool(relevant))
-            for bag_id, relevant in labels.items()
-        ])
-        self.round_index += 1
+        with self._observed_round("feed"):
+            self._before_round()
+            self.engine.feed(labels)
+            self.db.add_labels([
+                LabelRecord(clip_id=self.corpus_id,
+                            event_name=self.event_name,
+                            bag_id=int(bag_id), user_id=self.user_id,
+                            round_index=self.round_index,
+                            relevant=bool(relevant))
+                for bag_id, relevant in labels.items()
+            ])
+            self.round_index += 1
 
 
 class SemanticQuerySession(_QuerySessionBase):

@@ -24,21 +24,50 @@ own per-pid JSONL sidecars, merged into the parent trace on join.
 """
 
 from repro.obs.bench import BENCH_SCHEMA, flatten_metrics, merge_bench
+from repro.obs.context import (
+    ContextTask,
+    QueryContext,
+    carry_context,
+    current_attrs,
+    current_context,
+    new_query_id,
+    query_context,
+)
+from repro.obs.explain import (
+    build_span_tree,
+    load_trace_spans,
+    merge_span_events,
+    render_round,
+    render_session_listing,
+    render_span_tree,
+)
 from repro.obs.exporters import (
     TraceWriter,
     merge_worker_traces,
     prometheus_text,
     write_prometheus,
 )
+from repro.obs.live import LiveMetricsServer
 from repro.obs.metrics import (
     MAX_LABEL_SETS,
     Counter,
     Gauge,
     Histogram,
     Metric,
+    bucket_quantile,
+    quantile_from_snapshot,
 )
+from repro.obs.profile import RoundProfile, TailProfiler
 from repro.obs.registry import DEFAULT_METRICS, Telemetry
 from repro.obs.report import SUMMARY_SCHEMA, render_run_report, run_summary
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLObjective,
+    SLOStatus,
+    evaluate_slos,
+    evaluate_slos_from_summary,
+    render_slos,
+)
 from repro.obs.spans import Span
 
 __all__ = [
@@ -60,6 +89,30 @@ __all__ = [
     "BENCH_SCHEMA",
     "flatten_metrics",
     "merge_bench",
+    "bucket_quantile",
+    "quantile_from_snapshot",
+    "QueryContext",
+    "query_context",
+    "current_context",
+    "current_attrs",
+    "new_query_id",
+    "carry_context",
+    "ContextTask",
+    "TailProfiler",
+    "RoundProfile",
+    "LiveMetricsServer",
+    "build_span_tree",
+    "render_span_tree",
+    "render_round",
+    "render_session_listing",
+    "load_trace_spans",
+    "merge_span_events",
+    "SLObjective",
+    "SLOStatus",
+    "DEFAULT_SLOS",
+    "evaluate_slos",
+    "evaluate_slos_from_summary",
+    "render_slos",
     "get_telemetry",
     "set_telemetry",
     "configure",

@@ -1,0 +1,127 @@
+"""Query correlation context: who a span belongs to, carried implicitly.
+
+Spans already form per-thread trees (PR 4), but a tree without identity
+cannot answer "show me round 7 of *this* query".  This module holds a
+:class:`QueryContext` — query id, session id, round index — in a
+:mod:`contextvars` variable; :meth:`Telemetry.span` and
+:meth:`Telemetry.event` read it on every record, so the whole call chain
+(session → engine → shard → nominator → cache) is stamped with one
+``query_id`` without threading arguments through ten layers.
+
+Process pools do not inherit contextvars, so :func:`carry_context`
+wraps a task callable in a picklable :class:`ContextTask` that re-enters
+the submitting context inside the worker — the worker's sidecar spans
+then carry the same ``query_id`` and correlate after
+``merge_worker_traces`` folds them into the main trace.
+
+Context attrs land on *spans and events only*, never on metric label
+sets: a per-query metric label is unbounded cardinality and would trip
+:data:`~repro.obs.metrics.MAX_LABEL_SETS` by design.  The per-query
+dimension lives in the quality ledger (:mod:`repro.db`) instead.
+"""
+
+from __future__ import annotations
+
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["QueryContext", "query_context", "current_context",
+           "current_attrs", "new_query_id", "carry_context", "ContextTask"]
+
+_CONTEXT: ContextVar["QueryContext | None"] = ContextVar(
+    "repro_query_context", default=None)
+
+
+def new_query_id() -> str:
+    """A fresh, short, url/filename-safe query identifier."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass(frozen=True)
+class QueryContext:
+    """Immutable correlation identity for one query's call chain.
+
+    The attribute names (``query_id``/``session_id``/``query_round``)
+    are chosen not to collide with existing span attrs (``rf.round``
+    already uses ``round=``); explicit span attrs win on collision.
+    """
+
+    query_id: str
+    session_id: str = ""
+    query_round: int | None = None
+
+    def attrs(self) -> dict:
+        out = {"query_id": self.query_id}
+        if self.session_id:
+            out["session_id"] = self.session_id
+        if self.query_round is not None:
+            out["query_round"] = self.query_round
+        return out
+
+
+def current_context() -> QueryContext | None:
+    return _CONTEXT.get()
+
+
+def current_attrs() -> dict:
+    """Attrs of the active context; ``{}`` when none (the hot path)."""
+    ctx = _CONTEXT.get()
+    return ctx.attrs() if ctx is not None else {}
+
+
+@contextmanager
+def query_context(query_id: str | None = None, *, session_id: str = "",
+                  query_round: int | None = None) -> Iterator[QueryContext]:
+    """Enter a correlation context; nested calls inherit unset fields.
+
+    A nested ``query_context(query_round=3)`` keeps the enclosing
+    query/session identity and only advances the round — which is
+    exactly how a session wraps each feedback round.
+    """
+    parent = _CONTEXT.get()
+    if query_id is None:
+        query_id = parent.query_id if parent is not None else new_query_id()
+    if not session_id and parent is not None:
+        session_id = parent.session_id
+    if query_round is None and parent is not None:
+        query_round = parent.query_round
+    ctx = QueryContext(query_id=query_id, session_id=session_id,
+                       query_round=query_round)
+    token = _CONTEXT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CONTEXT.reset(token)
+
+
+class ContextTask:
+    """Picklable callable that re-enters a context in a worker process.
+
+    Process-pool workers start with an empty contextvars context, so the
+    submitting side freezes its :class:`QueryContext` into this wrapper;
+    the worker re-enters it around the real callable and every span it
+    records into its JSONL sidecar carries the submitting query_id.
+    """
+
+    __slots__ = ("fn", "context")
+
+    def __init__(self, fn, context: QueryContext) -> None:
+        self.fn = fn
+        self.context = context
+
+    def __call__(self, *args, **kwargs):
+        ctx = self.context
+        with query_context(ctx.query_id, session_id=ctx.session_id,
+                           query_round=ctx.query_round):
+            return self.fn(*args, **kwargs)
+
+
+def carry_context(fn):
+    """``fn`` wrapped to carry the active context, or unchanged if none."""
+    ctx = _CONTEXT.get()
+    if ctx is None:
+        return fn
+    return ContextTask(fn, ctx)

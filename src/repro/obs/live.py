@@ -1,0 +1,134 @@
+"""Live scrape endpoint: ``/metrics`` and ``/healthz`` over stdlib HTTP.
+
+The stepping stone to the multi-tenant service: a daemon
+``ThreadingHTTPServer`` thread that renders the process-wide registry on
+demand — ``/metrics`` is Prometheus text (the exact output of
+:func:`~repro.obs.exporters.prometheus_text`, so scrape and file dump
+never disagree) and ``/healthz`` is a JSON health document that folds in
+the declared SLOs (:mod:`repro.obs.slo`): status ``ok`` while every
+objective with samples is met, ``degraded`` otherwise.
+
+The server resolves the registry *per request* (via a callable, default
+:func:`repro.obs.get_telemetry`), so tests that swap registries and the
+CLI's per-command registries are always the thing scraped.  ``port=0``
+binds an ephemeral port — the chosen one is in :attr:`port`/:attr:`url`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.exporters import prometheus_text
+from repro.obs.slo import DEFAULT_SLOS, evaluate_slos
+
+__all__ = ["LiveMetricsServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        owner: "LiveMetricsServer" = self.server.owner  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        telemetry = owner.resolve_telemetry()
+        bucket = path if path in ("/metrics", "/healthz") else "other"
+        telemetry.counter("obs.live.requests").inc(path=bucket)
+        if path == "/metrics":
+            body = prometheus_text(telemetry).encode("utf-8")
+            self._reply(200, "text/plain; version=0.0.4", body)
+        elif path == "/healthz":
+            statuses = evaluate_slos(telemetry, owner.slos)
+            sampled = [st for st in statuses if st.samples > 0]
+            healthy = all(st.met for st in sampled)
+            doc = {
+                "status": "ok" if healthy else "degraded",
+                "slos": [{
+                    "name": st.name,
+                    "met": st.met,
+                    "samples": st.samples,
+                    "measured": None if st.samples == 0 else st.measured,
+                    "burn_rate": st.burn_rate,
+                } for st in statuses],
+            }
+            body = json.dumps(doc, sort_keys=True).encode("utf-8")
+            self._reply(200 if healthy else 503, "application/json", body)
+        else:
+            self._reply(404, "text/plain", b"not found\n")
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        pass  # scrapes must not spam the console
+
+
+class LiveMetricsServer:
+    """Background scrape endpoint for one process.
+
+    Usable as a context manager; ``stop()`` (or exiting the ``with``
+    block) shuts the listener down and joins the serving thread.  By
+    default the *current* process-wide registry is served, whatever
+    :func:`~repro.obs.set_telemetry` has made current by scrape time.
+    """
+
+    def __init__(self, telemetry=None, *, host: str = "127.0.0.1",
+                 port: int = 0, slos=DEFAULT_SLOS) -> None:
+        self._fixed_telemetry = telemetry
+        self.host = host
+        self.requested_port = port
+        self.slos = tuple(slos)
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def resolve_telemetry(self):
+        if self._fixed_telemetry is not None:
+            return self._fixed_telemetry
+        from repro.obs import get_telemetry  # late: avoids module cycle
+
+        return get_telemetry()
+
+    # ------------------------------------------------------------ control
+    def start(self) -> "LiveMetricsServer":
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer((self.host, self.requested_port),
+                                    _Handler)
+        httpd.daemon_threads = True
+        httpd.owner = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-obs-live", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self.requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "LiveMetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

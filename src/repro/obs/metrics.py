@@ -25,7 +25,8 @@ from bisect import bisect_left
 
 from repro.errors import ConfigurationError
 
-__all__ = ["MAX_LABEL_SETS", "Metric", "Counter", "Gauge", "Histogram"]
+__all__ = ["MAX_LABEL_SETS", "Metric", "Counter", "Gauge", "Histogram",
+           "bucket_quantile", "quantile_from_snapshot"]
 
 #: Hard ceiling on distinct label sets per metric family.
 MAX_LABEL_SETS = 64
@@ -146,9 +147,55 @@ class Gauge(Metric):
 
 
 #: Default bucket bounds: latencies in ms and solver iteration counts
-#: both fit a 1..1e5 log-ish spread.
-DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
-                   1000.0, 2500.0, 5000.0, 10000.0, 100000.0)
+#: both fit a 0.1..1e5 log-ish spread.  The sub-millisecond rungs keep
+#: fast feedback rounds (~2-3 ms) from collapsing into one bucket, and
+#: the 25000/50000 rungs close what used to be a 10x gap before +Inf —
+#: both matter once quantiles are interpolated from bucket counts.
+DEFAULT_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0,
+                   100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+                   10000.0, 25000.0, 50000.0, 100000.0)
+
+
+def bucket_quantile(bounds, cumulative, total: int, q: float) -> float:
+    """Prometheus-style linear interpolation inside the target bucket.
+
+    ``bounds`` are the finite upper bounds, ``cumulative`` the running
+    counts aligned with them (``cumulative[i]`` = observations <=
+    ``bounds[i]``) and ``total`` the overall count including the +Inf
+    bucket.  Observations landing past the last finite bound clamp to
+    it — an honest "at least this much" rather than a fabricated tail.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    if total <= 0 or not bounds:
+        return math.nan
+    target = q * total
+    prev_cum = 0
+    for i, (bound, cum) in enumerate(zip(bounds, cumulative)):
+        if cum >= target:
+            lo = bounds[i - 1] if i > 0 else 0.0
+            in_bucket = cum - prev_cum
+            if in_bucket <= 0:
+                return bound
+            return lo + (bound - lo) * (target - prev_cum) / in_bucket
+        prev_cum = cum
+    return bounds[-1]
+
+
+def quantile_from_snapshot(series: dict, q: float) -> float:
+    """Quantile from one snapshot-series dict (``buckets``/``count``).
+
+    Accepts the ``_payload_dict`` shape persisted in run summaries and
+    the ledger, so ``repro stats`` and the SLO layer can interpolate
+    quantiles from saved JSON exactly like from a live histogram.
+    """
+    buckets = series.get("buckets") or {}
+    total = int(series.get("count") or 0)
+    finite = sorted((float(k), int(v)) for k, v in buckets.items()
+                    if k != "+Inf")
+    bounds = tuple(b for b, _ in finite)
+    cumulative = tuple(c for _, c in finite)
+    return bucket_quantile(bounds, cumulative, total, q)
 
 
 class _HistSeries:
@@ -183,6 +230,22 @@ class Histogram(Metric):
         series.count += 1
         series.sum += value
         series.counts[bisect_left(self.buckets, value)] += 1
+
+    def quantile(self, q: float, **labels) -> float:
+        """Bucket-interpolated quantile for one series (NaN if absent).
+
+        Looks the series up without materialising it, so probing an
+        unsampled histogram never creates an empty series.
+        """
+        with self._lock:
+            payload = self._series.get(_label_key(labels))
+        if payload is None:
+            return math.nan
+        cumulative, running = [], 0
+        for n in payload.counts[:-1]:
+            running += n
+            cumulative.append(running)
+        return bucket_quantile(self.buckets, cumulative, payload.count, q)
 
     def _payload_dict(self, payload: _HistSeries) -> dict:
         cumulative, running = {}, 0

@@ -27,6 +27,7 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.obs.context import current_attrs
 from repro.obs.exporters import TraceWriter, merge_worker_traces
 from repro.obs.metrics import Counter, Gauge, Histogram, Metric
 from repro.obs.spans import Span
@@ -123,6 +124,24 @@ DEFAULT_METRICS: tuple[tuple[str, str, str], ...] = (
      "rendering"),
     ("counter", "store.tmp_unlink_failures",
      "atomic-write temp files that could not be cleaned up, by store"),
+    ("histogram", "query.round.latency_ms",
+     "wall-clock latency of one user-facing query-session round"),
+    ("gauge", "query.coverage_fraction",
+     "fraction of corpus bags actually covered by the latest round"),
+    ("counter", "query.ledger_rounds",
+     "per-round quality-ledger rows persisted, by operation"),
+    ("counter", "obs.profiles.captured",
+     "tail-latency profiles kept because the round beat the threshold"),
+    ("counter", "obs.profiles.discarded",
+     "armed round profiles dropped because the round was fast enough"),
+    ("counter", "obs.live.requests",
+     "HTTP requests served by the live metrics endpoint, by path"),
+    ("gauge", "slo.attainment",
+     "latest measured value per declared objective"),
+    ("gauge", "slo.burn_rate",
+     "error-budget burn rate per declared objective (1.0 = on budget)"),
+    ("counter", "slo.breaches",
+     "objective evaluations that found the SLO unmet, by objective"),
 )
 
 
@@ -259,11 +278,12 @@ class Telemetry:
             yield None
             return
         stack = self._stack()
+        ctx = current_attrs()
         sp = Span(
             name=name,
             span_id=self._new_span_id(),
             parent_id=stack[-1].span_id if stack else None,
-            attrs=dict(attrs),
+            attrs={**ctx, **attrs} if ctx else dict(attrs),
             started_at=time.time(),
         )
         stack.append(sp)
@@ -297,6 +317,7 @@ class Telemetry:
             return
         record = {"type": "event", "name": name, "level": level,
                   "pid": os.getpid(), "ts": round(time.time(), 6)}
+        record.update(current_attrs())
         record.update({k: v if isinstance(v, (str, int, float, bool))
                        or v is None else repr(v)
                        for k, v in attrs.items()})
@@ -336,6 +357,9 @@ class _NullMetric:
 
     def value(self, **labels) -> float:
         return 0.0
+
+    def quantile(self, q, **labels) -> float:
+        return float("nan")
 
 
 _NULL_COUNTER = _NullMetric()

@@ -14,6 +14,9 @@ back from the database) into the text ``repro stats`` prints:
 
 from __future__ import annotations
 
+from repro.obs.metrics import quantile_from_snapshot
+from repro.obs.slo import evaluate_slos_from_summary, render_slos
+
 __all__ = ["run_summary", "render_run_report", "SUMMARY_SCHEMA"]
 
 SUMMARY_SCHEMA = "repro-run-summary-v1"
@@ -157,12 +160,45 @@ def render_run_report(summary: dict) -> str:
         lines.append("  (clean run: no retries, timeouts, errors, or "
                      "quarantines)")
 
-    # RF loop economics, when the run had feedback rounds.
-    rf = _series_map(summary, "rf.round.latency_ms")
-    if rf:
-        total = sum(s.get("count", 0) for s in rf)
-        mean = (sum(s.get("sum", 0.0) for s in rf) / total) if total else 0
+    # Round-latency economics, when the run had feedback/query rounds.
+    # Quantiles are bucket-interpolated from the merged histogram
+    # snapshot — the same math the SLO layer applies live.
+    for title, name in (("relevance feedback", "rf.round.latency_ms"),
+                        ("query rounds", "query.round.latency_ms")):
+        stats = _latency_stats(summary, name)
+        if stats:
+            lines.append("")
+            lines.append(f"-- {title} --")
+            lines.append(
+                f"  rounds: {stats['count']}, mean {stats['mean']:.1f} ms"
+                f", p50 {stats['p50']:.1f} / p95 {stats['p95']:.1f}"
+                f" / p99 {stats['p99']:.1f} ms")
+
+    slo_statuses = evaluate_slos_from_summary(summary)
+    if any(st.samples for st in slo_statuses):
         lines.append("")
-        lines.append("-- relevance feedback --")
-        lines.append(f"  rounds: {total}, mean latency {mean:.1f} ms")
+        lines.append("-- service-level objectives --")
+        lines.extend(render_slos(slo_statuses).splitlines()[1:])
     return "\n".join(lines)
+
+
+def _latency_stats(summary: dict, name: str) -> dict | None:
+    """count/mean/p50/p95/p99 from one histogram family's snapshot."""
+    series = _series_map(summary, name)
+    buckets: dict[str, int] = {}
+    count, total = 0, 0.0
+    for s in series:
+        count += int(s.get("count") or 0)
+        total += float(s.get("sum") or 0.0)
+        for k, v in (s.get("buckets") or {}).items():
+            buckets[k] = buckets.get(k, 0) + int(v)
+    if not count:
+        return None
+    merged = {"buckets": buckets, "count": count}
+    return {
+        "count": count,
+        "mean": total / count,
+        "p50": quantile_from_snapshot(merged, 0.5),
+        "p95": quantile_from_snapshot(merged, 0.95),
+        "p99": quantile_from_snapshot(merged, 0.99),
+    }

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError, TaskTimeoutError
-from repro.obs import get_telemetry
+from repro.obs import carry_context, get_telemetry
 from repro.reliability.retry import RetryPolicy
 
 __all__ = ["TaskFailure", "BatchResult", "run_tasks"]
@@ -156,6 +156,10 @@ def run_tasks(
         max_workers = min(n, os.cpu_count() or 1)
     workers = min(max_workers, n)
     obs = get_telemetry()
+    # Contextvars don't cross the process boundary: freeze the active
+    # query context (if any) into a picklable wrapper so worker sidecar
+    # spans carry the same query_id as the submitting round.
+    fn = carry_context(fn)
 
     with obs.span("reliability.batch", tasks=n, workers=workers) as sp:
         incomplete = set(range(n))

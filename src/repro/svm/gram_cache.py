@@ -111,14 +111,16 @@ class GramCache:
         self._sync_kernel(kernel)
         rows = np.asarray(rows, dtype=int)
         missing = [k for k, i in enumerate(ids) if i not in self._cols]
+        obs = get_telemetry()
         if missing:
-            fresh = self._kernel_columns(kernel, rows[missing])
-            for j, k in enumerate(missing):
-                self._cols[ids[k]] = np.ascontiguousarray(fresh[:, j])
+            with obs.span("svm.gram.ensure", columns=len(missing),
+                          reused=len(ids) - len(missing)):
+                fresh = self._kernel_columns(kernel, rows[missing])
+                for j, k in enumerate(missing):
+                    self._cols[ids[k]] = np.ascontiguousarray(fresh[:, j])
         reused = len(ids) - len(missing)
         self.misses += len(missing)
         self.hits += reused
-        obs = get_telemetry()
         if missing:
             obs.counter("svm.gram.columns_computed").inc(len(missing))
         if reused:
@@ -146,21 +148,23 @@ class GramCache:
             )
         self._sync_kernel(kernel)
         missing = [k for k, i in enumerate(ids) if i not in self._cols]
+        obs = get_telemetry()
         if missing:
-            sub = np.ascontiguousarray(vectors[missing])
-            if isinstance(kernel, RBFKernel):
-                fresh = kernel.compute_blocked(
-                    self._x, sub, block_rows=self._block_rows,
-                    a_sq=self._x_sq)
-            else:
-                fresh = kernel.compute_blocked(self._x, sub,
-                                               block_rows=self._block_rows)
-            for j, k in enumerate(missing):
-                self._cols[ids[k]] = np.ascontiguousarray(fresh[:, j])
+            with obs.span("svm.gram.ensure", columns=len(missing),
+                          reused=len(ids) - len(missing)):
+                sub = np.ascontiguousarray(vectors[missing])
+                if isinstance(kernel, RBFKernel):
+                    fresh = kernel.compute_blocked(
+                        self._x, sub, block_rows=self._block_rows,
+                        a_sq=self._x_sq)
+                else:
+                    fresh = kernel.compute_blocked(
+                        self._x, sub, block_rows=self._block_rows)
+                for j, k in enumerate(missing):
+                    self._cols[ids[k]] = np.ascontiguousarray(fresh[:, j])
         reused = len(ids) - len(missing)
         self.misses += len(missing)
         self.hits += reused
-        obs = get_telemetry()
         if missing:
             obs.counter("svm.gram.columns_computed").inc(len(missing))
         if reused:

@@ -1,0 +1,118 @@
+"""Query-correlation context: stamping, inheritance, worker carriage."""
+
+import pickle
+
+from repro.obs import (
+    ContextTask,
+    QueryContext,
+    carry_context,
+    current_attrs,
+    current_context,
+    new_query_id,
+    query_context,
+)
+from repro.reliability import run_tasks
+
+
+class TestQueryContext:
+    def test_no_context_by_default(self):
+        assert current_context() is None
+        assert current_attrs() == {}
+
+    def test_attrs_omit_unset_fields(self):
+        ctx = QueryContext(query_id="q1")
+        assert ctx.attrs() == {"query_id": "q1"}
+        full = QueryContext(query_id="q1", session_id="s1", query_round=2)
+        assert full.attrs() == {"query_id": "q1", "session_id": "s1",
+                                "query_round": 2}
+
+    def test_enter_and_restore(self):
+        with query_context("q1", session_id="s1", query_round=0):
+            assert current_attrs() == {"query_id": "q1",
+                                       "session_id": "s1",
+                                       "query_round": 0}
+        assert current_context() is None
+
+    def test_nested_context_inherits_unset_fields(self):
+        with query_context("q1", session_id="s1", query_round=0):
+            with query_context(query_round=3) as inner:
+                assert inner.query_id == "q1"
+                assert inner.session_id == "s1"
+                assert inner.query_round == 3
+            # Exiting the nested round restores the outer one.
+            assert current_context().query_round == 0
+
+    def test_generated_ids_are_unique_and_short(self):
+        ids = {new_query_id() for _ in range(32)}
+        assert len(ids) == 32
+        assert all(len(i) == 12 for i in ids)
+
+    def test_context_restored_on_exception(self):
+        try:
+            with query_context("q1"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_context() is None
+
+
+class TestSpanStamping:
+    def test_spans_and_events_carry_context(self, fresh_telemetry):
+        t = fresh_telemetry
+        with query_context("q9", session_id="s9", query_round=1):
+            with t.span("work", clip="a"):
+                pass
+            t.event("something", level="warning", detail=1)
+        span = t.spans[-1]
+        assert span.attrs["query_id"] == "q9"
+        assert span.attrs["session_id"] == "s9"
+        assert span.attrs["clip"] == "a"
+        event = t.events[-1]
+        assert event["query_id"] == "q9"
+        assert event["detail"] == 1
+
+    def test_explicit_attrs_win_over_context(self, fresh_telemetry):
+        t = fresh_telemetry
+        with query_context("ambient"):
+            with t.span("work", query_id="explicit"):
+                pass
+        assert t.spans[-1].attrs["query_id"] == "explicit"
+
+    def test_no_context_means_no_extra_attrs(self, fresh_telemetry):
+        t = fresh_telemetry
+        with t.span("work", clip="a"):
+            pass
+        assert "query_id" not in t.spans[-1].attrs
+
+
+def _traced_square(x):
+    from repro.obs import current_context
+
+    ctx = current_context()
+    return (x * x, None if ctx is None else ctx.query_id)
+
+
+class TestContextTask:
+    def test_carry_context_without_context_is_identity(self):
+        assert carry_context(_traced_square) is _traced_square
+
+    def test_carry_context_freezes_active_context(self):
+        with query_context("q1", session_id="s1"):
+            wrapped = carry_context(_traced_square)
+        assert isinstance(wrapped, ContextTask)
+        # Calling outside the original context still re-enters it.
+        assert wrapped(3) == (9, "q1")
+        assert current_context() is None
+
+    def test_context_task_is_picklable(self):
+        task = ContextTask(_traced_square,
+                           QueryContext(query_id="q2", session_id="s2"))
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone(4) == (16, "q2")
+
+    def test_run_tasks_workers_see_submitting_context(self):
+        # Serial path (max_workers=1) exercises the same carry_context
+        # seam as the pool without the process spawn cost.
+        with query_context("q77"):
+            batch = run_tasks(_traced_square, [2, 3], max_workers=1)
+        assert batch.results == [(4, "q77"), (9, "q77")]

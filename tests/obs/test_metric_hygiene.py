@@ -1,0 +1,74 @@
+"""Metric hygiene: every metric literal in src/ is declared, and every
+declaration is used.
+
+A metric recorded under an undeclared name silently falls outside the
+pre-declared schema (exporters would still emit it, but ``# HELP`` text
+and the stable metric surface are lost); a declared-but-never-recorded
+metric is schema rot.  Both directions are enforced statically so the
+drift is caught at the call site that introduced it, not in a dashboard
+weeks later.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs import DEFAULT_METRICS
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: ``<anything>.counter("name")`` / ``.gauge(`` / ``.histogram(`` with a
+#: string literal first argument.  Dynamic names (a variable first arg)
+#: don't match — there are none in src/ today, and adding one should be
+#: a deliberate decision that updates this test.
+_CALL_RE = re.compile(
+    r"""\.\s*(counter|gauge|histogram)\(\s*\n?\s*["']([^"']+)["']""",
+    re.MULTILINE)
+
+#: Metrics declared for consumers other than src/repro itself.
+#: (Currently empty — every declared metric has an in-tree recorder.)
+_DECLARED_ONLY: frozenset = frozenset()
+
+
+def _calls_in_source():
+    """(kind, name, file) for every metric-literal call under src/."""
+    calls = []
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in _CALL_RE.finditer(text):
+            calls.append((match.group(1), match.group(2),
+                          str(path.relative_to(SRC))))
+    return calls
+
+
+def test_every_recorded_metric_is_declared():
+    declared = {name: kind for kind, name, _ in DEFAULT_METRICS}
+    undeclared = sorted(
+        {(kind, name, where) for kind, name, where in _calls_in_source()
+         if name not in declared})
+    assert not undeclared, (
+        "metric names recorded in src/ but missing from "
+        f"DEFAULT_METRICS: {undeclared}")
+
+
+def test_every_recorded_metric_has_declared_kind():
+    declared = {name: kind for kind, name, _ in DEFAULT_METRICS}
+    mismatched = sorted(
+        {(kind, name, where, declared[name])
+         for kind, name, where in _calls_in_source()
+         if name in declared and declared[name] != kind})
+    assert not mismatched, (
+        f"metric recorded under a different kind than declared: "
+        f"{mismatched}")
+
+
+def test_every_declared_metric_is_recorded_somewhere():
+    used = {name for _, name, _ in _calls_in_source()}
+    unused = sorted(name for _, name, _ in DEFAULT_METRICS
+                    if name not in used and name not in _DECLARED_ONLY)
+    assert not unused, (
+        f"DEFAULT_METRICS entries no code records into: {unused}")
+
+
+def test_declarations_are_unique():
+    names = [name for _, name, _ in DEFAULT_METRICS]
+    assert len(names) == len(set(names))

@@ -1,0 +1,74 @@
+"""Tail-latency sampling profiler: keep/discard contract, output format."""
+
+import re
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import RoundProfile, TailProfiler
+
+
+def _spin(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(i * i for i in range(200))
+
+
+class TestTailProfiler:
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ConfigurationError, match="threshold_ms"):
+            TailProfiler(0)
+        with pytest.raises(ConfigurationError, match="interval_s"):
+            TailProfiler(10.0, interval_s=0)
+
+    def test_slow_round_is_kept(self, fresh_telemetry):
+        prof = TailProfiler(threshold_ms=10.0, interval_s=0.001)
+        with prof.round(op="results") as rp:
+            _spin(0.05)
+        assert rp.kept
+        assert rp.wall_ms >= 10.0
+        assert rp.sample_count() > 0
+        assert prof.profiles == [rp]
+        t = fresh_telemetry
+        assert t.counter("obs.profiles.captured").total() == 1
+        events = [e for e in t.events if e["name"] == "obs.profile_captured"]
+        assert len(events) == 1
+        assert events[0]["op"] == "results"
+        assert "_spin" in events[0]["profile"]
+
+    def test_fast_round_is_discarded(self, fresh_telemetry):
+        prof = TailProfiler(threshold_ms=10_000.0, interval_s=0.001)
+        with prof.round() as rp:
+            _spin(0.01)
+        assert not rp.kept
+        assert rp.samples == {}
+        assert prof.profiles == []
+        assert fresh_telemetry.counter("obs.profiles.discarded").total() == 1
+
+    def test_kept_profiles_are_bounded(self):
+        prof = TailProfiler(threshold_ms=0.001, interval_s=0.001,
+                            max_profiles=2)
+        for _ in range(4):
+            with prof.round():
+                _spin(0.002)
+        assert len(prof.profiles) == 2
+
+    def test_collapsed_format(self):
+        rp = RoundProfile(threshold_ms=1.0)
+        rp.samples = {"main (a.py:1);work (b.py:9)": 3,
+                      "main (a.py:1);idle (c.py:2)": 7}
+        lines = rp.collapsed().splitlines()
+        assert lines[0] == "main (a.py:1);idle (c.py:2) 7"  # heaviest first
+        assert all(re.fullmatch(r".+ \d+", ln) for ln in lines)
+
+    def test_write_profiles(self, tmp_path):
+        prof = TailProfiler(threshold_ms=0.001, interval_s=0.001)
+        with prof.round():
+            _spin(0.05)  # long enough for the ticker to land samples
+        paths = prof.write_profiles(tmp_path / "profiles")
+        assert len(paths) == 1
+        assert paths[0].endswith(".collapsed")
+        text = (tmp_path / "profiles").glob("*.collapsed")
+        content = next(iter(text)).read_text()
+        assert content.strip()  # stack lines present

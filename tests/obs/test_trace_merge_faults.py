@@ -1,0 +1,110 @@
+"""``merge_worker_traces`` under deterministic fault schedules.
+
+Worker sidecars are the one trace artifact produced outside the parent
+process, so they inherit every worker failure mode: a killed worker
+leaves a torn final line, a worker that never recorded leaves no sidecar
+at all, several workers interleave their pids into the same directory.
+The merge must fold everything parseable in and drop exactly the torn
+tails — the schedules here are seeded through
+:class:`~repro.reliability.faults.FaultPlan` so a failing case replays
+byte-for-byte.
+"""
+
+import json
+
+from repro.obs import Telemetry, merge_worker_traces
+from repro.reliability.faults import FaultPlan, FaultRule
+
+
+def _sidecar(path, pid: int, n: int, *, torn: bool = False) -> list[dict]:
+    """Write one worker sidecar with n span lines; optionally tear the
+    last line mid-write the way a SIGKILL does."""
+    records = [
+        {"type": "span", "name": f"w{pid}.task", "span_id": f"{pid:x}-{i:x}",
+         "parent_id": None, "pid": pid, "wall_ms": 1.0, "cpu_ms": 1.0,
+         "started_at": float(i), "status": "ok",
+         "attrs": {"query_id": "q1"}}
+        for i in range(n)
+    ]
+    lines = [json.dumps(r, sort_keys=True) for r in records]
+    text = "\n".join(lines) + "\n"
+    if torn:
+        text = text[: len(text) - len(lines[-1]) // 2 - 1]  # mid-line cut
+        records = records[:-1]
+    sidecar = path.with_name(f"{path.name}.worker-{pid}")
+    sidecar.write_text(text, encoding="utf-8")
+    return records
+
+
+class TestMergeWorkerTraces:
+    def test_no_sidecars_is_a_noop(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text('{"type": "span"}\n')
+        assert merge_worker_traces(trace) == 0
+        assert trace.read_text() == '{"type": "span"}\n'
+
+    def test_interleaved_pids_all_merged_and_sidecars_removed(
+            self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text("")
+        expected = []
+        for pid in (111, 222, 333):
+            expected += _sidecar(trace, pid, 3)
+        assert merge_worker_traces(trace) == 9
+        merged = [json.loads(ln) for ln in
+                  trace.read_text().strip().splitlines()]
+        assert sorted(s["span_id"] for s in merged) == \
+            sorted(s["span_id"] for s in expected)
+        assert {s["pid"] for s in merged} == {111, 222, 333}
+        assert list(tmp_path.glob("*.worker-*")) == []
+
+    def test_torn_trailing_line_dropped_not_fatal(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text("")
+        kept = _sidecar(trace, 555, 4, torn=True)
+        assert merge_worker_traces(trace) == len(kept) == 3
+        merged = [json.loads(ln) for ln in
+                  trace.read_text().strip().splitlines()]
+        assert all(s["pid"] == 555 for s in merged)
+
+    def test_seeded_fault_schedule_replays(self, tmp_path):
+        """Which workers die mid-write comes from a seeded FaultPlan, so
+        the exact on-disk state (and hence the merge outcome) replays."""
+        plan = FaultPlan([FaultRule(op="shard.load", kind="io-error",
+                                    rate=0.5)], seed=7)
+        outcomes = {}
+        for attempt in range(2):  # identical both times
+            root = tmp_path / f"run{attempt}"
+            root.mkdir()
+            trace = root / "trace.jsonl"
+            trace.write_text("")
+            survivors = 0
+            for i, pid in enumerate((100, 200, 300, 400), start=1):
+                torn = plan.decide("shard.load", str(pid), i, {}) is not None
+                survivors += len(_sidecar(trace, pid, 2, torn=torn))
+            outcomes[attempt] = (survivors, merge_worker_traces(trace))
+        assert outcomes[0] == outcomes[1]
+        survivors, merged = outcomes[0]
+        assert merged == survivors
+        assert 0 < merged < 8  # the seed tears some but not all
+
+    def test_registry_merge_folds_worker_spans_into_trace(self, tmp_path):
+        """End to end through Telemetry: a trace-writing registry merges
+        sidecars (including a torn one) into its own file."""
+        trace = tmp_path / "trace.jsonl"
+        t = Telemetry()
+        t.configure(trace_path=trace)
+        with t.span("parent.work", clip="a"):
+            pass
+        _sidecar(trace, 999, 2)
+        _sidecar(trace, 998, 2, torn=True)
+        assert t.merge_worker_traces() == 3
+        records = [json.loads(ln) for ln in
+                   trace.read_text().strip().splitlines()]
+        names = sorted(r["name"] for r in records)
+        assert names == ["parent.work", "w998.task", "w999.task",
+                         "w999.task"]
+        t.reset()
+
+    def test_merge_without_writer_is_safe(self):
+        assert Telemetry().merge_worker_traces() == 0

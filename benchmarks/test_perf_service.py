@@ -1,0 +1,213 @@
+"""Multi-tenant service benchmark: interleaved RF sessions over HTTP.
+
+The acceptance claim behind ``repro serve``: one worker process
+sustains >= 100 interleaved relevance-feedback sessions with a p99
+round latency within 2x of the single-session library path (the cost
+of HTTP framing, the session cache, and the shared-corpus locks must
+stay in the noise next to the SVM round itself).
+
+Protocol: a file-backed two-clip catalog; the **library baseline**
+runs serial ``MultiClipQuerySession`` sessions (distinct users, same
+round structure) and times each feed+results round; the **service
+path** starts ``RetrievalHTTPServer`` and drives the same rounds for
+``N_SESSIONS`` distinct users from ``N_CLIENTS`` threads over
+persistent keep-alive connections.  Client-side round latencies
+(results + feed, one pair per round) land in ``BENCH_service.json``
+(``repro-bench-v1`` schema) along with sessions/sec.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.db import MultiClipQuerySession, VideoDatabase
+from repro.eval import build_artifacts
+from repro.obs import Telemetry, merge_bench, set_telemetry
+from repro.service import RetrievalHTTPServer, RetrievalService
+from repro.sim import intersection, tunnel
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+N_SESSIONS = 120          # distinct users, each its own session
+ROUNDS = 2                # feedback rounds per session
+N_CLIENTS = 2             # concurrent keep-alive client threads
+MAX_WORKERS = 4
+BASELINE_SESSIONS = 10    # serial library sessions for the baseline
+TOP_K = 10
+LATENCY_CEILING = 2.0     # service p99 <= 2x library p99
+
+
+def _build_catalog(path: str) -> list[str]:
+    clips = []
+    with VideoDatabase(path) as db:
+        for sim in (tunnel(n_frames=900, seed=3,
+                           spawn_interval=(60.0, 90.0),
+                           n_wall_crashes=3, n_sudden_stops=2),
+                    intersection(n_frames=700, seed=4, n_collisions=3)):
+            art = build_artifacts(sim, mode="oracle")
+            db.ingest_simulation(sim, art.tracks, art.dataset)
+            clips.append(sim.name)
+    return clips
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[idx]
+
+
+def _labels_for(results: list[dict]) -> dict:
+    return {str(r["bag_id"]): i % 2 == 0 for i, r in enumerate(results)}
+
+
+def _library_rounds(db_path: str, clips: list[str]) -> list[float]:
+    """Per-round feed+results wall seconds, serial sessions."""
+    walls: list[float] = []
+    with VideoDatabase(db_path) as db:
+        for i in range(BASELINE_SESSIONS):
+            session = MultiClipQuerySession(
+                db, clips, "accident", user_id=f"base{i}", top_k=TOP_K)
+            for _ in range(ROUNDS):
+                t0 = time.perf_counter()
+                ids = session.results()
+                session.feed({b: j % 2 == 0
+                              for j, b in enumerate(ids)})
+                walls.append(time.perf_counter() - t0)
+    return walls
+
+
+class _Client:
+    """One keep-alive connection driving a slice of the sessions."""
+
+    def __init__(self, port: int, clips: list[str], users: list[str]):
+        self.conn = http.client.HTTPConnection("127.0.0.1", port,
+                                               timeout=60)
+        self.clips = clips
+        self.users = users
+        self.round_walls: list[float] = []
+        self.sessions_done = 0
+        self.error: BaseException | None = None
+
+    def _req(self, method: str, target: str, doc=None):
+        body = json.dumps(doc).encode() if doc is not None else None
+        self.conn.request(method, target, body=body)
+        resp = self.conn.getresponse()
+        payload = resp.read()
+        assert resp.status < 500, (resp.status, payload)
+        return resp.status, json.loads(payload)
+
+    def run(self) -> None:
+        try:
+            for user in self.users:
+                status, doc = self._req(
+                    "POST", "/sessions",
+                    {"user": user, "clips": self.clips,
+                     "event": "accident", "top_k": TOP_K})
+                assert status == 201, (status, doc)
+                sid = doc["session"]
+                for _ in range(ROUNDS):
+                    t0 = time.perf_counter()
+                    _, doc = self._req("GET",
+                                       f"/sessions/{sid}/results")
+                    status, _ = self._req(
+                        "POST", f"/sessions/{sid}/feed",
+                        {"labels": _labels_for(doc["results"])})
+                    assert status == 200
+                    self.round_walls.append(time.perf_counter() - t0)
+                self.sessions_done += 1
+        except BaseException as exc:  # noqa: BLE001 - reported by main
+            self.error = exc
+        finally:
+            self.conn.close()
+
+
+def test_smoke_service_round_over_http():
+    """Fast CI check: one session end-to-end through the HTTP stack."""
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = str(Path(tmp) / "catalog.sqlite")
+        clips = _build_catalog(db_path)
+        service = RetrievalService(db_path)
+        with RetrievalHTTPServer(service, port=0) as server:
+            client = _Client(server.port, clips, ["smoke"])
+            client.run()
+            assert client.error is None, client.error
+            assert client.sessions_done == 1
+            assert len(client.round_walls) == ROUNDS
+        service.close()
+
+
+def test_hundred_interleaved_sessions():
+    registry = Telemetry()
+    previous = set_telemetry(registry)
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            db_path = str(Path(tmp) / "catalog.sqlite")
+            clips = _build_catalog(db_path)
+
+            library_walls = _library_rounds(db_path, clips)
+
+            service = RetrievalService(db_path,
+                                       max_sessions=N_SESSIONS + 8)
+            with RetrievalHTTPServer(service, port=0,
+                                     max_workers=MAX_WORKERS) as server:
+                users = [f"tenant{i:03d}" for i in range(N_SESSIONS)]
+                clients = [
+                    _Client(server.port, clips, users[i::N_CLIENTS])
+                    for i in range(N_CLIENTS)]
+                threads = [threading.Thread(target=c.run)
+                           for c in clients]
+                t0 = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                total_s = time.perf_counter() - t0
+            service.close()
+    finally:
+        set_telemetry(previous)
+
+    for client in clients:
+        assert client.error is None, client.error
+    service_walls = [w for c in clients for w in c.round_walls]
+    sessions_total = sum(c.sessions_done for c in clients)
+    assert sessions_total >= 100
+    assert sessions_total == N_SESSIONS
+
+    lib_p50 = _quantile(library_walls, 0.50)
+    lib_p99 = _quantile(library_walls, 0.99)
+    svc_p50 = _quantile(service_walls, 0.50)
+    svc_p99 = _quantile(service_walls, 0.99)
+    sessions_per_s = sessions_total / total_s
+
+    recorder = Telemetry()
+    round_ms = recorder.gauge(
+        "bench.round_ms",
+        "feed+results round wall ms (client-side for the service)")
+    round_ms.set(round(lib_p50 * 1000, 3), path="library", q="p50")
+    round_ms.set(round(lib_p99 * 1000, 3), path="library", q="p99")
+    round_ms.set(round(svc_p50 * 1000, 3), path="service", q="p50")
+    round_ms.set(round(svc_p99 * 1000, 3), path="service", q="p99")
+    recorder.gauge("bench.p99_ratio",
+                   "service p99 / library p99").set(
+        round(svc_p99 / lib_p99, 3))
+    recorder.gauge("bench.sessions_total",
+                   "distinct RF sessions completed").set(sessions_total)
+    recorder.gauge("bench.sessions_per_s",
+                   "completed sessions per wall second").set(
+        round(sessions_per_s, 3))
+    merge_bench(BENCH_PATH, "interleaved_sessions", recorder,
+                meta={"n_sessions": N_SESSIONS, "rounds": ROUNDS,
+                      "n_clients": N_CLIENTS,
+                      "max_workers": MAX_WORKERS, "top_k": TOP_K,
+                      "acceptance":
+                          f"service p99 <= {LATENCY_CEILING}x library "
+                          f"p99 at >= 100 sessions"})
+
+    assert svc_p99 <= LATENCY_CEILING * lib_p99, (
+        f"service p99 {svc_p99 * 1000:.1f}ms exceeds "
+        f"{LATENCY_CEILING}x library p99 {lib_p99 * 1000:.1f}ms")

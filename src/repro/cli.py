@@ -392,6 +392,21 @@ def build_parser() -> argparse.ArgumentParser:
     import_.add_argument("--bundle", required=True)
     import_.add_argument("--replace", action="store_true")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant retrieval HTTP service")
+    serve.add_argument("--db", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=8,
+                       help="request-handling thread pool size")
+    serve.add_argument("--max-sessions", type=int, default=256,
+                       help="resident session soft cap (LRU-evicted "
+                            "sessions resume from the catalog)")
+    serve.add_argument("--no-ledger", action="store_true",
+                       help="skip per-round history persistence "
+                            "(disables /explain)")
+
     verify = sub.add_parser(
         "verify-db",
         help="check catalog integrity and dataset/array consistency")
@@ -871,6 +886,39 @@ def _cmd_import_clip(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import threading
+
+    from repro.service import RetrievalHTTPServer, RetrievalService
+
+    service = RetrievalService(args.db, max_sessions=args.max_sessions,
+                               ledger=not args.no_ledger)
+    server = RetrievalHTTPServer(service, host=args.host, port=args.port,
+                                 max_workers=args.workers)
+    try:
+        server.start()
+    except OSError as exc:
+        service.close()
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"serving retrieval API on {server.url}")
+    print("  POST /sessions                  create or resume a session")
+    print("  POST /sessions/<id>/feed        submit a feedback round")
+    print("  GET  /sessions/<id>/results     current ranking")
+    print("  GET  /sessions/<id>/explain     per-round history")
+    print("  GET  /metrics | /healthz        live telemetry")
+    print("press Ctrl-C to stop")
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+        service.close()
+    return 0
+
+
 def _cmd_verify_db(args) -> int:
     from repro.db import VideoDatabase
     from repro.pipeline.store import DiskArtifactStore
@@ -910,6 +958,7 @@ _COMMANDS = {
     "delete-clip": _cmd_delete_clip,
     "export-clip": _cmd_export_clip,
     "import-clip": _cmd_import_clip,
+    "serve": _cmd_serve,
     "verify-db": _cmd_verify_db,
 }
 

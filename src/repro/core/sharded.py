@@ -35,6 +35,7 @@ lazily-loading specs without this module importing the storage layer.
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from bisect import bisect_right
 from dataclasses import dataclass, field, replace
@@ -60,7 +61,7 @@ from repro.svm.one_class import OneClassSVM
 from repro.svm.scaling import StandardScaler
 from repro.utils import check_in_range, row_sq_norms
 
-__all__ = ["ShardSpec", "CorpusShard", "ShardedCorpus",
+__all__ = ["ShardSpec", "CorpusShard", "ShardedCorpus", "CorpusPool",
            "ShardedRetrievalEngine", "HeuristicNominator", "IVFNominator",
            "ShardOutage", "CoverageReport"]
 
@@ -160,6 +161,11 @@ class CorpusShard:
         self._candidate_cache: dict[int | None, np.ndarray] = {}
         self.heuristic_order_computes = 0
         self._ivf_indexes: dict[tuple[int, int, int], IVFIndex] = {}
+        #: Serializes engine access to this shard's mutable ranking
+        #: state (standardized matrix, Gram cache fills + cross reads)
+        #: when several sessions share one corpus.  The engine holds it
+        #: across ensure_vectors + cross so the pair stays atomic.
+        self.lock = threading.RLock()
 
     def _renumber(self, local: MILDataset) -> MILDataset:
         out = MILDataset(
@@ -462,6 +468,12 @@ class ShardedCorpus:
         # clip_id -> {"failures", "next_probe_at", "reason"}
         self._quarantine: dict[str, dict] = {}
         self._availability = 0
+        #: Serializes structural mutation (lazy loads, reload/refresh,
+        #: quarantine bookkeeping) when several sessions share this
+        #: corpus.  Reads of an already-loaded shard stay lock-free —
+        #: dict lookups are atomic and shards are replaced wholesale,
+        #: never mutated into inconsistency.
+        self._lock = threading.RLock()
 
     @property
     def mutation_count(self) -> int:
@@ -572,29 +584,34 @@ class ShardedCorpus:
         loaded = self._shards.get(clip_id)
         if loaded is not None:
             return loaded
-        info = self._quarantine.get(clip_id)
-        if info is not None and self._clock() < info["next_probe_at"]:
-            raise ShardUnavailableError(
-                clip_id, info["reason"], failures=info["failures"],
-                retry_in_s=info["next_probe_at"] - self._clock())
-        for i, spec in enumerate(self.specs):
-            if spec.clip_id == clip_id:
-                obs = get_telemetry()
-                try:
-                    with obs.span("sharded.shard.load", clip=clip_id,
-                                  bags=spec.n_bags,
-                                  instances=spec.n_instances):
-                        shard = CorpusShard(
-                            spec, self._bag_offsets[i],
-                            self._instance_offsets[i],
-                            metadata_version=self._metadata_versions.get(
-                                clip_id, 0))
-                except (StorageError, OSError) as exc:
-                    raise self._record_shard_failure(clip_id, exc) from exc
-                self._shards[clip_id] = shard
-                self._clear_quarantine(clip_id)
-                return shard
-        raise ConfigurationError(f"no shard for clip {clip_id!r}")
+        with self._lock:
+            loaded = self._shards.get(clip_id)
+            if loaded is not None:
+                return loaded
+            info = self._quarantine.get(clip_id)
+            if info is not None and self._clock() < info["next_probe_at"]:
+                raise ShardUnavailableError(
+                    clip_id, info["reason"], failures=info["failures"],
+                    retry_in_s=info["next_probe_at"] - self._clock())
+            for i, spec in enumerate(self.specs):
+                if spec.clip_id == clip_id:
+                    obs = get_telemetry()
+                    try:
+                        with obs.span("sharded.shard.load", clip=clip_id,
+                                      bags=spec.n_bags,
+                                      instances=spec.n_instances):
+                            shard = CorpusShard(
+                                spec, self._bag_offsets[i],
+                                self._instance_offsets[i],
+                                metadata_version=self._metadata_versions.get(
+                                    clip_id, 0))
+                    except (StorageError, OSError) as exc:
+                        raise self._record_shard_failure(clip_id, exc) \
+                            from exc
+                    self._shards[clip_id] = shard
+                    self._clear_quarantine(clip_id)
+                    return shard
+            raise ConfigurationError(f"no shard for clip {clip_id!r}")
 
     def reload(self, clip_id: str) -> CorpusShard:
         """Drop a clip's cached shard and re-run its loader.
@@ -604,13 +621,14 @@ class ShardedCorpus:
         order, candidate prefixes, IVF indexes), so callers holding the
         corpus — not a stale shard object — always see current data.
         """
-        if clip_id in self._shards:
-            version = self._shards.pop(clip_id).metadata_version + 1
-        else:
-            version = self._metadata_versions.get(clip_id, 0) + 1
-        self._metadata_versions[clip_id] = version
-        self._mutations += 1
-        return self.shard(clip_id)
+        with self._lock:
+            if clip_id in self._shards:
+                version = self._shards.pop(clip_id).metadata_version + 1
+            else:
+                version = self._metadata_versions.get(clip_id, 0) + 1
+            self._metadata_versions[clip_id] = version
+            self._mutations += 1
+            return self.shard(clip_id)
 
     def refresh(self, clip_id: str, *, n_bags: int,
                 n_instances: int) -> int:
@@ -626,6 +644,12 @@ class ShardedCorpus:
         dropped (with a version bump) and reload lazily under their new
         offsets.
         """
+        with self._lock:
+            return self._refresh_locked(clip_id, n_bags=n_bags,
+                                        n_instances=n_instances)
+
+    def _refresh_locked(self, clip_id: str, *, n_bags: int,
+                        n_instances: int) -> int:
         for i, spec in enumerate(self.specs):
             if spec.clip_id == clip_id:
                 break
@@ -979,8 +1003,9 @@ class ShardedRetrievalEngine:
         self._scaler = None
         for clip_id in self.corpus.loaded_clip_ids:
             shard = self.corpus.shard(clip_id)
-            shard.matrix = None
-            shard.gram_cache = None
+            with shard.lock:
+                shard.matrix = None
+                shard.gram_cache = None
         self._candidate_streams = None
         self._leftover_streams = None
         self._round_nominated = None
@@ -1066,11 +1091,18 @@ class ShardedRetrievalEngine:
         blocks = [s.matrix_raw for s in shards if s.matrix_raw is not None]
         self._scaler = StandardScaler().fit(np.vstack(blocks))
         for shard in shards:
-            if shard.matrix_raw is None or shard.matrix is not None:
-                continue
-            shard.matrix = np.ascontiguousarray(
-                self._scaler.transform(shard.matrix_raw))
-            shard.gram_cache = GramCache(shard.matrix)
+            # Shared-corpus note: engines of concurrent sessions fit
+            # identical scalers (same rows, same order), so whichever
+            # engine standardizes a shard first does it for all — the
+            # per-shard lock only prevents a torn matrix/gram_cache
+            # pair, not divergent contents.
+            with shard.lock:
+                if shard.matrix_raw is None or shard.matrix is not None:
+                    continue
+                matrix = np.ascontiguousarray(
+                    self._scaler.transform(shard.matrix_raw))
+                shard.gram_cache = GramCache(matrix)
+                shard.matrix = matrix
 
     def _standardized_rows(self, instance_ids: list[int]) -> np.ndarray:
         rows = []
@@ -1274,7 +1306,12 @@ class ShardedRetrievalEngine:
                 with obs.span("sharded.shard.score",
                               clip=shard.clip_id,
                               n_bags=shard.n_bags) as shard_sp:
-                    positions, scores = self._score_shard(shard)
+                    # Held across nominate + ensure_vectors + cross:
+                    # GramCache has no internal locking, and the
+                    # fill/read pair must be atomic when concurrent
+                    # sessions share this shard's cache.
+                    with shard.lock:
+                        positions, scores = self._score_shard(shard)
                     n_candidates = len(positions)
                     n_pruned = shard.n_bags - n_candidates
                     if shard_sp is not None:
@@ -1394,3 +1431,77 @@ class ShardedRetrievalEngine:
         return (f"ShardedRetrievalEngine(shards={len(self.corpus.specs)}, "
                 f"bags={len(self.corpus)}, "
                 f"candidates_per_shard={self.candidates_per_shard})")
+
+
+class CorpusPool:
+    """Refcounted cache of shared, read-only :class:`ShardedCorpus` objects.
+
+    The multi-tenant service's amortization point: every session over
+    the same ``(corpus, event)`` shares one corpus object, so shard
+    loads happen once, the standardized matrices are built once, and
+    concurrent users reuse each other's Gram-cache kernel columns
+    (:class:`~repro.svm.gram_cache.GramCache` keys columns on kernel
+    parameters, so this pays off when sessions agree on them — the
+    engine defaults — and degrades to correct-but-unshared work when
+    they don't).
+
+    Sharing is sound only while the corpus is *read-only*: a mutation
+    (reload/refresh) would invalidate every sharing engine's scaler at
+    once.  The service never mutates datasets, which is what makes this
+    pool safe there; don't pool corpora over a live streaming ingest.
+
+    ``acquire`` builds the corpus on first use (outside the pool lock —
+    catalog reads can be slow) and bumps a refcount after; ``release``
+    drops the entry when the last holder leaves so memory is returned
+    once a corpus has no sessions.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict] = {}
+
+    def acquire(self, key: str,
+                factory: Callable[[], ShardedCorpus]) -> ShardedCorpus:
+        """The pooled corpus for ``key``, building it via ``factory``
+        if absent.  Every acquire must be paired with one release."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry["refs"] += 1
+                get_telemetry().counter("sharded.corpus_pool_hits").inc()
+                return entry["corpus"]
+        corpus = factory()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                # Lost the build race; adopt the winner and let ours
+                # be garbage (nothing holds it).
+                entry["refs"] += 1
+                get_telemetry().counter("sharded.corpus_pool_hits").inc()
+                return entry["corpus"]
+            self._entries[key] = {"corpus": corpus, "refs": 1}
+            return corpus
+
+    def release(self, key: str) -> bool:
+        """Drop one reference; returns True when the corpus was evicted
+        (refcount hit zero)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                raise ConfigurationError(
+                    f"release of unknown pooled corpus {key!r}")
+            entry["refs"] -= 1
+            if entry["refs"] <= 0:
+                del self._entries[key]
+                return True
+            return False
+
+    def refcount(self, key: str) -> int:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry["refs"] if entry else 0
+
+    def stats(self) -> dict[str, int]:
+        """{key: refcount} snapshot (diagnostics / service introspection)."""
+        with self._lock:
+            return {k: e["refs"] for k, e in self._entries.items()}

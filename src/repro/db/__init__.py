@@ -15,9 +15,9 @@ provides that layer:
   (event type + retrieval engine) whose feedback rounds are persisted.
 """
 
-from repro.db.schema import ClipRecord, LabelRecord, TrackRecord
+from repro.db.schema import ClipRecord, LabelRecord, SessionRecord, TrackRecord
 from repro.db.storage import ArrayStore, InMemoryArrayStore, NpzArrayStore
-from repro.db.database import VideoDatabase
+from repro.db.database import ThreadLocalVideoDatabase, VideoDatabase
 from repro.db.ingest import StreamingIngest
 from repro.db.query import (
     MultiClipQuerySession,
@@ -29,10 +29,12 @@ __all__ = [
     "ClipRecord",
     "TrackRecord",
     "LabelRecord",
+    "SessionRecord",
     "ArrayStore",
     "InMemoryArrayStore",
     "NpzArrayStore",
     "VideoDatabase",
+    "ThreadLocalVideoDatabase",
     "StreamingIngest",
     "SemanticQuerySession",
     "MultiClipQuerySession",

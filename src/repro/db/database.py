@@ -12,18 +12,25 @@ the query path (:mod:`repro.db.query`) reads and appends labels.
 
 from __future__ import annotations
 
+import json
 import sqlite3
+import threading
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.bags import Bag, Instance, MILDataset
-from repro.db.schema import ClipRecord, LabelRecord, TrackRecord
+from repro.db.schema import ClipRecord, LabelRecord, SessionRecord, TrackRecord
 from repro.db.storage import ArrayStore, InMemoryArrayStore, NpzArrayStore
-from repro.errors import DatabaseBusyError, StorageError
+from repro.errors import (
+    ConfigurationError,
+    DatabaseBusyError,
+    SessionConflictError,
+    StorageError,
+)
 from repro.trajectory.curve import TrajectoryModel
 
-__all__ = ["VideoDatabase", "connect_sqlite"]
+__all__ = ["VideoDatabase", "ThreadLocalVideoDatabase", "connect_sqlite"]
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS clips (
@@ -137,6 +144,20 @@ CREATE INDEX IF NOT EXISTS idx_query_rounds_session
     ON query_rounds (session_id, round_index);
 CREATE INDEX IF NOT EXISTS idx_query_rounds_query
     ON query_rounds (query_id, round_index);
+CREATE TABLE IF NOT EXISTS sessions (
+    session_id   TEXT PRIMARY KEY,
+    user_id      TEXT NOT NULL,
+    corpus_id    TEXT NOT NULL,
+    event        TEXT NOT NULL,
+    clip_ids     TEXT NOT NULL DEFAULT '[]',
+    engine       TEXT NOT NULL DEFAULT 'mil_ocsvm',
+    top_k        INTEGER NOT NULL DEFAULT 20,
+    params       TEXT NOT NULL DEFAULT '{}',
+    created_at   TEXT NOT NULL DEFAULT '',
+    last_seen_at TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS idx_sessions_user
+    ON sessions (user_id, corpus_id, event);
 """
 
 
@@ -204,6 +225,12 @@ class _CatalogConnection:
         except sqlite3.Error as exc:
             raise _translate_sqlite_error(exc) from exc
 
+    def rollback(self) -> None:
+        try:
+            self._raw.rollback()
+        except sqlite3.Error as exc:
+            raise _translate_sqlite_error(exc) from exc
+
     def close(self) -> None:
         self._raw.close()
 
@@ -219,7 +246,8 @@ class _CatalogConnection:
 
 
 def connect_sqlite(path: str, *, busy_timeout_ms: int = 5000,
-                   factory=None) -> sqlite3.Connection:
+                   factory=None,
+                   check_same_thread: bool = True) -> sqlite3.Connection:
     """Open one catalog connection with the contention-safe pragmas.
 
     This is the connection factory the whole db layer funnels through:
@@ -233,7 +261,17 @@ def connect_sqlite(path: str, *, busy_timeout_ms: int = 5000,
     here.
     """
     raw_connect = factory or sqlite3.connect
-    conn = raw_connect(path, timeout=busy_timeout_ms / 1000.0)
+    kwargs = {"timeout": busy_timeout_ms / 1000.0}
+    if not check_same_thread:
+        # Only forwarded when relaxed, so existing connection factories
+        # (the fault injector) keep their two-argument signature.  The
+        # stdlib sqlite3 module is compiled in serialized mode
+        # (``sqlite3.threadsafety == 3``), making cross-thread use of
+        # one connection safe; ThreadLocalVideoDatabase still gives
+        # each thread its own connection and relies on this only so a
+        # shutdown thread may close them all.
+        kwargs["check_same_thread"] = False
+    conn = raw_connect(path, **kwargs)
     try:
         conn.execute("PRAGMA foreign_keys = ON")
         conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
@@ -280,18 +318,25 @@ class VideoDatabase:
         corruption instead of failing later mid-query.  ``repro
         verify-db`` opens with this disabled so a damaged catalog can
         still be inspected and repaired.
+    check_same_thread:
+        Passed through to ``sqlite3.connect``.  Leave at ``True`` for
+        single-threaded use; :class:`ThreadLocalVideoDatabase` opens
+        its per-thread instances with ``False`` so its shutdown thread
+        can close every connection.
     """
 
     def __init__(self, path: str | Path = ":memory:",
                  array_store: ArrayStore | None = None, *,
                  busy_timeout_ms: int = 5000,
                  connection_factory=None,
-                 quick_check: bool = True) -> None:
+                 quick_check: bool = True,
+                 check_same_thread: bool = True) -> None:
         self.path = str(path)
         self._metadata_version = 0
         self._conn = _CatalogConnection(connect_sqlite(
             self.path, busy_timeout_ms=busy_timeout_ms,
-            factory=connection_factory))
+            factory=connection_factory,
+            check_same_thread=check_same_thread))
         if quick_check and self.path != ":memory:":
             self._quick_check()
         self._conn.executescript(_SCHEMA)
@@ -690,13 +735,58 @@ class VideoDatabase:
         return [r[0] for r in rows]
 
     # ------------------------------------------------------------ labels
-    def add_labels(self, labels: list[LabelRecord]) -> None:
-        with self._conn:
+    def add_labels(self, labels: list[LabelRecord], *,
+                   expect_round: int | None = None) -> None:
+        """Persist one batch of relevance-feedback labels.
+
+        With ``expect_round`` set, the insert becomes an optimistic
+        concurrency check: inside a single ``BEGIN IMMEDIATE``
+        transaction (so no other writer can slip between the check and
+        the insert) the stored history's next round for the batch's
+        ``(clip_id, event, user_id)`` head must equal ``expect_round``,
+        otherwise nothing is written and
+        :class:`~repro.errors.SessionConflictError` is raised.  This is
+        what stops two workers that resumed the same session from both
+        committing "round N" and silently merging their rounds.
+        """
+        rows = [(rec.clip_id, rec.event_name, rec.bag_id, rec.user_id,
+                 rec.round_index, int(rec.relevant)) for rec in labels]
+        if expect_round is None:
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO labels VALUES (?,?,?,?,?,?)",
+                    rows)
+            return
+        heads = {(rec.clip_id, rec.event_name, rec.user_id)
+                 for rec in labels}
+        if len(heads) != 1:
+            raise ConfigurationError(
+                "add_labels(expect_round=...) guards exactly one "
+                f"session's history; got {len(heads)} distinct "
+                "(clip_id, event, user_id) heads")
+        clip_id, event_name, user_id = next(iter(heads))
+        # BEGIN IMMEDIATE takes the write lock *before* the guard
+        # SELECT; a plain ``with self._conn:`` would autocommit the
+        # SELECT (legacy isolation) and leave a check-then-insert race
+        # window between processes.
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT MAX(round_index) FROM labels"
+                " WHERE clip_id=? AND event=? AND user_id=?",
+                (clip_id, event_name, user_id)).fetchone()
+            stored_next = (row[0] + 1) if row and row[0] is not None else 0
+            if stored_next != expect_round:
+                raise SessionConflictError(
+                    f"{user_id}:{clip_id}:{event_name}",
+                    expected_round=expect_round,
+                    stored_next_round=stored_next)
             self._conn.executemany(
-                "INSERT OR REPLACE INTO labels VALUES (?,?,?,?,?,?)",
-                [(rec.clip_id, rec.event_name, rec.bag_id, rec.user_id,
-                  rec.round_index, int(rec.relevant)) for rec in labels],
-            )
+                "INSERT OR REPLACE INTO labels VALUES (?,?,?,?,?,?)", rows)
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            raise
 
     def labels(self, clip_id: str, event_name: str,
                user_id: str | None = None) -> list[LabelRecord]:
@@ -720,6 +810,45 @@ class VideoDatabase:
         for rec in self.labels(clip_id, event_name, user_id):
             out[rec.bag_id] = rec.relevant
         return out
+
+    # ---------------------------------------------------------- sessions
+    def register_session(self, record: SessionRecord) -> None:
+        """Upsert a durable session description (service resume point).
+
+        The first registration's ``created_at`` is preserved; repeated
+        registrations (a worker re-opening the session) refresh
+        ``last_seen_at`` and the engine configuration.
+        """
+        now = _utc_now()
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO sessions VALUES (?,?,?,?,?,?,?,?,?,?)"
+                " ON CONFLICT(session_id) DO UPDATE SET"
+                " engine=excluded.engine, top_k=excluded.top_k,"
+                " params=excluded.params,"
+                " last_seen_at=excluded.last_seen_at",
+                (record.session_id, record.user_id, record.corpus_id,
+                 record.event_name, record.clip_ids_json(), record.engine,
+                 int(record.top_k), record.params_json(),
+                 record.created_at or now, record.last_seen_at or now))
+
+    def session_record(self, session_id: str) -> SessionRecord:
+        row = self._conn.execute(
+            "SELECT session_id, user_id, corpus_id, event, clip_ids,"
+            " engine, top_k, params, created_at, last_seen_at"
+            " FROM sessions WHERE session_id = ?", (session_id,)).fetchone()
+        if row is None:
+            raise StorageError(f"no session record {session_id!r}")
+        return SessionRecord(
+            session_id=row[0], user_id=row[1], corpus_id=row[2],
+            event_name=row[3], clip_ids=tuple(json.loads(row[4])),
+            engine=row[5], top_k=int(row[6]), params=json.loads(row[7]),
+            created_at=row[8], last_seen_at=row[9])
+
+    def session_records(self) -> list[SessionRecord]:
+        ids = [r[0] for r in self._conn.execute(
+            "SELECT session_id FROM sessions ORDER BY session_id")]
+        return [self.session_record(sid) for sid in ids]
 
     # --------------------------------------------------- artifact store
     def record_artifact_entries(self, entries) -> None:
@@ -1189,3 +1318,134 @@ class VideoDatabase:
                         vehicle_classes=vehicle_classes)
         self.add_dataset(dataset)
         return record
+
+
+class ThreadLocalVideoDatabase:
+    """One :class:`VideoDatabase` per thread over the same catalog file.
+
+    SQLite connections are cheap; what is *not* safe is many service
+    worker threads funnelling statements through one connection's
+    transaction state (a ``BEGIN IMMEDIATE`` guard on thread A must not
+    interleave with thread B's insert).  This facade lazily opens a
+    dedicated ``VideoDatabase`` the first time each thread touches it
+    — WAL mode makes the concurrent readers/writer mix safe at the
+    file level — and exposes the catalog API as plain bound methods so
+    callbacks captured at session-construction time (e.g. the
+    ``partial(db.dataset, ...)`` shard loaders) resolve the *calling*
+    thread's connection at call time, not the constructing thread's.
+
+    Limitation: ``metadata_version`` is per-connection, so a mutation
+    made by one thread does not bump other threads' versions.  The
+    retrieval service only reads clip/track metadata, which keeps every
+    thread's version at 0 and the cross-thread view trivially
+    consistent; don't use this facade for ingest.
+    """
+
+    def __init__(self, path: str | Path, *,
+                 busy_timeout_ms: int = 5000,
+                 connection_factory=None,
+                 quick_check: bool = True) -> None:
+        if str(path) == ":memory:":
+            raise ConfigurationError(
+                "ThreadLocalVideoDatabase needs a file-backed catalog: "
+                "each thread's ':memory:' connection would be a "
+                "separate empty database")
+        self.path = str(path)
+        self._kwargs = {"busy_timeout_ms": busy_timeout_ms,
+                        "connection_factory": connection_factory,
+                        "quick_check": quick_check}
+        self._local = threading.local()
+        self._instances: list[VideoDatabase] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _db(self) -> VideoDatabase:
+        db = getattr(self._local, "db", None)
+        if db is None:
+            with self._lock:
+                if self._closed:
+                    raise StorageError(
+                        f"thread-local catalog {self.path!r} is closed")
+            db = VideoDatabase(self.path, check_same_thread=False,
+                               **self._kwargs)
+            self._local.db = db
+            with self._lock:
+                self._instances.append(db)
+        return db
+
+    def close_all(self) -> None:
+        """Close every per-thread connection (any thread may call)."""
+        with self._lock:
+            self._closed = True
+            instances, self._instances = self._instances, []
+        for db in instances:
+            db.close()
+        self._local = threading.local()
+
+    def __enter__(self) -> "ThreadLocalVideoDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close_all()
+
+    @property
+    def metadata_version(self) -> int:
+        return self._db().metadata_version
+
+    @property
+    def arrays(self):
+        return self._db().arrays
+
+    # Explicit pass-throughs (not ``__getattr__``) so sessions can hold
+    # e.g. ``partial(db.dataset, clip_id, event)`` across threads.
+    def clip(self, *args, **kwargs):
+        return self._db().clip(*args, **kwargs)
+
+    def clips(self, *args, **kwargs):
+        return self._db().clips(*args, **kwargs)
+
+    def events_for(self, *args, **kwargs):
+        return self._db().events_for(*args, **kwargs)
+
+    def vehicle_classes(self, *args, **kwargs):
+        return self._db().vehicle_classes(*args, **kwargs)
+
+    def dataset(self, *args, **kwargs):
+        return self._db().dataset(*args, **kwargs)
+
+    def dataset_meta(self, *args, **kwargs):
+        return self._db().dataset_meta(*args, **kwargs)
+
+    def add_labels(self, *args, **kwargs):
+        return self._db().add_labels(*args, **kwargs)
+
+    def labels(self, *args, **kwargs):
+        return self._db().labels(*args, **kwargs)
+
+    def accumulated_labels(self, *args, **kwargs):
+        return self._db().accumulated_labels(*args, **kwargs)
+
+    def register_session(self, *args, **kwargs):
+        return self._db().register_session(*args, **kwargs)
+
+    def session_record(self, *args, **kwargs):
+        return self._db().session_record(*args, **kwargs)
+
+    def session_records(self, *args, **kwargs):
+        return self._db().session_records(*args, **kwargs)
+
+    def record_query_round(self, *args, **kwargs):
+        return self._db().record_query_round(*args, **kwargs)
+
+    def query_rounds(self, *args, **kwargs):
+        return self._db().query_rounds(*args, **kwargs)
+
+    def query_sessions(self, *args, **kwargs):
+        return self._db().query_sessions(*args, **kwargs)
+
+    def __getattr__(self, name: str):
+        # Anything else (read helpers, stats readers) delegates to the
+        # calling thread's instance.  Note this binds at lookup time —
+        # hot callbacks that outlive the call should use the explicit
+        # methods above.
+        return getattr(self._db(), name)

@@ -16,9 +16,10 @@ scores exactly each round.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from functools import partial
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.core.bags import merge_datasets
 from repro.core.engine import MILRetrievalEngine
@@ -32,7 +33,7 @@ from repro.core.sharded import (
 from repro.core.weighted_rf import WeightedRFEngine
 from repro.db.database import VideoDatabase
 from repro.db.schema import LabelRecord
-from repro.errors import ConfigurationError, StorageError
+from repro.errors import ConfigurationError, SessionConflictError, StorageError
 from repro.obs import TailProfiler, get_telemetry, new_query_id, query_context
 from repro.reliability.retry import RetryPolicy
 
@@ -105,12 +106,22 @@ class _QuerySessionBase:
         engine="mil_ocsvm",
         top_k: int = 20,
         engine_kwargs: dict | None = None,
+        engine_factory: Callable[[], object] | None = None,
         ledger: bool = True,
         profiler: TailProfiler | float | None = None,
         query_id: str | None = None,
     ) -> None:
         if top_k <= 0:
             raise ConfigurationError("top_k must be positive")
+        if not user_id or ":" in user_id:
+            # The ledger key is "user:corpus:event".  The corpus id
+            # legitimately contains ':' ("merged:a+b"), so the only way
+            # to keep the triple unambiguous is to ban the delimiter in
+            # the user field — otherwise tenants "a:b"/corpus "c" and
+            # "a"/corpus "b:c" would merge their feedback histories.
+            raise ConfigurationError(
+                f"user_id must be non-empty and must not contain ':' "
+                f"(got {user_id!r})")
         self.db = db
         self.corpus_id = corpus_id
         self.event_name = event_name
@@ -130,6 +141,10 @@ class _QuerySessionBase:
         self.profiler = profiler
         self._class_cache: dict[str, dict[int, str]] = {}
         self._class_cache_version: int | None = None
+        #: Serializes feed/results/resync so one session object can be
+        #: shared by service worker threads without interleaving a feed
+        #: mid-retrain with a ranking read.
+        self._round_lock = threading.RLock()
         if isinstance(engine, str):
             try:
                 factory = ENGINE_FACTORIES[engine]
@@ -138,18 +153,55 @@ class _QuerySessionBase:
                     f"unknown engine {engine!r}; available: "
                     f"{sorted(ENGINE_FACTORIES)}"
                 ) from None
-            self.engine = factory(self.dataset, **(engine_kwargs or {}))
+            built_kwargs = dict(engine_kwargs or {})
+            engine_factory = engine_factory or (
+                lambda: factory(self.dataset, **built_kwargs))
+            self.engine = engine_factory()
         else:
             self.engine = engine
+        #: Rebuilds a fresh, unfed engine over the same corpus — what
+        #: :meth:`resync` replays the stored history into.  ``None``
+        #: for externally-owned engine instances.
+        self._engine_factory = engine_factory
         # Resume: replay this user's stored feedback into the engine.
-        stored = db.accumulated_labels(corpus_id, event_name, user_id)
-        self.round_index = max(
+        self.round_index = self._replay_stored(self.engine)
+
+    def _replay_stored(self, engine) -> int:
+        """Feed the stored label history into ``engine``; return the
+        next round index the history expects."""
+        stored = self.db.accumulated_labels(
+            self.corpus_id, self.event_name, self.user_id)
+        round_index = max(
             (r.round_index + 1
-             for r in db.labels(corpus_id, event_name, user_id)),
+             for r in self.db.labels(self.corpus_id, self.event_name,
+                                     self.user_id)),
             default=0,
         )
         if stored:
-            self.engine.feed(stored)
+            engine.feed(stored)
+        return round_index
+
+    def resync(self) -> int:
+        """Rebuild the engine from the stored label history.
+
+        The recovery path after :class:`~repro.errors.SessionConflictError`:
+        another worker committed a round this session object never saw,
+        so its engine state has diverged from the durable history.  A
+        fresh engine is built (same corpus — shard Gram caches are
+        reused) and the winning history replayed into it; returns the
+        next round index.  Requires the session to own its engine
+        construction (an engine *name* or ``engine_factory``).
+        """
+        with self._round_lock:
+            if self._engine_factory is None:
+                raise ConfigurationError(
+                    "cannot resync a session built around an externally-"
+                    "owned engine instance; pass an engine name or an "
+                    "engine_factory")
+            engine = self._engine_factory()
+            self.round_index = self._replay_stored(engine)
+            self.engine = engine
+            return self.round_index
 
     def _before_round(self) -> None:
         """Hook called before every ranking read and feedback round.
@@ -297,7 +349,7 @@ class _QuerySessionBase:
         matches, so clips past the cut are neither scored globally nor
         have their metadata fetched.
         """
-        with self._observed_round("results"):
+        with self._round_lock, self._observed_round("results"):
             self._before_round()
             if vehicle_class is None:
                 return self.engine.top_k(self.top_k)
@@ -330,20 +382,33 @@ class _QuerySessionBase:
         history untouched — persisting first would desync the two
         permanently and make resume replay labels the engine never
         accepted.
+
+        The persist carries an optimistic round guard: if another
+        worker resumed the same session id and committed this round
+        first, :class:`~repro.errors.SessionConflictError` propagates —
+        but only after this session has :meth:`resync`'d onto the
+        winning history, so the caller may simply re-apply the user's
+        labels against the refreshed ranking.
         """
         if not labels:
             raise ConfigurationError("feedback round must label >= 1 bag")
-        with self._observed_round("feed"):
+        with self._round_lock, self._observed_round("feed"):
             self._before_round()
             self.engine.feed(labels)
-            self.db.add_labels([
-                LabelRecord(clip_id=self.corpus_id,
-                            event_name=self.event_name,
-                            bag_id=int(bag_id), user_id=self.user_id,
-                            round_index=self.round_index,
-                            relevant=bool(relevant))
-                for bag_id, relevant in labels.items()
-            ])
+            try:
+                self.db.add_labels([
+                    LabelRecord(clip_id=self.corpus_id,
+                                event_name=self.event_name,
+                                bag_id=int(bag_id), user_id=self.user_id,
+                                round_index=self.round_index,
+                                relevant=bool(relevant))
+                    for bag_id, relevant in labels.items()
+                ], expect_round=self.round_index)
+            except SessionConflictError:
+                get_telemetry().counter("query.session_conflicts").inc()
+                if self._engine_factory is not None:
+                    self.resync()
+                raise
             self.round_index += 1
 
 
@@ -414,6 +479,7 @@ class MultiClipQuerySession(_QuerySessionBase):
         failure_policy: str = "strict",
         retry_policy: RetryPolicy | None = None,
         clock=None,
+        corpus: ShardedCorpus | None = None,
         **kwargs,
     ) -> None:
         if not clip_ids:
@@ -454,9 +520,21 @@ class MultiClipQuerySession(_QuerySessionBase):
                 "nprobe/index_cells only apply to the IVF nominator "
                 "(pass nominator='ivf')"
             )
+        if corpus is not None and not use_sharded:
+            raise ConfigurationError(
+                "an injected corpus requires the sharded 'mil_ocsvm' "
+                "path (sharded=True and no custom engine)")
         if use_sharded:
-            corpus = sharded_corpus(db, clip_ids, event_name,
-                                    retry_policy=retry_policy, clock=clock)
+            if corpus is None:
+                corpus = sharded_corpus(db, clip_ids, event_name,
+                                        retry_policy=retry_policy,
+                                        clock=clock)
+            elif corpus.corpus_id != corpus_id \
+                    or corpus.event_name != event_name:
+                raise ConfigurationError(
+                    f"injected corpus {corpus.corpus_id!r}/"
+                    f"{corpus.event_name!r} does not match this "
+                    f"session's {corpus_id!r}/{event_name!r}")
             engine_kwargs = kwargs.pop("engine_kwargs", None) or {}
             if nominator == "ivf":
                 ivf_kwargs = {}
@@ -466,9 +544,16 @@ class MultiClipQuerySession(_QuerySessionBase):
                     ivf_kwargs["nprobe"] = int(nprobe)
                 engine_kwargs["nominator"] = IVFNominator(**ivf_kwargs)
             engine_kwargs.setdefault("failure_policy", failure_policy)
-            kwargs["engine"] = ShardedRetrievalEngine(
-                corpus, candidates_per_shard=candidates_per_shard,
-                **engine_kwargs)
+
+            def make_engine(corpus=corpus,
+                            candidates=candidates_per_shard,
+                            engine_kwargs=dict(engine_kwargs)):
+                return ShardedRetrievalEngine(
+                    corpus, candidates_per_shard=candidates,
+                    **engine_kwargs)
+
+            kwargs["engine"] = make_engine()
+            kwargs["engine_factory"] = make_engine
             super().__init__(db, corpus_id, event_name, corpus, **kwargs)
         else:
             datasets = [db.dataset(c, event_name) for c in clip_ids]

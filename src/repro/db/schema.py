@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.errors import StorageError
 
-__all__ = ["ClipRecord", "TrackRecord", "LabelRecord"]
+__all__ = ["ClipRecord", "TrackRecord", "LabelRecord", "SessionRecord"]
 
 
 @dataclass(frozen=True)
@@ -85,3 +85,32 @@ class LabelRecord:
     user_id: str
     round_index: int
     relevant: bool
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """Durable description of one relevance-feedback session.
+
+    Enough to reconstruct the session on any worker: which clips make
+    up the corpus, which engine ranks it, and the engine parameters.
+    The feedback itself lives in the ``labels`` table keyed by the same
+    ``(corpus_id, event, user_id)`` triple, so reconstruction replays
+    it automatically.
+    """
+
+    session_id: str
+    user_id: str
+    corpus_id: str
+    event_name: str
+    clip_ids: tuple[str, ...]
+    engine: str = "mil_ocsvm"
+    top_k: int = 20
+    params: dict = field(default_factory=dict)
+    created_at: str = ""
+    last_seen_at: str = ""
+
+    def params_json(self) -> str:
+        return json.dumps(self.params, sort_keys=True)
+
+    def clip_ids_json(self) -> str:
+        return json.dumps(list(self.clip_ids))

@@ -83,3 +83,27 @@ class DatabaseBusyError(StorageError, RetryableError):
     is transient by nature — the :class:`RetryableError` base opts it
     into :meth:`~repro.reliability.RetryPolicy.is_retryable` loops.
     """
+
+
+class SessionConflictError(StorageError):
+    """Another writer committed a feedback round for this session first.
+
+    Raised by :meth:`~repro.db.database.VideoDatabase.add_labels` when
+    the optimistic ``expect_round`` guard finds that the stored label
+    history has already advanced past the round the caller was about to
+    persist — two workers resumed the same session id and raced.  The
+    losing session must replay the winning history (see
+    :meth:`~repro.db.query._QuerySessionBase.resync`) before feeding
+    again; retrying the same round verbatim can never succeed, which is
+    why this is *not* a :class:`RetryableError`.
+    """
+
+    def __init__(self, session_id: str, *, expected_round: int,
+                 stored_next_round: int) -> None:
+        super().__init__(
+            f"session {session_id!r}: feedback round {expected_round} "
+            f"was already committed by another worker (stored history "
+            f"expects round {stored_next_round} next); resync and retry")
+        self.session_id = session_id
+        self.expected_round = expected_round
+        self.stored_next_round = stored_next_round

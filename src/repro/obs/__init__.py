@@ -47,7 +47,12 @@ from repro.obs.exporters import (
     prometheus_text,
     write_prometheus,
 )
-from repro.obs.live import LiveMetricsServer
+from repro.obs.live import (
+    LiveMetricsServer,
+    count_client_disconnect,
+    render_healthz,
+    render_metrics,
+)
 from repro.obs.metrics import (
     MAX_LABEL_SETS,
     Counter,
@@ -101,6 +106,9 @@ __all__ = [
     "TailProfiler",
     "RoundProfile",
     "LiveMetricsServer",
+    "render_metrics",
+    "render_healthz",
+    "count_client_disconnect",
     "build_span_tree",
     "render_span_tree",
     "render_round",

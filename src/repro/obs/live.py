@@ -8,6 +8,11 @@ never disagree) and ``/healthz`` is a JSON health document that folds in
 the declared SLOs (:mod:`repro.obs.slo`): status ``ok`` while every
 objective with samples is met, ``degraded`` otherwise.
 
+The rendering itself lives in :func:`render_metrics` /
+:func:`render_healthz` so the retrieval service (:mod:`repro.service`)
+serves byte-identical ``/metrics`` and ``/healthz`` documents without
+duplicating the logic.
+
 The server resolves the registry *per request* (via a callable, default
 :func:`repro.obs.get_telemetry`), so tests that swap registries and the
 CLI's per-command registries are always the thing scraped.  ``port=0``
@@ -23,7 +28,50 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.obs.exporters import prometheus_text
 from repro.obs.slo import DEFAULT_SLOS, evaluate_slos
 
-__all__ = ["LiveMetricsServer"]
+__all__ = ["LiveMetricsServer", "render_metrics", "render_healthz",
+           "count_client_disconnect"]
+
+
+def render_metrics(telemetry) -> tuple[int, str, bytes]:
+    """``(status, content_type, body)`` for a ``/metrics`` scrape."""
+    body = prometheus_text(telemetry).encode("utf-8")
+    return 200, "text/plain; version=0.0.4", body
+
+
+def render_healthz(telemetry, slos=DEFAULT_SLOS) -> tuple[int, str, bytes]:
+    """``(status, content_type, body)`` for a ``/healthz`` probe.
+
+    Healthy (200/``ok``) while every SLO *with samples* is met; 503 /
+    ``degraded`` once any sampled objective is breached.  Unsampled
+    objectives are listed but never fail the probe — an idle service is
+    not a broken one.
+    """
+    statuses = evaluate_slos(telemetry, slos)
+    sampled = [st for st in statuses if st.samples > 0]
+    healthy = all(st.met for st in sampled)
+    doc = {
+        "status": "ok" if healthy else "degraded",
+        "slos": [{
+            "name": st.name,
+            "met": st.met,
+            "samples": st.samples,
+            "measured": None if st.samples == 0 else st.measured,
+            "burn_rate": st.burn_rate,
+        } for st in statuses],
+    }
+    body = json.dumps(doc, sort_keys=True).encode("utf-8")
+    return (200 if healthy else 503), "application/json", body
+
+
+def count_client_disconnect(telemetry) -> None:
+    """Account a response abandoned because the client hung up.
+
+    A scraper or service client closing its socket mid-response is the
+    client's business, not a server fault: the write error is swallowed
+    and the occurrence counted so a disconnect storm is still visible
+    on the very endpoint that survives it.
+    """
+    telemetry.counter("obs.live.client_disconnects").inc()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -36,33 +84,26 @@ class _Handler(BaseHTTPRequestHandler):
         bucket = path if path in ("/metrics", "/healthz") else "other"
         telemetry.counter("obs.live.requests").inc(path=bucket)
         if path == "/metrics":
-            body = prometheus_text(telemetry).encode("utf-8")
-            self._reply(200, "text/plain; version=0.0.4", body)
+            self._reply(*render_metrics(telemetry))
         elif path == "/healthz":
-            statuses = evaluate_slos(telemetry, owner.slos)
-            sampled = [st for st in statuses if st.samples > 0]
-            healthy = all(st.met for st in sampled)
-            doc = {
-                "status": "ok" if healthy else "degraded",
-                "slos": [{
-                    "name": st.name,
-                    "met": st.met,
-                    "samples": st.samples,
-                    "measured": None if st.samples == 0 else st.measured,
-                    "burn_rate": st.burn_rate,
-                } for st in statuses],
-            }
-            body = json.dumps(doc, sort_keys=True).encode("utf-8")
-            self._reply(200 if healthy else 503, "application/json", body)
+            self._reply(*render_healthz(telemetry, owner.slos))
         else:
             self._reply(404, "text/plain", b"not found\n")
 
     def _reply(self, code: int, content_type: str, body: bytes) -> None:
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client went away mid-scrape.  Without this guard the
+            # error escapes the handler thread and socketserver dumps a
+            # traceback to stderr for every abandoned request.
+            owner: "LiveMetricsServer" = self.server.owner  # type: ignore[attr-defined]
+            count_client_disconnect(owner.resolve_telemetry())
+            self.close_connection = True
 
     def log_message(self, format, *args) -> None:  # noqa: A002
         pass  # scrapes must not spam the console

@@ -136,6 +136,21 @@ DEFAULT_METRICS: tuple[tuple[str, str, str], ...] = (
      "armed round profiles dropped because the round was fast enough"),
     ("counter", "obs.live.requests",
      "HTTP requests served by the live metrics endpoint, by path"),
+    ("counter", "obs.live.client_disconnects",
+     "responses abandoned because the client hung up mid-write"),
+    ("counter", "query.session_conflicts",
+     "feedback rounds rejected by the optimistic session-round guard"),
+    ("counter", "sharded.corpus_pool_hits",
+     "shared-corpus pool acquisitions served by an already-built corpus"),
+    ("counter", "service.requests",
+     "retrieval-service HTTP requests handled, by route and status"),
+    ("histogram", "service.request.latency_ms",
+     "wall-clock latency of one retrieval-service request, by route"),
+    ("gauge", "service.sessions_active",
+     "relevance-feedback sessions currently resident in this worker"),
+    ("counter", "service.session_resumes",
+     "sessions reconstructed from the catalog by a worker that did "
+     "not create them"),
     ("gauge", "slo.attainment",
      "latest measured value per declared objective"),
     ("gauge", "slo.burn_rate",

@@ -83,3 +83,56 @@ class TestLiveMetricsServer:
         with pytest.raises(OSError):
             urllib.request.urlopen(
                 f"http://127.0.0.1:{port}/metrics", timeout=1)
+
+
+class TestClientDisconnect:
+    """A client hanging up mid-scrape must be counted, not raised."""
+
+    def _handler(self, telemetry, wfile):
+        from repro.obs.live import _Handler
+
+        handler = object.__new__(_Handler)
+        handler.requestline = "GET /metrics HTTP/1.1"
+        handler.request_version = "HTTP/1.1"
+        handler.command = "GET"
+        handler.client_address = ("127.0.0.1", 1)
+        handler.close_connection = False
+        handler.wfile = wfile
+
+        class _Owner:
+            slos = ()
+
+            def resolve_telemetry(self):
+                return telemetry
+
+        class _Server:
+            owner = _Owner()
+
+        handler.server = _Server()
+        return handler
+
+    def test_broken_pipe_is_swallowed_and_counted(self, fresh_telemetry):
+        class _DeadPipe:
+            def write(self, data):
+                raise BrokenPipeError("client went away")
+
+            def flush(self):
+                pass
+
+        handler = self._handler(fresh_telemetry, _DeadPipe())
+        handler._reply(200, "text/plain", b"payload")  # must not raise
+        counter = fresh_telemetry.counter("obs.live.client_disconnects")
+        assert counter.total() == 1
+        assert handler.close_connection
+
+    def test_healthy_pipe_writes_full_response(self, fresh_telemetry):
+        import io
+
+        buffer = io.BytesIO()
+        handler = self._handler(fresh_telemetry, buffer)
+        handler._reply(200, "text/plain", b"payload")
+        raw = buffer.getvalue()
+        assert raw.startswith(b"HTTP/") and b" 200 OK" in raw
+        assert raw.endswith(b"payload")
+        counter = fresh_telemetry.counter("obs.live.client_disconnects")
+        assert counter.total() == 0

@@ -1,0 +1,296 @@
+"""Multi-tenant retrieval service: routing, session lifecycle,
+cross-worker resume, corpus sharing, and the HTTP front end."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.db import VideoDatabase
+from repro.eval import build_artifacts
+from repro.service import RetrievalHTTPServer, RetrievalService
+
+
+@pytest.fixture(scope="module")
+def service_db(tmp_path_factory, small_tunnel, small_intersection):
+    """File-backed catalog shared by every service in this module."""
+    path = str(tmp_path_factory.mktemp("svc") / "catalog.sqlite")
+    with VideoDatabase(path) as db:
+        for sim in (small_tunnel, small_intersection):
+            artifacts = build_artifacts(sim, mode="oracle")
+            db.ingest_simulation(sim, artifacts.tracks, artifacts.dataset)
+    return path, [small_tunnel.name, small_intersection.name]
+
+
+@pytest.fixture()
+def service(service_db):
+    path, _clips = service_db
+    svc = RetrievalService(path)
+    yield svc
+    svc.close()
+
+
+def _call(svc, method, target, doc=None):
+    body = json.dumps(doc).encode() if doc is not None else None
+    status, ctype, payload = svc.handle(method, target, body)
+    parsed = json.loads(payload) if ctype == "application/json" else payload
+    return status, parsed
+
+
+def _create(svc, clips, *, user="ana", **extra):
+    return _call(svc, "POST", "/sessions",
+                 {"user": user, "clips": clips, "event": "accident",
+                  **extra})
+
+
+def _label_round(svc, sid, *, flip=False):
+    """Feed a deterministic labeling of the current top ranking."""
+    status, doc = _call(svc, "GET", f"/sessions/{sid}/results")
+    assert status == 200
+    labels = {str(r["bag_id"]): (i % 2 == 0) != flip
+              for i, r in enumerate(doc["results"])}
+    return _call(svc, "POST", f"/sessions/{sid}/feed", {"labels": labels})
+
+
+class TestRouting:
+    def test_index_lists_endpoints(self, service):
+        status, doc = _call(service, "GET", "/")
+        assert status == 200
+        assert "POST /sessions" in doc["endpoints"]
+
+    def test_unknown_route_404(self, service):
+        status, doc = _call(service, "GET", "/nope")
+        assert status == 404
+
+    def test_metrics_and_healthz(self, service):
+        status, body = service.handle("GET", "/metrics")[0], None
+        assert status == 200
+        status, doc = _call(service, "GET", "/healthz")
+        assert status in (200, 503)
+        assert doc["status"] in ("ok", "degraded")
+
+    def test_malformed_json_400(self, service):
+        status, _, payload = service.handle("POST", "/sessions",
+                                            b"{not json")
+        assert status == 400
+        assert json.loads(payload)["error"] == "bad_request"
+
+
+class TestSessionLifecycle:
+    def test_create_feed_results_explain(self, service, service_db):
+        _, clips = service_db
+        status, doc = _create(service, clips, user="casey")
+        assert status == 201
+        assert doc["round"] == 0 and not doc["resumed"]
+        sid = doc["session"]
+        assert sid == f"casey:merged:{'+'.join(clips)}:accident"
+
+        status, doc = _label_round(service, sid)
+        assert status == 200 and doc["round"] == 1
+
+        status, doc = _call(service, "GET", f"/sessions/{sid}/results")
+        assert status == 200
+        assert doc["round"] == 1
+        assert len(doc["results"]) == 20
+        first = doc["results"][0]
+        assert {"bag_id", "clip_id", "frame_lo", "frame_hi"} <= set(first)
+        assert first["clip_id"] in clips
+
+        status, doc = _call(service, "GET",
+                            f"/sessions/{sid}/results?top_k=5")
+        assert status == 200 and len(doc["results"]) == 5
+
+        status, doc = _call(service, "GET", f"/sessions/{sid}/explain")
+        assert status == 200
+        ops = [r["op"] for r in doc["rounds"]]
+        assert "feed" in ops
+        assert all("spans" not in r and "profile" not in r
+                   for r in doc["rounds"])
+
+    def test_recreate_resumes_in_place(self, service, service_db):
+        _, clips = service_db
+        status, doc = _create(service, clips, user="drew")
+        sid = doc["session"]
+        _label_round(service, sid)
+        status, doc = _create(service, clips, user="drew")
+        assert status == 200  # existing session, not a new one
+        assert doc["resumed"] and doc["round"] == 1
+
+    def test_info_list_and_close(self, service, service_db):
+        _, clips = service_db
+        sid = _create(service, clips, user="evan")[1]["session"]
+        status, doc = _call(service, "GET", f"/sessions/{sid}")
+        assert status == 200 and doc["resident"] and doc["round"] == 0
+
+        status, doc = _call(service, "GET", "/sessions")
+        mine = [s for s in doc["sessions"] if s["session"] == sid]
+        assert mine and mine[0]["resident"]
+
+        status, doc = _call(service, "DELETE", f"/sessions/{sid}")
+        assert status == 200 and doc["closed"]
+        status, doc = _call(service, "GET", f"/sessions/{sid}")
+        assert status == 200 and not doc["resident"]  # record survives
+
+        # next touch resumes transparently from the catalog
+        status, doc = _call(service, "GET", f"/sessions/{sid}/results")
+        assert status == 200 and len(doc["results"]) == 20
+
+    def test_unknown_session_404(self, service):
+        status, doc = _call(service, "GET", "/sessions/zz:none:x/results")
+        assert status == 404 and doc["error"] == "not_found"
+
+    def test_validation_errors(self, service, service_db):
+        _, clips = service_db
+        assert _create(service, clips, user="a:b")[0] == 400
+        assert _create(service, clips, user="")[0] == 400
+        assert _create(service, [])[0] == 400
+        assert _create(service, clips, engine="nope")[0] == 400
+        assert _create(service, clips, params={"evil": 1})[0] == 400
+        assert _create(service, clips, params="no")[0] == 400
+        sid = _create(service, clips, user="fay")[1]["session"]
+        assert _call(service, "POST", f"/sessions/{sid}/feed",
+                     {"labels": {}})[0] == 400
+        assert _call(service, "GET",
+                     f"/sessions/{sid}/results?top_k=0")[0] == 400
+
+
+class TestCorpusSharing:
+    def test_same_corpus_shared_across_users(self, service, service_db):
+        _, clips = service_db
+        sid_a = _create(service, clips, user="gil")[1]["session"]
+        sid_b = _create(service, clips, user="hana")[1]["session"]
+        key = f"merged:{'+'.join(clips)}::accident"
+        assert service.pool.refcount(key) == 2
+        a = service._sessions[sid_a].session
+        b = service._sessions[sid_b].session
+        assert a.dataset is b.dataset  # one ShardedCorpus, one GramCache
+        _call(service, "DELETE", f"/sessions/{sid_a}")
+        assert service.pool.refcount(key) == 1
+
+    def test_lru_eviction_keeps_cap(self, service_db):
+        path, clips = service_db
+        svc = RetrievalService(path, max_sessions=2)
+        try:
+            for user in ("ira", "jo", "kai"):
+                _create(svc, clips, user=user)
+            resident = [sid for sid, e in svc._sessions.items()
+                        if e.session is not None]
+            assert len(resident) == 2
+            assert any(sid.startswith("kai:") for sid in resident)
+        finally:
+            svc.close()
+
+
+class TestCrossWorkerResume:
+    """Acceptance: a session created on one worker resumes with an
+    identical ranking on another, and concurrent feeds conflict."""
+
+    def test_resume_on_second_worker_matches(self, service_db):
+        path, clips = service_db
+        a, b = RetrievalService(path), RetrievalService(path)
+        try:
+            sid = _create(a, clips, user="lena")[1]["session"]
+            _label_round(a, sid)
+            _label_round(a, sid, flip=True)
+            ranking_a = _call(a, "GET", f"/sessions/{sid}/results")[1]
+
+            status, doc = _call(b, "GET", f"/sessions/{sid}/results")
+            assert status == 200
+            assert doc["round"] == 2
+            assert doc["results"] == ranking_a["results"]
+        finally:
+            a.close()
+            b.close()
+
+    def test_concurrent_feed_conflicts_with_409(self, service_db):
+        path, clips = service_db
+        a, b = RetrievalService(path), RetrievalService(path)
+        try:
+            sid = _create(a, clips, user="mara")[1]["session"]
+            # both workers materialize the session at round 0
+            ranking_b = _call(b, "GET", f"/sessions/{sid}/results")[1]
+            assert ranking_b["round"] == 0
+
+            assert _label_round(a, sid)[0] == 200  # worker A wins
+            status, doc = _label_round(b, sid)     # worker B loses loudly
+            assert status == 409
+            assert doc["error"] == "session_conflict"
+            assert doc["round"] == 1  # already resynced onto A's history
+            # B's retry against the synced state succeeds as round 1
+            assert _label_round(b, sid)[0] == 200
+            assert _call(a, "GET", f"/sessions/{sid}")[1]["round"] == 1
+        finally:
+            a.close()
+            b.close()
+
+
+class TestHTTPServer:
+    def test_end_to_end_over_http(self, service_db):
+        path, clips = service_db
+        svc = RetrievalService(path)
+        with RetrievalHTTPServer(svc, port=0, max_workers=4) as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=30)
+
+            def req(method, target, doc=None):
+                body = json.dumps(doc).encode() if doc is not None else None
+                conn.request(method, target, body=body)
+                resp = conn.getresponse()
+                data = resp.read()
+                if resp.headers.get_content_type() == "application/json":
+                    return resp.status, json.loads(data)
+                return resp.status, data
+
+            status, doc = req("POST", "/sessions",
+                              {"user": "nia", "clips": clips,
+                               "event": "accident", "top_k": 8})
+            assert status == 201
+            sid = doc["session"]
+
+            status, doc = req("GET", f"/sessions/{sid}/results")
+            assert status == 200 and len(doc["results"]) == 8
+            labels = {str(r["bag_id"]): True for r in doc["results"][:4]}
+            status, doc = req("POST", f"/sessions/{sid}/feed",
+                              {"labels": labels})
+            assert status == 200 and doc["round"] == 1
+
+            status, body = req("GET", "/metrics")
+            assert status == 200
+            assert b"service_requests_total" in body
+            status, _ = req("GET", "/healthz")
+            assert status in (200, 503)
+            status, doc = req("GET", "/sessions/none")
+            assert status == 404
+            conn.close()
+        svc.close()
+
+    def test_keep_alive_and_bad_request(self, service_db):
+        path, _clips = service_db
+        svc = RetrievalService(path)
+        with RetrievalHTTPServer(svc, port=0) as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=30)
+            for _ in range(3):  # several requests down one connection
+                conn.request("GET", "/")
+                resp = conn.getresponse()
+                assert resp.status == 200
+                resp.read()
+            conn.close()
+
+            import socket
+            raw = socket.create_connection(("127.0.0.1", server.port),
+                                           timeout=30)
+            raw.sendall(b"BOGUS\r\n\r\n")
+            reply = raw.recv(4096)
+            assert reply.startswith(b"HTTP/1.1 400")
+            raw.close()
+        svc.close()
+
+    def test_port_conflict_raises(self, service_db):
+        path, _clips = service_db
+        svc = RetrievalService(path)
+        with RetrievalHTTPServer(svc, port=0) as server:
+            other = RetrievalHTTPServer(svc, port=server.port)
+            with pytest.raises(OSError):
+                other.start()
+        svc.close()
